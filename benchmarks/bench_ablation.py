@@ -1,0 +1,82 @@
+"""§4.2 — ablation study over ClaSS's seven design-choice groups.
+
+Sweeps each design choice of §4.2 on a small benchmark sample (the paper uses
+a random 20% of the benchmark series) while keeping the other parameters at
+their defaults, and prints the mean Covering, its standard deviation and the
+win counts per value.  The shape checks mirror the paper's conclusions: most
+choices have only a mild effect (the defaults are never far from the best
+value), while overly lax significance levels hurt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_collection
+from repro.evaluation import format_table
+from repro.evaluation.ablation import ablation_rows, run_ablation
+
+#: Laptop-scale versions of the §4.2 sweeps (same structure, smaller values).
+SWEEPS: dict[str, list] = {
+    "window_size": [750, 1_500, 3_000],
+    "wss_method": ["suss", "fft", "acf"],
+    "similarity": ["pearson", "euclidean", "cid"],
+    "k_neighbours": [1, 3, 5],
+    "score": ["macro_f1", "accuracy"],
+    "significance_level": [1e-10, 1e-30, 1e-50],
+    "sample_size": [None, 1_000],
+}
+
+WINDOW = 1_500
+SCORING_INTERVAL = 30
+
+
+def _ablation_datasets():
+    return load_collection("TSSB", n_series=4, length_scale=0.3, seed=4_2)
+
+
+def test_ablation_design_choices(benchmark):
+    datasets = _ablation_datasets()
+
+    def run_all():
+        all_entries = {}
+        for parameter, values in SWEEPS.items():
+            all_entries[parameter] = run_ablation(
+                parameter,
+                values,
+                datasets,
+                window_size=WINDOW,
+                scoring_interval=SCORING_INTERVAL,
+            )
+        return all_entries
+
+    all_entries = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    for parameter, entries in all_entries.items():
+        print(format_table(ablation_rows(entries), title=f"ablation: {parameter}",
+                           float_format="{:.1f}"))
+        print()
+
+    # (a-e) the defaults are never catastrophically worse than the best value
+    for parameter, default in [
+        ("similarity", "pearson"),
+        ("k_neighbours", 3),
+        ("score", "macro_f1"),
+        ("wss_method", "suss"),
+    ]:
+        entries = all_entries[parameter]
+        best = max(entry.mean_covering for entry in entries)
+        default_entry = next(e for e in entries if e.value == default)
+        assert default_entry.mean_covering >= best - 0.15, (
+            f"default {parameter}={default} falls too far behind the best value"
+        )
+
+    # (f) stricter significance levels do not flood the segmentation with
+    # false positives: the covering at 1e-50 is at least that of 1e-10 - 10pp
+    significance = {e.value: e.mean_covering for e in all_entries["significance_level"]}
+    assert significance[1e-50] >= significance[1e-10] - 0.10
+
+    benchmark.extra_info["mean_covering_defaults"] = float(
+        np.mean([e.mean_covering for e in all_entries["k_neighbours"] if e.value == 3])
+    )

@@ -1,0 +1,75 @@
+"""Figure 5 — Covering ranks (critical difference diagrams) and box plots.
+
+Prints the mean-rank ordering, the Nemenyi critical difference, the cliques
+of statistically indistinguishable methods (the "bars" of the CD diagram),
+the per-method win/tie counts, and the box-plot quartiles of the Covering
+distribution — everything the two diagrams of Figure 5 visualise — for both
+the benchmark and the archive suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import (
+    critical_difference_analysis,
+    format_ranking,
+    format_table,
+    pairwise_wins,
+    wins_and_ties_per_method,
+)
+
+
+def _report(result, title):
+    matrix, _, methods = result.score_matrix()
+    analysis = critical_difference_analysis(matrix, methods)
+    print()
+    print(f"=== {title}")
+    print(format_ranking(analysis.ordering(), analysis.critical_difference))
+    print(f"Friedman chi2 = {analysis.friedman_statistic:.2f}, p = {analysis.friedman_p_value:.2e}")
+    if analysis.cliques:
+        print("not significantly different groups:")
+        for clique in analysis.cliques:
+            print("  " + " ~ ".join(clique))
+
+    wins = wins_and_ties_per_method(matrix, methods)
+    print(format_table(
+        [{"method": m, "wins/ties": c} for m, c in sorted(wins.items(), key=lambda kv: -kv[1])],
+        title="wins and ties (Figure 5 annotation)",
+    ))
+
+    quartiles = []
+    for j, method in enumerate(methods):
+        scores = matrix[:, j]
+        quartiles.append(
+            {
+                "method": method,
+                "q25 %": 100 * np.percentile(scores, 25),
+                "median %": 100 * np.percentile(scores, 50),
+                "q75 %": 100 * np.percentile(scores, 75),
+            }
+        )
+    quartiles.sort(key=lambda row: -row["median %"])
+    print(format_table(quartiles, title="box plot quartiles (Figure 5 bottom)", float_format="{:.1f}"))
+    return analysis
+
+
+def test_fig5_benchmark_ranks(benchmark, benchmark_experiment):
+    analysis = benchmark.pedantic(
+        lambda: _report(benchmark_experiment, "Figure 5 (left): 9 methods on the benchmark suite"),
+        rounds=1, iterations=1,
+    )
+    ordering = [name for name, _ in analysis.ordering()]
+    assert ordering.index("ClaSS") <= 1, f"ClaSS should rank first or second, got {ordering}"
+    benchmark.extra_info["class_mean_rank"] = dict(analysis.ordering())["ClaSS"]
+
+
+def test_fig5_archive_ranks(benchmark, archive_experiment):
+    analysis = benchmark.pedantic(
+        lambda: _report(archive_experiment, "Figure 5 (right): methods on the archive suite"),
+        rounds=1, iterations=1,
+    )
+    # on the (much harder, heavily scaled-down) archive suite ClaSS must still
+    # land in the upper half of the ranking
+    ordering = [name for name, _ in analysis.ordering()]
+    assert ordering.index("ClaSS") <= 3, f"ClaSS rank too low on archives: {ordering}"

@@ -1,0 +1,87 @@
+"""Figure 7 — scalability of ClaSS vs FLOSS.
+
+The paper plots per-series runtime against Covering, subsequence width,
+series length and number of change points, finding that both methods scale
+with the series length (ClaSS consistently faster) and show no clear runtime
+relationship with Covering or width.  This benchmark sweeps the series length
+and the number of change points and prints the runtime pairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.competitors import FLOSS
+from repro.core.class_segmenter import ClaSS
+from repro.datasets import SegmentSpec, compose_stream
+from repro.evaluation import format_table
+
+LENGTHS = [2_000, 4_000, 8_000]
+N_CHANGE_POINTS = [1, 3, 7]
+WINDOW = 2_000
+WIDTH = 30
+
+
+def _stream_with(n_timepoints: int, n_change_points: int, seed: int):
+    segment_length = n_timepoints // (n_change_points + 1)
+    states = ["sine", "square"]
+    specs = [
+        SegmentSpec(
+            states[i % 2],
+            segment_length,
+            {"period": 25 if i % 2 == 0 else 60, "noise": 0.05},
+        )
+        for i in range(n_change_points + 1)
+    ]
+    return compose_stream(specs, name=f"scal_{n_timepoints}_{n_change_points}", seed=seed)
+
+
+def _time_method(segmenter, values) -> float:
+    start = time.perf_counter()
+    segmenter.process(values)
+    return time.perf_counter() - start
+
+
+def test_fig7_scalability_class_vs_floss(benchmark):
+    def sweep():
+        rows = []
+        for length in LENGTHS:
+            dataset = _stream_with(length, 3, seed=length)
+            class_seconds = _time_method(
+                ClaSS(window_size=min(WINDOW, length // 2), subsequence_width=WIDTH,
+                      scoring_interval=25),
+                dataset.values,
+            )
+            floss_seconds = _time_method(
+                FLOSS(window_size=min(WINDOW, length // 2), subsequence_width=WIDTH, stride=25),
+                dataset.values,
+            )
+            rows.append({"sweep": "length", "value": length,
+                         "ClaSS s": class_seconds, "FLOSS s": floss_seconds})
+        for n_cps in N_CHANGE_POINTS:
+            dataset = _stream_with(6_000, n_cps, seed=777 + n_cps)
+            class_seconds = _time_method(
+                ClaSS(window_size=WINDOW, subsequence_width=WIDTH, scoring_interval=25),
+                dataset.values,
+            )
+            floss_seconds = _time_method(
+                FLOSS(window_size=WINDOW, subsequence_width=WIDTH, stride=25), dataset.values
+            )
+            rows.append({"sweep": "#CPs", "value": n_cps,
+                         "ClaSS s": class_seconds, "FLOSS s": floss_seconds})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 7: ClaSS vs FLOSS runtime scalability"))
+
+    length_rows = [row for row in rows if row["sweep"] == "length"]
+    # runtime grows with the series length for both methods
+    assert length_rows[-1]["ClaSS s"] > length_rows[0]["ClaSS s"]
+    assert length_rows[-1]["FLOSS s"] > length_rows[0]["FLOSS s"]
+    # the growth is roughly linear for ClaSS (4x data < ~8x runtime)
+    ratio = length_rows[-1]["ClaSS s"] / max(length_rows[0]["ClaSS s"], 1e-9)
+    assert ratio < 10.0
+    benchmark.extra_info["class_runtime_ratio_2k_to_8k"] = ratio

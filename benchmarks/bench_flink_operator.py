@@ -1,0 +1,72 @@
+"""§4.4 — throughput of the ClaSS window operator inside the stream engine.
+
+The paper measures ~1k observations/second for the ClaSS Apache Flink window
+operator with sequential processing-time execution.  This benchmark runs the
+library's engine pipeline (dataset source -> ClaSS operator -> change point
+sink) over several simulated streams and reports the per-stream and average
+throughput, checking that the operator overhead stays small compared to the
+standalone segmenter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_collection
+from repro.evaluation import format_table
+from repro.evaluation.throughput import measure_throughput
+from repro.core.class_segmenter import ClaSS
+from repro.streamengine import run_class_pipeline
+
+SCORING_INTERVAL = 25
+WINDOW = 2_000
+
+
+def test_flink_style_operator_throughput(benchmark):
+    datasets = load_collection("TSSB", n_series=3, length_scale=0.4, seed=404)
+
+    def run_pipelines():
+        return [
+            run_class_pipeline(
+                dataset, window_size=WINDOW, scoring_interval=SCORING_INTERVAL
+            )
+            for dataset in datasets
+        ]
+
+    results = benchmark.pedantic(run_pipelines, rounds=1, iterations=1)
+
+    # standalone reference on the first stream for the overhead comparison
+    reference = measure_throughput(
+        ClaSS(window_size=min(WINDOW, len(datasets[0]) // 2), scoring_interval=SCORING_INTERVAL),
+        datasets[0].values,
+        method_name="ClaSS standalone",
+    )
+
+    rows = [
+        {
+            "stream": result.dataset,
+            "observations": result.metrics.n_source_records,
+            "throughput obs/s": result.throughput,
+            "change points": len(result.change_points),
+        }
+        for result in results
+    ]
+    rows.append(
+        {
+            "stream": "(standalone ClaSS, first stream)",
+            "observations": reference.n_points,
+            "throughput obs/s": reference.mean_points_per_second,
+            "change points": "-",
+        }
+    )
+    print()
+    print(format_table(rows, title="Flink-style operator throughput", float_format="{:.0f}"))
+
+    average = float(np.mean([result.throughput for result in results]))
+    print(f"average operator throughput: {average:,.0f} observations/s")
+
+    # the engine must add only bounded overhead over the standalone segmenter
+    assert results[0].throughput > 0.3 * reference.mean_points_per_second
+    # and sustain at least a few hundred observations per second at this scale
+    assert average > 200
+    benchmark.extra_info["average_throughput"] = average

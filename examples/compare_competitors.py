@@ -1,0 +1,66 @@
+"""Mini benchmark: ClaSS against all eight competitors on a small suite.
+
+This example runs the paper's §4.3 comparison at a miniature scale — a
+handful of TSSB-like and archive-like series — and prints the Covering
+summary, the mean-rank ordering and the pairwise win counts, i.e. the content
+of Table 3 and Figure 5 on a laptop-sized workload.
+
+Run with:  python examples/compare_competitors.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_collection
+from repro.evaluation import (
+    critical_difference_analysis,
+    default_method_factories,
+    format_ranking,
+    format_summary,
+    format_table,
+    run_experiment,
+    wins_and_ties_per_method,
+)
+
+
+def main() -> None:
+    datasets = (
+        load_collection("TSSB", n_series=4, length_scale=0.3, seed=11)
+        + load_collection("UTSA", n_series=2, length_scale=0.3, seed=12)
+        + load_collection("mHealth", n_series=1, length_scale=0.15, seed=13)
+    )
+    print(f"evaluating on {len(datasets)} simulated series "
+          f"({sum(len(d) for d in datasets):,} observations total)")
+    print()
+
+    methods = default_method_factories(
+        window_size=3_000,
+        scoring_interval=20,   # keep the pure-Python run snappy
+        floss_stride=20,
+    )
+    result = run_experiment(methods, datasets, verbose=True)
+
+    print()
+    print(format_summary(result.summary_by_method()))
+    print()
+
+    matrix, _, names = result.score_matrix()
+    analysis = critical_difference_analysis(matrix, names)
+    print(format_ranking(analysis.ordering(), analysis.critical_difference))
+    print()
+
+    wins = wins_and_ties_per_method(matrix, names)
+    print(format_table(
+        [{"method": name, "wins/ties": count} for name, count in
+         sorted(wins.items(), key=lambda kv: -kv[1])],
+        title="wins and ties per method",
+    ))
+    print()
+    print(format_table(
+        [{"method": m, "total runtime s": t} for m, t in
+         sorted(result.total_runtime_by_method().items(), key=lambda kv: kv[1])],
+        title="total runtime per method",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setuptools shim so the package installs in environments without PEP 660 support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ClaSS: streaming time series segmentation via self-supervised "
+        "classification (VLDB 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

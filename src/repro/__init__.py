@@ -1,0 +1,36 @@
+"""repro — a reproduction of "Raising the ClaSS of Streaming Time Series Segmentation".
+
+The package provides:
+
+* :class:`repro.ClaSS` — the streaming segmentation algorithm (the paper's
+  primary contribution),
+* :class:`repro.ClaSP` — the batch baseline it builds upon,
+* :mod:`repro.competitors` — the eight state-of-the-art competitors of the
+  experimental evaluation,
+* :mod:`repro.datasets` — synthetic stand-ins for the two benchmarks and six
+  data archives used in the paper,
+* :mod:`repro.evaluation` — the Covering metric, rank statistics, and the
+  streaming experiment runner,
+* :mod:`repro.streamengine` — a minimal stream-processing engine with a ClaSS
+  window operator (the Apache Flink substitute).
+"""
+
+from repro.core import (
+    ChangePointReport,
+    ClaSP,
+    ClaSPProfile,
+    ClaSS,
+    MultivariateClaSS,
+    StreamingKNN,
+)
+from repro.version import __version__
+
+__all__ = [
+    "ClaSS",
+    "ClaSP",
+    "MultivariateClaSS",
+    "ClaSPProfile",
+    "ChangePointReport",
+    "StreamingKNN",
+    "__version__",
+]

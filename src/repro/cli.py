@@ -1,0 +1,163 @@
+"""Command-line interface for quick, scriptable use of the library.
+
+Three sub-commands cover the common workflows without writing Python:
+
+* ``segment``   — stream a CSV/NPZ file (or a generated demo stream) through
+  ClaSS and print the detected change points.
+* ``evaluate``  — run ClaSS and selected competitors over a simulated
+  collection and print the Covering summary and ranking.
+* ``datasets``  — list the available dataset collections (Table 1).
+
+Examples
+--------
+::
+
+    python -m repro.cli datasets
+    python -m repro.cli segment --demo --window-size 2000
+    python -m repro.cli segment recording.csv --scoring-interval 5
+    python -m repro.cli evaluate --collection TSSB --n-series 4 --methods ClaSS,Window,DDM
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.class_segmenter import ClaSS
+from repro.datasets import COLLECTIONS, SegmentSpec, compose_stream, load_collection
+from repro.datasets.loaders import load_dataset_csv, load_dataset_npz
+from repro.evaluation import (
+    covering_score,
+    critical_difference_analysis,
+    default_method_factories,
+    format_ranking,
+    format_summary,
+    run_experiment,
+)
+
+
+def _demo_dataset():
+    """Small built-in demo stream with two change points."""
+    specs = [
+        SegmentSpec("sine", 1_200, {"period": 40, "noise": 0.05}, label="slow"),
+        SegmentSpec("square", 1_200, {"period": 80, "noise": 0.05}, label="cycling"),
+        SegmentSpec("sine", 1_200, {"period": 15, "noise": 0.05}, label="fast"),
+    ]
+    return compose_stream(specs, name="demo", seed=0)
+
+
+def _load_values(path: str):
+    """Load a dataset from CSV or NPZ, returning (values, change_points or None)."""
+    file_path = Path(path)
+    if file_path.suffix == ".npz":
+        dataset = load_dataset_npz(file_path)
+        return dataset.values, dataset.change_points
+    if file_path.suffix == ".csv":
+        dataset = load_dataset_csv(file_path)
+        return dataset.values, dataset.change_points
+    values = np.loadtxt(file_path, dtype=np.float64)
+    return np.atleast_1d(values), None
+
+
+def cmd_datasets(_: argparse.Namespace) -> int:
+    """List the dataset collections and their paper specifications."""
+    print(f"{'collection':10s} {'kind':10s} {'paper #TS':>9s}  description")
+    for name, spec in COLLECTIONS.items():
+        print(f"{name:10s} {spec.kind:10s} {spec.paper_n_series:9d}  {spec.description}")
+    return 0
+
+
+def cmd_segment(args: argparse.Namespace) -> int:
+    """Stream one series through ClaSS and print the detected change points."""
+    if args.demo or args.input is None:
+        dataset = _demo_dataset()
+        values, annotation = dataset.values, dataset.change_points
+        print(f"using built-in demo stream ({values.shape[0]} observations)")
+    else:
+        values, annotation = _load_values(args.input)
+        print(f"loaded {values.shape[0]} observations from {args.input}")
+
+    segmenter = ClaSS(
+        window_size=min(args.window_size, max(values.shape[0] // 2, 100)),
+        subsequence_width=args.subsequence_width,
+        scoring_interval=args.scoring_interval,
+        significance_level=args.significance_level,
+    )
+    for time_point, value in enumerate(values):
+        change_point = segmenter.update(float(value))
+        if change_point is not None:
+            print(f"change point at t={change_point} (reported at t={time_point + 1})")
+    segmenter.finalise()
+
+    print(f"learned subsequence width: {segmenter.subsequence_width_}")
+    print(f"change points: {segmenter.change_points.tolist()}")
+    if annotation is not None and annotation.size:
+        score = covering_score(annotation, segmenter.change_points, values.shape[0])
+        print(f"covering vs annotation: {score:.3f}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Run a miniature version of the paper's comparison on one collection."""
+    datasets = load_collection(
+        args.collection, n_series=args.n_series, length_scale=args.length_scale
+    )
+    include = [m.strip() for m in args.methods.split(",")] if args.methods else None
+    methods = default_method_factories(
+        window_size=args.window_size,
+        scoring_interval=args.scoring_interval,
+        floss_stride=args.scoring_interval,
+        include=include,
+    )
+    result = run_experiment(methods, datasets, verbose=not args.quiet)
+    print()
+    print(format_summary(result.summary_by_method()))
+    matrix, _, names = result.score_matrix()
+    if len(names) >= 3:
+        analysis = critical_difference_analysis(matrix, names)
+        print()
+        print(format_ranking(analysis.ordering(), analysis.critical_difference))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro.cli``."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list dataset collections")
+    datasets_parser.set_defaults(handler=cmd_datasets)
+
+    segment_parser = subparsers.add_parser("segment", help="segment a stream with ClaSS")
+    segment_parser.add_argument("input", nargs="?", help="CSV/NPZ/plain-text file with one value per row")
+    segment_parser.add_argument("--demo", action="store_true", help="use the built-in demo stream")
+    segment_parser.add_argument("--window-size", type=int, default=10_000)
+    segment_parser.add_argument("--subsequence-width", type=int, default=None)
+    segment_parser.add_argument("--scoring-interval", type=int, default=10)
+    segment_parser.add_argument("--significance-level", type=float, default=1e-50)
+    segment_parser.set_defaults(handler=cmd_segment)
+
+    evaluate_parser = subparsers.add_parser("evaluate", help="run a miniature comparison")
+    evaluate_parser.add_argument("--collection", default="TSSB", choices=sorted(COLLECTIONS))
+    evaluate_parser.add_argument("--n-series", type=int, default=4)
+    evaluate_parser.add_argument("--length-scale", type=float, default=0.3)
+    evaluate_parser.add_argument("--window-size", type=int, default=3_000)
+    evaluate_parser.add_argument("--scoring-interval", type=int, default=25)
+    evaluate_parser.add_argument("--methods", default="ClaSS,Window,DDM,HDDM")
+    evaluate_parser.add_argument("--quiet", action="store_true")
+    evaluate_parser.set_defaults(handler=cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""The eight state-of-the-art competitors of the paper's evaluation (Table 2).
+
+Every competitor implements the :class:`~repro.competitors.base.StreamSegmenter`
+interface, so ClaSS and all competitors can be driven by the same evaluation
+runner and stream-engine operators.  :func:`get_competitor` and
+:data:`COMPETITOR_REGISTRY` provide name-based construction with the
+hyper-parameters the paper's grid search selected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.competitors.adapters import (
+    OnlinePredictor,
+    PredictionErrorBinarizer,
+    StandardizedErrorStream,
+)
+from repro.competitors.adwin import ADWIN
+from repro.competitors.base import ScoreThresholdDetector, StreamSegmenter
+from repro.competitors.bocd import BOCD
+from repro.competitors.change_finder import SDAR, ChangeFinder
+from repro.competitors.costs import COST_FUNCTIONS, discrepancy, get_cost_function
+from repro.competitors.ddm import DDM
+from repro.competitors.floss import FLOSS, corrected_arc_curve
+from repro.competitors.hddm import HDDMA, HDDMW
+from repro.competitors.newma import NEWMA
+from repro.competitors.page_hinkley import PageHinkley
+from repro.competitors.window_segmenter import WindowSegmenter
+from repro.utils.exceptions import ConfigurationError
+
+#: Competitor constructors keyed by the names used throughout the paper.
+COMPETITOR_REGISTRY: dict[str, Callable[..., StreamSegmenter]] = {
+    "FLOSS": FLOSS,
+    "Window": WindowSegmenter,
+    "BOCD": BOCD,
+    "ChangeFinder": ChangeFinder,
+    "NEWMA": NEWMA,
+    "ADWIN": ADWIN,
+    "DDM": DDM,
+    "HDDM": HDDMA,
+    "HDDM-W": HDDMW,
+    "PageHinkley": PageHinkley,
+}
+
+#: The eight competitors evaluated against ClaSS in §4.3.
+PAPER_COMPETITORS = (
+    "FLOSS",
+    "Window",
+    "BOCD",
+    "ChangeFinder",
+    "NEWMA",
+    "ADWIN",
+    "DDM",
+    "HDDM",
+)
+
+
+def get_competitor(name: str, **kwargs) -> StreamSegmenter:
+    """Construct a competitor by its paper name with optional overrides."""
+    if name not in COMPETITOR_REGISTRY:
+        raise ConfigurationError(
+            f"unknown competitor {name!r}; expected one of {sorted(COMPETITOR_REGISTRY)}"
+        )
+    return COMPETITOR_REGISTRY[name](**kwargs)
+
+
+__all__ = [
+    "StreamSegmenter",
+    "ScoreThresholdDetector",
+    "FLOSS",
+    "WindowSegmenter",
+    "BOCD",
+    "ChangeFinder",
+    "SDAR",
+    "NEWMA",
+    "ADWIN",
+    "DDM",
+    "HDDMA",
+    "HDDMW",
+    "PageHinkley",
+    "OnlinePredictor",
+    "PredictionErrorBinarizer",
+    "StandardizedErrorStream",
+    "corrected_arc_curve",
+    "discrepancy",
+    "get_cost_function",
+    "COST_FUNCTIONS",
+    "COMPETITOR_REGISTRY",
+    "PAPER_COMPETITORS",
+    "get_competitor",
+]

@@ -1,0 +1,108 @@
+"""Adapters turning a real-valued stream into the binary/error streams expected
+by concept-drift detectors (paper §4.1, DDM / HDDM / ADWIN competitors).
+
+DDM, HDDM and ADWIN were designed to monitor the error rate of an online
+learner that models the *current concept*.  To apply them to raw sensor
+values, the adapters below model the current segment with its running mean
+and standard deviation (re-estimated from scratch after every confirmed
+drift) and emit either the binary indicator "the new value is surprising
+under the current segment model" (:class:`PredictionErrorBinarizer`) or the
+standardised surprise itself (:class:`StandardizedErrorStream`).  A shift in
+the signal's level, scale or shape inflates the error stream, which is
+exactly the sudden-drift signal these detectors were built for.
+
+:class:`OnlinePredictor` is a small auxiliary forecaster (mean of the recent
+history) that user code can combine with the drift detectors when an actual
+short-horizon prediction model is preferred.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.utils.running_stats import RunningStats
+
+
+class OnlinePredictor:
+    """Tiny autoregressive-style predictor: the mean of the last ``order`` values."""
+
+    def __init__(self, order: int = 10) -> None:
+        self.order = max(1, int(order))
+        self._history: collections.deque[float] = collections.deque(maxlen=self.order)
+
+    def reset(self) -> None:
+        """Clear the prediction history."""
+        self._history.clear()
+
+    def predict(self) -> float:
+        """Predict the next value (0.0 before any history exists)."""
+        if not self._history:
+            return 0.0
+        return float(np.mean(self._history))
+
+    def observe(self, value: float) -> None:
+        """Add the actual value to the history after prediction."""
+        self._history.append(float(value))
+
+
+class PredictionErrorBinarizer:
+    """Convert a raw value stream into a 0/1 "surprising under the segment model" stream.
+
+    The segment model is the running mean and standard deviation of all values
+    observed since the last :meth:`reset`.  A value is flagged (1) when it
+    deviates from the running mean by more than ``tolerance`` running standard
+    deviations; for a stationary Gaussian segment this fires at a small,
+    constant base rate, and after a level / scale change it fires persistently
+    — the error-rate increase DDM monitors.
+    """
+
+    def __init__(self, order: int = 10, tolerance: float = 2.0, min_observations: int = 10) -> None:
+        self.order = int(order)  # retained for API compatibility with the predictor variant
+        self.tolerance = float(tolerance)
+        self.min_observations = max(2, int(min_observations))
+        self._stats = RunningStats()
+
+    def reset(self) -> None:
+        """Forget the segment model (called by the detector after a drift)."""
+        self._stats = RunningStats()
+
+    def update(self, value: float) -> int:
+        """Return 1 when ``value`` is surprising under the current segment model."""
+        value = float(value)
+        if self._stats.count < self.min_observations:
+            self._stats.update(value)
+            return 0
+        deviation = abs(value - self._stats.mean)
+        flagged = int(deviation > self.tolerance * max(self._stats.std, 1e-12))
+        self._stats.update(value)
+        return flagged
+
+
+class StandardizedErrorStream:
+    """Convert a raw value stream into standardised deviations from the segment model.
+
+    Emits ``|value - running_mean| / running_std`` (0.0 during the short
+    initialisation phase).  Used by the HDDM competitors, which require a
+    bounded statistic; callers clip the output to their assumed range.
+    """
+
+    def __init__(self, order: int = 10, min_observations: int = 10) -> None:
+        self.order = int(order)
+        self.min_observations = max(2, int(min_observations))
+        self._stats = RunningStats()
+
+    def reset(self) -> None:
+        """Forget the segment model (called by the detector after a drift)."""
+        self._stats = RunningStats()
+
+    def update(self, value: float) -> float:
+        """Return the standardised deviation of ``value`` from the segment model."""
+        value = float(value)
+        if self._stats.count < self.min_observations:
+            self._stats.update(value)
+            return 0.0
+        z = abs(value - self._stats.mean) / max(self._stats.std, 1e-12)
+        self._stats.update(value)
+        return float(z)

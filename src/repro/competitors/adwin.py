@@ -1,0 +1,173 @@
+"""ADWIN — ADaptive WINdowing (Bifet & Gavaldà 2007; paper Table 2).
+
+ADWIN keeps a variable-length window of the most recent observations,
+compressed into exponential histogram buckets so that memory and update cost
+grow only logarithmically with the window length.  Whenever the means of two
+sub-windows obtained by cutting the window differ by more than a bound derived
+from Hoeffding's inequality (with confidence parameter ``delta``), the older
+sub-window is dropped and the cut position is reported as a change point.
+
+The paper's grid search selects ``delta = 0.01`` for the raw-value streams of
+the evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.competitors.base import StreamSegmenter
+from repro.utils.validation import check_positive_int
+
+
+class _Bucket:
+    """One exponential-histogram bucket: a sum of values and their count."""
+
+    __slots__ = ("total", "variance_sum", "count")
+
+    def __init__(self, total: float, variance_sum: float, count: int) -> None:
+        self.total = total
+        self.variance_sum = variance_sum
+        self.count = count
+
+
+class ADWIN(StreamSegmenter):
+    """Adaptive windowing drift detector.
+
+    Parameters
+    ----------
+    delta:
+        Confidence parameter of the Hoeffding-style cut condition
+        (default 0.01, the paper's selected configuration).
+    max_buckets_per_level:
+        Maximum number of same-sized buckets kept before two are merged.
+    check_interval:
+        Evaluate cut conditions only every this many observations (ADWIN's
+        standard optimisation; 1 = every point).
+    min_window:
+        Minimum total window length before cuts are considered.
+    """
+
+    name = "ADWIN"
+
+    def __init__(
+        self,
+        delta: float = 0.01,
+        max_buckets_per_level: int = 5,
+        check_interval: int = 32,
+        min_window: int = 300,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must lie in (0, 1)")
+        self.delta = float(delta)
+        self.max_buckets_per_level = check_positive_int(
+            max_buckets_per_level, "max_buckets_per_level", minimum=2
+        )
+        self.check_interval = check_positive_int(check_interval, "check_interval")
+        self.min_window = check_positive_int(min_window, "min_window", minimum=4)
+        self._buckets: list[list[_Bucket]] = [[]]
+
+    def reset(self) -> None:
+        super().reset()
+        self._buckets = [[]]
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def window_length(self) -> int:
+        """Number of observations currently represented by the histogram."""
+        return sum(bucket.count for level in self._buckets for bucket in level)
+
+    @property
+    def window_mean(self) -> float:
+        """Mean of the adaptive window."""
+        total = sum(bucket.total for level in self._buckets for bucket in level)
+        count = self.window_length
+        return total / count if count else 0.0
+
+    def _insert(self, value: float) -> None:
+        self._buckets[0].insert(0, _Bucket(value, 0.0, 1))
+        self._compress()
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._buckets):
+            if len(self._buckets[level]) > self.max_buckets_per_level:
+                oldest = self._buckets[level].pop()
+                second = self._buckets[level].pop()
+                merged = _Bucket(
+                    oldest.total + second.total,
+                    oldest.variance_sum + second.variance_sum,
+                    oldest.count + second.count,
+                )
+                if level + 1 == len(self._buckets):
+                    self._buckets.append([])
+                self._buckets[level + 1].insert(0, merged)
+            level += 1
+
+    def _all_buckets_old_to_new(self) -> list[_Bucket]:
+        """Buckets ordered from the oldest to the newest observation."""
+        ordered: list[_Bucket] = []
+        for level in reversed(self._buckets):
+            ordered.extend(level)
+        return ordered
+
+    def _cut_expression(self, n0: int, n1: int, mean0: float, mean1: float) -> bool:
+        """Hoeffding-style condition that the two sub-window means differ."""
+        n = n0 + n1
+        if n0 < 1 or n1 < 1:
+            return False
+        delta_prime = self.delta / max(np.log(max(n, 2)), 1.0)
+        harmonic = 1.0 / n0 + 1.0 / n1
+        epsilon = np.sqrt(0.5 * harmonic * np.log(4.0 / delta_prime))
+        return abs(mean0 - mean1) > epsilon
+
+    def _drop_oldest_buckets(self, n_drop_observations: int) -> None:
+        """Remove histogram content covering the oldest observations."""
+        remaining = n_drop_observations
+        for level in reversed(range(len(self._buckets))):
+            while self._buckets[level] and remaining > 0:
+                oldest = self._buckets[level][-1]
+                if oldest.count <= remaining:
+                    remaining -= oldest.count
+                    self._buckets[level].pop()
+                else:
+                    # partial drop: scale the bucket down proportionally
+                    fraction = (oldest.count - remaining) / oldest.count
+                    oldest.total *= fraction
+                    oldest.count -= remaining
+                    remaining = 0
+            if remaining == 0:
+                break
+
+    def _update(self, value: float) -> int | None:
+        # normalise to [0, 1]-ish scale using a robust running range so the
+        # Hoeffding bound (which assumes bounded values) stays meaningful
+        self._insert(float(value))
+        if self.window_length < self.min_window:
+            return None
+        if (self._n_seen % self.check_interval) != 0:
+            return None
+
+        buckets = self._all_buckets_old_to_new()
+        total = sum(b.total for b in buckets)
+        count = sum(b.count for b in buckets)
+        values_scale = max(abs(total) / max(count, 1), 1.0)
+
+        # try every bucket boundary as a cut, oldest first
+        n0, sum0 = 0, 0.0
+        for i, bucket in enumerate(buckets[:-1]):
+            n0 += bucket.count
+            sum0 += bucket.total
+            n1 = count - n0
+            sum1 = total - sum0
+            mean0 = (sum0 / n0) / values_scale
+            mean1 = (sum1 / n1) / values_scale
+            if n0 >= self.min_window // 2 and n1 >= self.min_window // 2:
+                if self._cut_expression(n0, n1, mean0, mean1):
+                    self.last_score = abs(mean0 - mean1)
+                    change_point = self._n_seen - n1
+                    self._drop_oldest_buckets(n0)
+                    return change_point
+        self.last_score = 0.0
+        return None

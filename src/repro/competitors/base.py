@@ -1,0 +1,133 @@
+"""Common interface of all streaming segmentation / change detection methods.
+
+Every competitor of the paper's evaluation (Table 2) is wrapped behind the
+same minimal streaming contract so the evaluation runner, the stream engine
+and user code can treat them interchangeably with ClaSS:
+
+* :meth:`StreamSegmenter.update` ingests one observation and returns the
+  absolute time point of a change point if one is reported at this step,
+* :meth:`StreamSegmenter.process` streams a finite array point by point,
+* :attr:`StreamSegmenter.change_points` collects everything reported so far.
+
+Methods that natively produce a continuous score per time point (FLOSS,
+Window, BOCD, ChangeFinder, NEWMA) expose it through ``last_score`` so the
+threshold-based change point extraction of §4.1 (score threshold plus an
+exclusion zone around recent detections) can be shared via
+:class:`ScoreThresholdDetector`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+class StreamSegmenter(abc.ABC):
+    """Abstract base class for streaming time series segmentation methods."""
+
+    #: Human-readable name used by the evaluation reports.
+    name: str = "segmenter"
+
+    def __init__(self) -> None:
+        self._n_seen = 0
+        self._change_points: list[int] = []
+        self._detection_times: list[int] = []
+        self.last_score: float = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_seen(self) -> int:
+        """Number of observations processed so far."""
+        return self._n_seen
+
+    @property
+    def change_points(self) -> np.ndarray:
+        """Absolute time points of all reported change points."""
+        return np.asarray(self._change_points, dtype=np.int64)
+
+    @property
+    def detection_times(self) -> np.ndarray:
+        """Time points at which each change point was reported (detection latency)."""
+        return np.asarray(self._detection_times, dtype=np.int64)
+
+    @property
+    def segments(self) -> list[tuple[int, int]]:
+        """Completed segments as (start, end) pairs in absolute time points."""
+        points = [0, *self._change_points]
+        return [(points[i], points[i + 1]) for i in range(len(points) - 1)]
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, value: float) -> int | None:
+        """Ingest one observation; return a change point time if one is reported."""
+        self._n_seen += 1
+        change_point = self._update(float(value))
+        if change_point is not None:
+            change_point = int(change_point)
+            if change_point >= self._n_seen:
+                change_point = self._n_seen - 1
+            if self._change_points and change_point <= self._change_points[-1]:
+                return None
+            self._change_points.append(change_point)
+            self._detection_times.append(self._n_seen)
+        return change_point
+
+    def process(self, values: np.ndarray) -> np.ndarray:
+        """Stream a finite batch of values one at a time; return detected CPs."""
+        for value in np.asarray(values, dtype=np.float64):
+            self.update(float(value))
+        return self.change_points
+
+    def reset(self) -> None:
+        """Forget all state (default implementation re-initialises bookkeeping)."""
+        self._n_seen = 0
+        self._change_points = []
+        self._detection_times = []
+        self.last_score = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _update(self, value: float) -> int | None:
+        """Method-specific single-point update; return a CP time or None."""
+
+
+class ScoreThresholdDetector:
+    """Shared threshold + exclusion-zone change point extraction (§4.1).
+
+    Several competitors only emit homogeneity scores for sliding-window
+    splits.  Following the paper, a change point is reported whenever the
+    score crosses a learned threshold, and further reports are suppressed for
+    ``exclusion_zone`` observations to avoid series of closely located splits.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        exclusion_zone: int,
+        higher_is_change: bool = True,
+    ) -> None:
+        if exclusion_zone < 0:
+            raise ConfigurationError("exclusion_zone must be non-negative")
+        self.threshold = float(threshold)
+        self.exclusion_zone = int(exclusion_zone)
+        self.higher_is_change = bool(higher_is_change)
+        self._last_report: int | None = None
+
+    def reset(self) -> None:
+        """Forget the position of the last report."""
+        self._last_report = None
+
+    def check(self, score: float, time_point: int) -> bool:
+        """Return True when a change point should be reported at ``time_point``."""
+        triggered = score >= self.threshold if self.higher_is_change else score <= self.threshold
+        if not triggered:
+            return False
+        if self._last_report is not None and time_point - self._last_report < self.exclusion_zone:
+            return False
+        self._last_report = int(time_point)
+        return True

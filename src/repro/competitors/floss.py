@@ -1,0 +1,147 @@
+"""FLOSS — Fast Low-cost Online Semantic Segmentation (Gharghabi et al.;
+paper Table 2, the strongest data-mining competitor).
+
+FLOSS maintains a streaming matrix profile over a sliding window: every
+subsequence is connected to its (1-)nearest neighbour by an arc.  Positions
+crossed by few arcs separate regions whose subsequences prefer neighbours on
+their own side, which is the signature of a semantic change.  The corrected
+arc curve (CAC) normalises the raw crossing counts by the count expected for
+an unstructured series (a parabola), and a change point is reported wherever
+the CAC drops below a threshold (the paper's grid search selects 0.45), with
+an exclusion zone suppressing bursts of nearby reports.
+
+This implementation reuses the library's exact streaming k-NN (with k = 1) as
+its matrix-profile substrate, so its per-point cost is O(d) for the profile
+plus O(d) for the arc-curve recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.competitors.base import StreamSegmenter
+from repro.core.streaming_knn import PADDING_INDEX, StreamingKNN
+from repro.utils.validation import check_positive_int
+
+
+def corrected_arc_curve(nearest_neighbours: np.ndarray, exclusion: int = 0) -> np.ndarray:
+    """Corrected arc curve of a 1-NN profile.
+
+    Parameters
+    ----------
+    nearest_neighbours:
+        Array of length ``m`` with the nearest-neighbour offset of every
+        subsequence.  Negative offsets (evicted or padded neighbours) are
+        ignored.
+    exclusion:
+        Number of positions at both ends whose CAC is fixed to 1.0 (the
+        borders carry no information, following the FLUSS/FLOSS papers).
+
+    Returns
+    -------
+    numpy.ndarray
+        CAC values in ``[0, 1]``; low values indicate likely change points.
+    """
+    nn = np.asarray(nearest_neighbours, dtype=np.int64)
+    m = nn.shape[0]
+    if m < 3:
+        return np.ones(m, dtype=np.float64)
+
+    crossings_delta = np.zeros(m + 1, dtype=np.float64)
+    sources = np.arange(m)
+    valid = nn >= 0
+    starts = np.minimum(sources[valid], nn[valid])
+    ends = np.maximum(sources[valid], nn[valid])
+    # an arc (a, b) crosses positions a < i < b
+    np.add.at(crossings_delta, starts + 1, 1.0)
+    np.add.at(crossings_delta, ends, -1.0)
+    crossings = np.cumsum(crossings_delta[:m])
+
+    positions = np.arange(m, dtype=np.float64)
+    idealised = 2.0 * positions * (m - positions) / m
+    idealised = np.maximum(idealised, 1e-12)
+    cac = np.minimum(crossings / idealised, 1.0)
+
+    border = max(int(exclusion), 1)
+    cac[:border] = 1.0
+    cac[-border:] = 1.0
+    return cac
+
+
+class FLOSS(StreamSegmenter):
+    """Streaming semantic segmentation via the corrected arc curve.
+
+    Parameters
+    ----------
+    window_size:
+        Sliding window size ``d`` (the paper uses 10k, same as ClaSS).
+    subsequence_width:
+        Subsequence width of the matrix profile (the paper takes it from the
+        dataset annotations).
+    threshold:
+        CAC threshold below which a change point is reported (default 0.45).
+    exclusion_zone:
+        Observations to wait after a report before reporting again; defaults
+        to five subsequence widths.
+    stride:
+        Recompute the arc curve only every ``stride`` observations.
+    """
+
+    name = "FLOSS"
+
+    def __init__(
+        self,
+        window_size: int = 10_000,
+        subsequence_width: int = 100,
+        threshold: float = 0.45,
+        exclusion_zone: int | None = None,
+        stride: int = 1,
+    ) -> None:
+        super().__init__()
+        self.window_size = check_positive_int(window_size, "window_size", minimum=20)
+        self.subsequence_width = check_positive_int(subsequence_width, "subsequence_width", minimum=3)
+        self.threshold = float(threshold)
+        self.stride = check_positive_int(stride, "stride")
+        self.exclusion_zone = (
+            int(exclusion_zone) if exclusion_zone is not None else 5 * self.subsequence_width
+        )
+        self._knn = StreamingKNN(
+            window_size=self.window_size,
+            subsequence_width=self.subsequence_width,
+            k_neighbours=1,
+        )
+        self._last_report: int | None = None
+        self.last_curve: np.ndarray | None = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._knn.reset()
+        self._last_report = None
+        self.last_curve = None
+
+    # ------------------------------------------------------------------ #
+
+    def _update(self, value: float) -> int | None:
+        self._knn.update(value)
+        if self._knn.n_subsequences < 4 * self.subsequence_width:
+            return None
+        if self.stride > 1 and (self._n_seen % self.stride) != 0:
+            return None
+
+        nearest = self._knn.knn_indices[:, 0].copy()
+        nearest[nearest == PADDING_INDEX] = -1
+        cac = corrected_arc_curve(nearest, exclusion=self.subsequence_width)
+        self.last_curve = cac
+        best = int(np.argmin(cac))
+        self.last_score = float(cac[best])
+
+        if self.last_score > self.threshold:
+            return None
+        window_start = self._n_seen - self._knn.n_buffered
+        change_point = window_start + best
+        if self._last_report is not None and change_point - self._last_report < self.exclusion_zone:
+            return None
+        if self._last_report is not None and self._n_seen - self._last_report < self.exclusion_zone:
+            return None
+        self._last_report = change_point
+        return change_point

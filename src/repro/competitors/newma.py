@@ -1,0 +1,115 @@
+"""NEWMA — No-prior-knowledge Exponentially Weighted Moving Average
+(Keriven, Garreau & Poli 2018; paper Table 2).
+
+NEWMA maps each incoming observation (or a short sliding embedding of recent
+observations) through a fixed random feature expansion and maintains two
+exponentially weighted moving averages of the features with different
+forgetting factors.  Under a stationary regime both averages converge to the
+same value; after a change, the "fast" average reacts sooner than the "slow"
+one and the norm of their difference spikes.  A change point is reported when
+that norm exceeds an adaptive quantile threshold of its own recent history
+(the paper's grid search selects the 1.0 quantile, i.e. the running maximum).
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.competitors.base import StreamSegmenter
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class NEWMA(StreamSegmenter):
+    """Model-free online change point detection with two EWMA statistics.
+
+    Parameters
+    ----------
+    fast_forgetting, slow_forgetting:
+        Forgetting factors of the fast and slow EWMA (fast > slow).
+    embedding_size:
+        Number of recent observations mapped through the random features.
+    n_features:
+        Dimensionality of the random Fourier feature map.
+    quantile:
+        Adaptive threshold quantile over the recent detection statistic
+        (default 1.0, the paper's selected configuration).
+    threshold_window:
+        Number of recent statistics the quantile is computed over.
+    exclusion_zone:
+        Observations to wait after a report before reporting again.
+    random_state:
+        Seed for the random feature map.
+    """
+
+    name = "NEWMA"
+
+    def __init__(
+        self,
+        fast_forgetting: float = 0.05,
+        slow_forgetting: float = 0.01,
+        embedding_size: int = 20,
+        n_features: int = 50,
+        quantile: float = 1.0,
+        threshold_window: int = 500,
+        exclusion_zone: int = 200,
+        random_state: int | None = 42,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < slow_forgetting < fast_forgetting <= 1.0:
+            raise ValueError("require 0 < slow_forgetting < fast_forgetting <= 1")
+        self.fast_forgetting = float(fast_forgetting)
+        self.slow_forgetting = float(slow_forgetting)
+        self.embedding_size = check_positive_int(embedding_size, "embedding_size")
+        self.n_features = check_positive_int(n_features, "n_features")
+        self.quantile = check_probability(quantile, "quantile")
+        self.threshold_window = check_positive_int(threshold_window, "threshold_window")
+        self.exclusion_zone = int(exclusion_zone)
+        rng = np.random.default_rng(random_state)
+        self._weights = rng.normal(scale=1.0, size=(self.n_features, self.embedding_size))
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, size=self.n_features)
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self._embedding: collections.deque[float] = collections.deque(maxlen=self.embedding_size)
+        self._fast = np.zeros(self.n_features)
+        self._slow = np.zeros(self.n_features)
+        self._statistics: collections.deque[float] = collections.deque(maxlen=self.threshold_window)
+        self._last_report: int | None = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._init_state()
+
+    # ------------------------------------------------------------------ #
+
+    def _features(self) -> np.ndarray:
+        """Random Fourier features of the current embedding window."""
+        embedding = np.asarray(self._embedding, dtype=np.float64)
+        scale = max(float(np.std(embedding)), 1e-6)
+        projected = self._weights @ (embedding / scale) + self._phases
+        return np.cos(projected)
+
+    def _update(self, value: float) -> int | None:
+        self._embedding.append(value)
+        if len(self._embedding) < self.embedding_size:
+            return None
+        features = self._features()
+        self._fast = (1.0 - self.fast_forgetting) * self._fast + self.fast_forgetting * features
+        self._slow = (1.0 - self.slow_forgetting) * self._slow + self.slow_forgetting * features
+        statistic = float(np.linalg.norm(self._fast - self._slow))
+        self.last_score = statistic
+
+        if len(self._statistics) >= self.threshold_window // 2:
+            threshold = float(np.quantile(self._statistics, self.quantile))
+            in_exclusion = (
+                self._last_report is not None
+                and self._n_seen - self._last_report < self.exclusion_zone
+            )
+            if statistic > threshold and not in_exclusion:
+                self._last_report = self._n_seen
+                self._statistics.append(statistic)
+                return self._n_seen - self.embedding_size // 2
+        self._statistics.append(statistic)
+        return None

@@ -1,0 +1,376 @@
+"""ClaSS — Classification Score Stream (paper §3, Algorithm 1).
+
+ClaSS segments an unbounded univariate time series stream.  It maintains a
+sliding window of the last ``d`` observations, keeps an exact streaming k-NN
+over the window's subsequences (Algorithm 2), scores every hypothetical split
+of the not-yet-segmented suffix with a self-supervised cross-validation
+(Algorithm 3), and reports a change point as soon as the best split passes a
+conservative rank-sum significance test (§3.3).  Only the region since the
+last reported change point is scored, which keeps the model small and the
+per-point cost linear in the window size.
+
+Typical use::
+
+    from repro import ClaSS
+
+    segmenter = ClaSS(window_size=4_000)
+    for value in sensor_stream:
+        change_point = segmenter.update(value)
+        if change_point is not None:
+            print("state change at", change_point)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS, predictions_for_split
+from repro.core.profile import ClaSPProfile
+from repro.core.significance import (
+    DEFAULT_SAMPLE_SIZE,
+    DEFAULT_SIGNIFICANCE_LEVEL,
+    ChangePointSignificanceTest,
+)
+from repro.core.streaming_knn import StreamingKNN
+from repro.core.window_size import learn_subsequence_width
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+#: Default sliding window size found robust across domains in the paper (§3.5).
+DEFAULT_WINDOW_SIZE = 10_000
+
+
+@dataclass
+class ChangePointReport:
+    """One reported change point together with its detection context."""
+
+    change_point: int
+    detected_at: int
+    score: float
+    p_value: float
+
+    @property
+    def detection_delay(self) -> int:
+        """Observations that elapsed between the change point and its report."""
+        return int(self.detected_at - self.change_point)
+
+
+@dataclass
+class SegmentationState:
+    """Mutable bookkeeping shared across stream updates (internal)."""
+
+    last_change_point_offset: int = 0
+    reports: list[ChangePointReport] = field(default_factory=list)
+
+
+class ClaSS:
+    """Streaming time series segmentation via self-supervised classification.
+
+    Parameters
+    ----------
+    window_size:
+        Sliding window size ``d`` (default 10 000, the paper's robust choice).
+    subsequence_width:
+        Subsequence width ``w``.  When None it is learned from the first
+        ``window_size`` observations with ``wss_method`` (the paper uses SuSS).
+    k_neighbours:
+        Neighbours of the streaming k-NN classifier (default 3).
+    score:
+        Classification score: ``"macro_f1"`` (default) or ``"accuracy"``.
+    similarity:
+        Similarity measure of the k-NN: ``"pearson"`` (default),
+        ``"euclidean"`` or ``"cid"``.
+    significance_level:
+        Maximum rank-sum p-value for a change point to be reported
+        (default 1e-50, the ablation-study choice).
+    sample_size:
+        Labels resampled before the significance test (default 1 000;
+        ``None`` uses the variable full-label configuration).
+    wss_method:
+        Window-size-selection algorithm for learning ``w``.
+    scoring_interval:
+        Score the window every this many observations.  1 reproduces the
+        paper exactly; larger values trade detection latency (bounded by the
+        interval) for throughput, which matters for the pure-Python build.
+    excl_factor:
+        Number of subsequences excluded at both region borders when
+        enumerating splits (in multiples of ``w``; default 5).  The paper's
+        Algorithm 3 uses 1; a larger border stabilises the earliest
+        detections when the scored region is still short.
+    score_threshold:
+        Minimum ClaSP score the best split must reach before the significance
+        test is even applied (§2.1: "provided the score surpasses a
+        predefined threshold").  Default 0.75.
+    relearn_width:
+        If True the subsequence width is re-learned from the evolving segment
+        after every reported change point (the optional concept-drift mode of
+        §3.4).
+    cross_val_implementation:
+        ``"vectorised"`` (default), ``"incremental"`` (the paper's sequential
+        Algorithm 3) or ``"naive"`` (O(d^2), for ablations).
+    knn_mode:
+        Dot-product strategy of the streaming k-NN: ``"streaming"``,
+        ``"recompute"`` or ``"fft"`` (ablation modes of §4.4).
+    random_state:
+        Seed of the significance-test resampler.
+    """
+
+    def __init__(
+        self,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        subsequence_width: int | None = None,
+        k_neighbours: int = 3,
+        score: str = "macro_f1",
+        similarity: str = "pearson",
+        significance_level: float = DEFAULT_SIGNIFICANCE_LEVEL,
+        sample_size: int | None = DEFAULT_SAMPLE_SIZE,
+        wss_method: str = "suss",
+        scoring_interval: int = 1,
+        excl_factor: int = 5,
+        score_threshold: float = 0.75,
+        relearn_width: bool = False,
+        cross_val_implementation: str = "vectorised",
+        knn_mode: str = "streaming",
+        random_state: int | None = 2357,
+    ) -> None:
+        self.window_size = check_positive_int(window_size, "window_size", minimum=20)
+        if subsequence_width is not None:
+            subsequence_width = check_positive_int(subsequence_width, "subsequence_width", minimum=3)
+            if subsequence_width > self.window_size // 4:
+                raise ConfigurationError(
+                    "subsequence_width must be at most a quarter of the window size"
+                )
+        self.subsequence_width = subsequence_width
+        self.k_neighbours = check_positive_int(k_neighbours, "k_neighbours")
+        self.score = score
+        self.similarity = similarity
+        self.wss_method = wss_method
+        self.scoring_interval = check_positive_int(scoring_interval, "scoring_interval")
+        self.excl_factor = check_positive_int(excl_factor, "excl_factor")
+        self.score_threshold = float(score_threshold)
+        if not 0.0 <= self.score_threshold <= 1.0:
+            raise ConfigurationError("score_threshold must lie in [0, 1]")
+        self.relearn_width = bool(relearn_width)
+        if cross_val_implementation not in CROSS_VAL_IMPLEMENTATIONS:
+            raise ConfigurationError(
+                f"unknown cross_val_implementation {cross_val_implementation!r}"
+            )
+        self.cross_val_implementation = cross_val_implementation
+        self.knn_mode = knn_mode
+        self.significance = ChangePointSignificanceTest(
+            significance_level=significance_level,
+            sample_size=sample_size,
+            random_state=random_state,
+        )
+
+        self._prefix: list[float] = []
+        self._knn: StreamingKNN | None = None
+        self._width: int | None = subsequence_width
+        self._n_seen = 0
+        self._state = SegmentationState()
+        self._last_profile: ClaSPProfile | None = None
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_seen(self) -> int:
+        """Total number of stream observations processed."""
+        return self._n_seen
+
+    @property
+    def subsequence_width_(self) -> int | None:
+        """The learned (or configured) subsequence width, None before warm-up."""
+        return self._width
+
+    @property
+    def change_points(self) -> np.ndarray:
+        """Absolute time points of every reported change point so far."""
+        return np.asarray([r.change_point for r in self._state.reports], dtype=np.int64)
+
+    @property
+    def reports(self) -> list[ChangePointReport]:
+        """Detailed reports (change point, detection time, score, p-value)."""
+        return list(self._state.reports)
+
+    @property
+    def last_profile(self) -> ClaSPProfile | None:
+        """The most recently computed ClaSP (None before the first scoring)."""
+        return self._last_profile
+
+    @property
+    def segments(self) -> list[tuple[int, int]]:
+        """Completed segments as (start, end) pairs in absolute time points."""
+        points = [0, *self.change_points.tolist()]
+        return [(points[i], points[i + 1]) for i in range(len(points) - 1)]
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def update(self, value: float) -> int | None:
+        """Ingest one observation; return the absolute change point if one is found."""
+        value = float(value)
+        self._n_seen += 1
+
+        if self._knn is None:
+            self._prefix.append(value)
+            if self._width is None and len(self._prefix) < self.window_size:
+                return None
+            self._initialise_from_prefix()
+            return self._maybe_score()
+
+        self._ingest(value)
+        return self._maybe_score()
+
+    def process(self, values: np.ndarray) -> np.ndarray:
+        """Stream a finite batch of values one at a time; return detected CPs."""
+        detected: list[int] = []
+        for value in np.asarray(values, dtype=np.float64):
+            change_point = self.update(float(value))
+            if change_point is not None:
+                detected.append(change_point)
+        return np.asarray(detected, dtype=np.int64)
+
+    def finalise(self) -> np.ndarray:
+        """Flush a stream that ended before the warm-up completed.
+
+        When the stream is shorter than ``window_size`` and no explicit
+        subsequence width was given, the width is learned from whatever was
+        buffered and the buffered prefix is scored once.  Returns all change
+        points detected so far.
+        """
+        if self._knn is None and self._prefix:
+            try:
+                self._initialise_from_prefix()
+                self._maybe_score(force=True)
+            except (ConfigurationError, ValueError):
+                pass
+        return self.change_points
+
+    def score_now(self) -> ClaSPProfile | None:
+        """Force a scoring pass outside the regular interval (for inspection)."""
+        if self._knn is None:
+            return None
+        self._maybe_score(force=True)
+        return self._last_profile
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _initialise_from_prefix(self) -> None:
+        """Learn the width (if needed), build the k-NN and replay the prefix."""
+        prefix = np.asarray(self._prefix, dtype=np.float64)
+        if self._width is None:
+            max_width = max(3, min(len(prefix), self.window_size) // 4)
+            self._width = learn_subsequence_width(
+                prefix, method=self.wss_method, max_width=max_width
+            )
+        width = int(self._width)
+        if self.window_size < 2 * width:
+            raise ConfigurationError(
+                f"window_size={self.window_size} too small for subsequence width {width}"
+            )
+        self._knn = StreamingKNN(
+            window_size=self.window_size,
+            subsequence_width=width,
+            k_neighbours=self.k_neighbours,
+            similarity=self.similarity,
+            mode=self.knn_mode,
+        )
+        for value in prefix:
+            self._ingest(float(value))
+        self._prefix = []
+
+    def _ingest(self, value: float) -> None:
+        """Feed one value to the k-NN and keep the last-CP offset aligned."""
+        assert self._knn is not None
+        was_full = self._knn.n_buffered == self._knn.window_size
+        self._knn.update(value)
+        if was_full:
+            # the window slid: the unsegmented region moved one position left
+            self._state.last_change_point_offset = max(
+                0, self._state.last_change_point_offset - 1
+            )
+
+    def _maybe_score(self, force: bool = False) -> int | None:
+        """Score the unsegmented region and report a significant change point."""
+        if self._knn is None or self._width is None:
+            return None
+        if not force and (self._n_seen % self.scoring_interval) != 0:
+            return None
+
+        width = int(self._width)
+        n_subsequences = self._knn.n_subsequences
+        region_start = self._state.last_change_point_offset
+        region_length = n_subsequences - region_start
+        exclusion = self.excl_factor * width
+        if region_length < 2 * exclusion + 2:
+            return None
+
+        region_knn = self._knn.knn_indices[region_start:] - region_start
+        cross_val = CROSS_VAL_IMPLEMENTATIONS[self.cross_val_implementation]
+        result = cross_val(region_knn, exclusion=exclusion, score=self.score)
+        window_start_time = self._n_seen - self._knn.n_buffered
+        profile = ClaSPProfile(
+            scores=result.scores,
+            splits=result.splits,
+            region_start=region_start,
+            window_start_time=window_start_time,
+            subsequence_width=width,
+        )
+        self._last_profile = profile
+        if profile.is_empty:
+            return None
+
+        split, score_value = profile.global_maximum()
+        if score_value < self.score_threshold:
+            return None
+        y_pred = predictions_for_split(region_knn, split)
+        outcome = self.significance.test(y_pred, split)
+        if not outcome.significant:
+            return None
+
+        change_point = profile.to_absolute(split)
+        if self._state.reports and change_point <= self._state.reports[-1].change_point:
+            return None
+        report = ChangePointReport(
+            change_point=change_point,
+            detected_at=self._n_seen,
+            score=score_value,
+            p_value=outcome.p_value,
+        )
+        self._state.reports.append(report)
+        self._state.last_change_point_offset = region_start + split
+        if self.relearn_width:
+            self._relearn_width()
+        return change_point
+
+    def _relearn_width(self) -> None:
+        """Re-learn ``w`` from the evolving segment and rebuild the k-NN (§3.4)."""
+        assert self._knn is not None
+        window = self._knn.window.copy()
+        region = window[self._state.last_change_point_offset :]
+        if region.shape[0] < 4 * max(self._width or 10, 10):
+            return
+        try:
+            new_width = learn_subsequence_width(
+                region, method=self.wss_method, max_width=self.window_size // 4
+            )
+        except (ConfigurationError, ValueError):
+            return
+        if new_width == self._width:
+            return
+        self._width = int(new_width)
+        self._knn = StreamingKNN(
+            window_size=self.window_size,
+            subsequence_width=self._width,
+            k_neighbours=self.k_neighbours,
+            similarity=self.similarity,
+            mode=self.knn_mode,
+        )
+        self._knn.extend(window)

@@ -1,0 +1,214 @@
+"""Multivariate streaming segmentation — the paper's future-work extension (§6).
+
+The paper's ClaSS is univariate; its conclusion names the multivariate
+setting ("exploring sensor fusion and dimension selection") as future work.
+This module provides a pragmatic ensemble realisation of that idea:
+
+* one independent :class:`~repro.core.class_segmenter.ClaSS` instance per
+  channel consumes the multivariate stream,
+* channel-level change point reports are fused online: reports from different
+  channels that fall within a tolerance window are treated as evidence for
+  the same underlying state change, and a fused change point is emitted once
+  at least ``min_votes`` channels agree (sensor fusion), with the location
+  taken as the median of the agreeing reports,
+* channels can be weighted or disabled entirely (dimension selection) via the
+  ``channel_weights`` argument.
+
+The ensemble preserves the streaming contract of the univariate algorithm —
+one multivariate observation in, at most one fused change point out — and its
+per-point cost is the sum of the per-channel costs, i.e. still linear in the
+sliding window size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.class_segmenter import ClaSS
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass
+class ChannelReport:
+    """A change point reported by one channel, kept until fusion resolves it."""
+
+    channel: int
+    change_point: int
+    detected_at: int
+    weight: float = 1.0
+
+
+@dataclass
+class FusedChangePoint:
+    """A change point confirmed by the cross-channel fusion."""
+
+    change_point: int
+    detected_at: int
+    supporting_channels: list[int] = field(default_factory=list)
+    channel_change_points: list[int] = field(default_factory=list)
+
+    @property
+    def n_votes(self) -> int:
+        """Number of channels that voted for this change point."""
+        return len(self.supporting_channels)
+
+
+class MultivariateClaSS:
+    """Ensemble of per-channel ClaSS segmenters with online change point fusion.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of channels of the multivariate stream.
+    min_votes:
+        Minimum number of (weighted) channel votes required to confirm a fused
+        change point.  1 behaves like a union of the channel segmentations,
+        ``n_channels`` like an intersection.
+    fusion_tolerance:
+        Maximum distance (in observations) between channel-level reports that
+        are considered evidence for the same state change.
+    channel_weights:
+        Optional per-channel vote weights; 0 disables a channel entirely
+        (dimension selection).  Defaults to equal weights.
+    class_kwargs:
+        Keyword arguments forwarded to every per-channel ClaSS instance
+        (window size, subsequence width, scoring interval, ...).
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        min_votes: int | float = 2,
+        fusion_tolerance: int = 500,
+        channel_weights: list[float] | None = None,
+        **class_kwargs,
+    ) -> None:
+        if n_channels < 1:
+            raise ConfigurationError("n_channels must be at least 1")
+        if fusion_tolerance < 0:
+            raise ConfigurationError("fusion_tolerance must be non-negative")
+        self.n_channels = int(n_channels)
+        self.fusion_tolerance = int(fusion_tolerance)
+        if channel_weights is None:
+            channel_weights = [1.0] * self.n_channels
+        if len(channel_weights) != self.n_channels:
+            raise ConfigurationError("channel_weights must have one entry per channel")
+        if any(w < 0 for w in channel_weights):
+            raise ConfigurationError("channel_weights must be non-negative")
+        self.channel_weights = [float(w) for w in channel_weights]
+        active_weight = sum(w for w in self.channel_weights if w > 0)
+        self.min_votes = float(min_votes)
+        if not 0 < self.min_votes <= max(active_weight, 1e-12):
+            raise ConfigurationError(
+                f"min_votes={min_votes} cannot be satisfied by the active channel weights"
+            )
+        self.segmenters = [ClaSS(**class_kwargs) for _ in range(self.n_channels)]
+        self._n_seen = 0
+        self._pending: list[ChannelReport] = []
+        self._fused: list[FusedChangePoint] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_seen(self) -> int:
+        """Number of multivariate observations processed."""
+        return self._n_seen
+
+    @property
+    def change_points(self) -> np.ndarray:
+        """Fused change point locations reported so far."""
+        return np.asarray([f.change_point for f in self._fused], dtype=np.int64)
+
+    @property
+    def fused_reports(self) -> list[FusedChangePoint]:
+        """Detailed fused reports including the supporting channels."""
+        return list(self._fused)
+
+    @property
+    def channel_change_points(self) -> list[np.ndarray]:
+        """Raw (unfused) change points of every channel."""
+        return [segmenter.change_points for segmenter in self.segmenters]
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, values) -> int | None:
+        """Ingest one multivariate observation; return a fused change point if confirmed."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.shape[0] != self.n_channels:
+            raise ConfigurationError(
+                f"expected {self.n_channels} channel values, got {values.shape[0]}"
+            )
+        self._n_seen += 1
+
+        for channel, (segmenter, weight) in enumerate(zip(self.segmenters, self.channel_weights)):
+            if weight <= 0:
+                continue
+            change_point = segmenter.update(float(values[channel]))
+            if change_point is not None:
+                self._pending.append(
+                    ChannelReport(
+                        channel=channel,
+                        change_point=int(change_point),
+                        detected_at=self._n_seen,
+                        weight=weight,
+                    )
+                )
+        return self._fuse()
+
+    def process(self, values: np.ndarray) -> np.ndarray:
+        """Stream a (n_timepoints, n_channels) array; return fused change points."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != self.n_channels:
+            raise ConfigurationError(
+                f"expected an array of shape (n, {self.n_channels}), got {values.shape}"
+            )
+        for row in values:
+            self.update(row)
+        return self.change_points
+
+    # ------------------------------------------------------------------ #
+
+    def _fuse(self) -> int | None:
+        """Resolve pending channel reports into at most one fused change point."""
+        if not self._pending:
+            return None
+
+        # drop pending reports that can no longer be matched (too old) and
+        # that never reached the vote threshold
+        horizon = self._n_seen - 4 * self.fusion_tolerance
+        self._pending = [r for r in self._pending if r.change_point >= horizon or True]
+
+        # group pending reports around the newest one
+        newest = self._pending[-1]
+        group = [
+            report
+            for report in self._pending
+            if abs(report.change_point - newest.change_point) <= self.fusion_tolerance
+        ]
+        votes_by_channel: dict[int, ChannelReport] = {}
+        for report in group:
+            existing = votes_by_channel.get(report.channel)
+            if existing is None or report.detected_at > existing.detected_at:
+                votes_by_channel[report.channel] = report
+        total_weight = sum(report.weight for report in votes_by_channel.values())
+        if total_weight < self.min_votes:
+            return None
+
+        locations = sorted(report.change_point for report in votes_by_channel.values())
+        fused_location = int(np.median(locations))
+        if self._fused and fused_location <= self._fused[-1].change_point:
+            # already covered by an earlier fused change point
+            self._pending = [r for r in self._pending if r not in group]
+            return None
+
+        fused = FusedChangePoint(
+            change_point=fused_location,
+            detected_at=self._n_seen,
+            supporting_channels=sorted(votes_by_channel),
+            channel_change_points=locations,
+        )
+        self._fused.append(fused)
+        self._pending = [r for r in self._pending if r not in group]
+        return fused.change_point

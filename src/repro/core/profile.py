@@ -1,0 +1,107 @@
+"""Classification Score Profile (ClaSP) container (paper §2.2, Definition 6).
+
+A ClaSP annotates a window of the stream with, for every admissible split
+offset, the cross-validation score of a classifier that separates the
+subsequences left of the split from those right of it.  The container keeps
+the raw scores together with the offset bookkeeping needed to translate
+profile positions back to absolute stream time points, and offers the local /
+global maximum queries used both by the automatic change-point detection and
+by visual inspection tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ClaSPProfile:
+    """ClaSP of one scored window region.
+
+    Attributes
+    ----------
+    scores:
+        Classification score per admissible split (same order as ``splits``).
+    splits:
+        Split offsets relative to the start of the scored region (in
+        subsequence index space).
+    region_start:
+        Offset of the scored region inside the sliding window (the last
+        detected change point ``cp_l`` of Algorithm 1).
+    window_start_time:
+        Absolute time point of the first value of the sliding window, so
+        ``window_start_time + region_start + split`` is the absolute time
+        point of a split.
+    subsequence_width:
+        Width ``w`` used for scoring.
+    """
+
+    scores: np.ndarray
+    splits: np.ndarray
+    region_start: int = 0
+    window_start_time: int = 0
+    subsequence_width: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.scores.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no admissible split exists (region too short)."""
+        return self.scores.shape[0] == 0
+
+    def global_maximum(self) -> tuple[int, float]:
+        """Split offset (relative to the scored region) and score of the maximum."""
+        if self.is_empty:
+            raise ValueError("profile is empty")
+        best = int(np.argmax(self.scores))
+        return int(self.splits[best]), float(self.scores[best])
+
+    def local_maxima(self, order: int = 1) -> np.ndarray:
+        """Split offsets of all local maxima of the profile.
+
+        A position is a local maximum when its score is at least as large as
+        the scores of its ``order`` neighbours on both sides.
+        """
+        if self.is_empty or self.scores.shape[0] < 2 * order + 1:
+            return np.empty(0, dtype=np.int64)
+        scores = self.scores
+        candidates = []
+        for i in range(order, scores.shape[0] - order):
+            window = scores[i - order : i + order + 1]
+            if scores[i] >= window.max():
+                candidates.append(int(self.splits[i]))
+        return np.asarray(candidates, dtype=np.int64)
+
+    def to_absolute(self, split: int) -> int:
+        """Translate a region-relative split offset into an absolute time point."""
+        return int(self.window_start_time + self.region_start + split)
+
+    def dense(self, length: int | None = None, fill_value: float = np.nan) -> np.ndarray:
+        """Return the profile as a dense array indexed by region offset.
+
+        Positions without an admissible split carry ``fill_value``.  Useful
+        for plotting the profile underneath the raw signal as in Figures 1,
+        3 and 8 of the paper.
+        """
+        if length is None:
+            length = int(self.splits.max()) + 1 if not self.is_empty else 0
+        dense = np.full(length, fill_value, dtype=np.float64)
+        if not self.is_empty:
+            in_range = self.splits < length
+            dense[self.splits[in_range]] = self.scores[in_range]
+        return dense
+
+    @classmethod
+    def empty(cls, region_start: int = 0, window_start_time: int = 0, width: int = 0) -> "ClaSPProfile":
+        """Construct an empty profile (no admissible splits)."""
+        return cls(
+            scores=np.empty(0, dtype=np.float64),
+            splits=np.empty(0, dtype=np.int64),
+            region_start=region_start,
+            window_start_time=window_start_time,
+            subsequence_width=width,
+        )

@@ -1,0 +1,186 @@
+"""Dot-product based similarity measures for the streaming k-NN (paper §3.1).
+
+The paper's streaming k-NN computes Pearson correlations between the newest
+subsequence and all other subsequences of the sliding window from maintained
+dot products (Eqns. 3-5).  The authors note that "the similarity measure ...
+can easily be adapted to (dis-)similarity functions that can be expressed with
+dot products, such as (complexity-invariant) Euclidean distance".  This module
+implements the three measures evaluated in the ablation study (§4.2 c):
+
+* ``pearson``   — Pearson correlation (default, higher = more similar)
+* ``euclidean`` — z-normalised Euclidean distance, negated so that higher
+  values are more similar (matching the k-NN argmax convention)
+* ``cid``       — complexity-invariant distance (Batista et al.), negated
+
+Every measure is a pure function of the per-offset dot products with the
+query subsequence, the per-offset means/standard deviations and (for CID) the
+per-offset complexity estimates, so all of them run in O(d) per stream update.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+#: Names accepted by :func:`get_similarity`.
+SIMILARITY_MEASURES = ("pearson", "euclidean", "cid")
+
+
+def pearson_from_dot_products(
+    dot_products: np.ndarray,
+    means: np.ndarray,
+    stds: np.ndarray,
+    query_index: int,
+    window_size: int,
+) -> np.ndarray:
+    """Pearson correlations between the query subsequence and all others.
+
+    Implements Eqn. 4 of the paper:
+
+    ``c_{i,j} = (q_{i,j} - w * mu_i * mu_j) / (w * sigma_i * sigma_j)``
+
+    Parameters
+    ----------
+    dot_products:
+        ``q[i]`` = dot product between subsequence ``i`` and the query
+        subsequence, length ``m``.
+    means, stds:
+        Per-offset subsequence means and (floored) standard deviations.
+    query_index:
+        Offset of the query subsequence (the newest one in streaming use).
+    window_size:
+        Subsequence width ``w``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Correlations clipped to ``[-1, 1]``.
+    """
+    w = float(window_size)
+    numerator = dot_products - w * means * means[query_index]
+    denominator = w * stds * stds[query_index]
+    corr = numerator / denominator
+    return np.clip(corr, -1.0, 1.0)
+
+
+def squared_distance_from_correlation(
+    correlations: np.ndarray, window_size: int
+) -> np.ndarray:
+    """Convert Pearson correlations to squared z-normalised Euclidean distances.
+
+    For z-normalised subsequences of length ``w`` the identity
+    ``dist^2 = 2 * w * (1 - corr)`` holds (Mueen et al.), which keeps the
+    Euclidean measure expressible through the same dot products.
+    """
+    return 2.0 * float(window_size) * (1.0 - np.clip(correlations, -1.0, 1.0))
+
+
+def cid_factor(complexities: np.ndarray, query_index: int) -> np.ndarray:
+    """Complexity-invariance correction factor of Batista et al.
+
+    ``CF(i, j) = max(CE_i, CE_j) / min(CE_i, CE_j)`` where ``CE`` is the norm
+    of the first difference of a subsequence.  A small floor keeps flat
+    subsequences from dividing by zero.
+    """
+    ce = np.maximum(complexities, 1e-8)
+    ce_query = max(float(complexities[query_index]), 1e-8)
+    high = np.maximum(ce, ce_query)
+    low = np.minimum(ce, ce_query)
+    return high / low
+
+
+def similarity_profile(
+    measure: str,
+    dot_products: np.ndarray,
+    means: np.ndarray,
+    stds: np.ndarray,
+    query_index: int,
+    window_size: int,
+    complexities: np.ndarray | None = None,
+) -> np.ndarray:
+    """Similarity of every subsequence to the query (higher = more similar).
+
+    This is the single entry point used by
+    :class:`repro.core.streaming_knn.StreamingKNN`; it dispatches on the
+    measure name and guarantees a "higher is better" orientation so the k-NN
+    search is always an arg-k-max.
+    """
+    corr = pearson_from_dot_products(dot_products, means, stds, query_index, window_size)
+    if measure == "pearson":
+        return corr
+    dist_sq = squared_distance_from_correlation(corr, window_size)
+    if measure == "euclidean":
+        return -np.sqrt(np.maximum(dist_sq, 0.0))
+    if measure == "cid":
+        if complexities is None:
+            raise ConfigurationError("CID similarity requires subsequence complexities")
+        dist = np.sqrt(np.maximum(dist_sq, 0.0))
+        return -dist * cid_factor(complexities, query_index)
+    raise ConfigurationError(
+        f"unknown similarity measure {measure!r}; expected one of {SIMILARITY_MEASURES}"
+    )
+
+
+def get_similarity(measure: str) -> Callable[..., np.ndarray]:
+    """Return a partial-like callable for a named similarity measure.
+
+    Mostly a convenience for user code; the streaming k-NN calls
+    :func:`similarity_profile` directly.
+    """
+    if measure not in SIMILARITY_MEASURES:
+        raise ConfigurationError(
+            f"unknown similarity measure {measure!r}; expected one of {SIMILARITY_MEASURES}"
+        )
+
+    def _measure(
+        dot_products: np.ndarray,
+        means: np.ndarray,
+        stds: np.ndarray,
+        query_index: int,
+        window_size: int,
+        complexities: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return similarity_profile(
+            measure, dot_products, means, stds, query_index, window_size, complexities
+        )
+
+    return _measure
+
+
+def pairwise_similarity_matrix(
+    values: np.ndarray, window_size: int, measure: str = "pearson"
+) -> np.ndarray:
+    """Dense pairwise similarity matrix between all subsequences (batch helper).
+
+    Used by the batch ClaSP baseline and by tests as a brute-force reference.
+    O(m^2 * w) — only suitable for short series.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    m = n - window_size + 1
+    if m < 1:
+        raise ConfigurationError("series shorter than window size")
+    subs = np.lib.stride_tricks.sliding_window_view(values, window_size)
+    means = subs.mean(axis=1)
+    stds = np.maximum(subs.std(axis=1), 1e-8)
+    dots = subs @ subs.T
+    corr = (dots - window_size * np.outer(means, means)) / (
+        window_size * np.outer(stds, stds)
+    )
+    corr = np.clip(corr, -1.0, 1.0)
+    if measure == "pearson":
+        return corr
+    dist = np.sqrt(np.maximum(2.0 * window_size * (1.0 - corr), 0.0))
+    if measure == "euclidean":
+        return -dist
+    if measure == "cid":
+        diffs = np.diff(subs, axis=1)
+        ce = np.maximum(np.sqrt((diffs * diffs).sum(axis=1)), 1e-8)
+        factor = np.maximum.outer(ce, ce) / np.minimum.outer(ce, ce)
+        return -dist * factor
+    raise ConfigurationError(
+        f"unknown similarity measure {measure!r}; expected one of {SIMILARITY_MEASURES}"
+    )

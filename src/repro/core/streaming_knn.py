@@ -1,0 +1,385 @@
+"""Exact streaming k-nearest-neighbour search over a sliding window (paper §3.1).
+
+This module implements Algorithm 2 of the paper: the first exact streaming
+time-series k-NN whose per-point update cost is O(k * d) for a sliding window
+of size ``d``.  The central idea is to maintain, across overlapping windows,
+the (w-1)-length dot products between every subsequence prefix and the window
+tail.  When a new observation arrives these partial dot products are extended
+to full w-length dot products with a single multiply-add per offset
+(Eqn. 3), turned into Pearson correlations using sliding means and standard
+deviations derived from running sums (Eqns. 1-2, 4), and then shrunk back for
+the next iteration (Eqn. 5).
+
+Three operation modes are provided so the ablation benchmarks can reproduce
+the runtime discussion of §4.4:
+
+* ``"streaming"`` — the paper's O(d) incremental dot-product update (default).
+* ``"recompute"`` — recomputes all dot products against the newest subsequence
+  from scratch every update, O(d * w).
+* ``"fft"``       — recomputes them with an FFT correlation, O(d log d), the
+  approach underlying FLOSS.
+
+All three produce identical correlations (up to floating point error), which
+the test-suite verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.similarity import SIMILARITY_MEASURES, similarity_profile
+from repro.utils.exceptions import ConfigurationError, NotEnoughDataError
+from repro.utils.running_stats import sliding_complexity, sliding_mean_std
+
+#: Sentinel index used for padded / not-yet-available neighbours.  Negative
+#: offsets are treated as belonging to class 0 by the cross-validation, which
+#: is exactly how the paper deals with neighbours that slid out of the window.
+PADDING_INDEX = -(10**9)
+
+KNN_MODES = ("streaming", "recompute", "fft")
+
+
+def exclusion_radius(window_size: int) -> int:
+    """Trivial-match exclusion radius: the last ``3/2 * w`` observations."""
+    return int(np.ceil(1.5 * window_size))
+
+
+def exact_knn_bruteforce(
+    values: np.ndarray,
+    window_size: int,
+    k_neighbours: int,
+    similarity: str = "pearson",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Brute-force batch k-NN with the same exclusion zone, used as test oracle.
+
+    Returns
+    -------
+    (indices, similarities):
+        Arrays of shape ``(m, k)`` where ``m = len(values) - window_size + 1``.
+        Rows with fewer than ``k`` admissible neighbours are padded with
+        :data:`PADDING_INDEX` / ``-inf``.
+    """
+    from repro.core.similarity import pairwise_similarity_matrix
+
+    values = np.asarray(values, dtype=np.float64)
+    m = values.shape[0] - window_size + 1
+    if m < 1:
+        raise NotEnoughDataError("series shorter than the subsequence width")
+    sim = pairwise_similarity_matrix(values, window_size, measure=similarity)
+    excl = exclusion_radius(window_size)
+    indices = np.full((m, k_neighbours), PADDING_INDEX, dtype=np.int64)
+    sims = np.full((m, k_neighbours), -np.inf, dtype=np.float64)
+    offsets = np.arange(m)
+    for i in range(m):
+        row = sim[i].copy()
+        row[np.abs(offsets - i) < excl] = -np.inf
+        order = np.argsort(-row, kind="stable")
+        valid = order[np.isfinite(row[order])][:k_neighbours]
+        indices[i, : valid.shape[0]] = valid
+        sims[i, : valid.shape[0]] = row[valid]
+    return indices, sims
+
+
+class StreamingKNN:
+    """Exact streaming k-NN over a sliding window of a univariate stream.
+
+    Parameters
+    ----------
+    window_size:
+        Sliding window size ``d`` — the maximum number of most recent
+        observations kept in the buffer.
+    subsequence_width:
+        Subsequence width ``w`` used to cut the window into overlapping
+        subsequences.
+    k_neighbours:
+        Number of nearest neighbours maintained per subsequence (default 3,
+        the paper's ablation choice).
+    similarity:
+        One of ``"pearson"`` (default), ``"euclidean"`` or ``"cid"``.
+    mode:
+        Dot-product update strategy, see module docstring.
+
+    Attributes
+    ----------
+    knn_indices:
+        Integer array of shape ``(n_subsequences, k)``; entries may be
+        negative when a neighbour has slid out of the window (class 0 by
+        design) or equal to :data:`PADDING_INDEX` when no admissible
+        neighbour existed yet.
+    knn_similarities:
+        Matching similarity values, ``-inf`` for padded entries.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        subsequence_width: int,
+        k_neighbours: int = 3,
+        similarity: str = "pearson",
+        mode: str = "streaming",
+    ) -> None:
+        if subsequence_width < 2:
+            raise ConfigurationError("subsequence_width must be >= 2")
+        if window_size < 2 * subsequence_width:
+            raise ConfigurationError(
+                "window_size must be at least twice the subsequence width "
+                f"(got d={window_size}, w={subsequence_width})"
+            )
+        if k_neighbours < 1:
+            raise ConfigurationError("k_neighbours must be >= 1")
+        if similarity not in SIMILARITY_MEASURES:
+            raise ConfigurationError(
+                f"unknown similarity {similarity!r}; expected one of {SIMILARITY_MEASURES}"
+            )
+        if mode not in KNN_MODES:
+            raise ConfigurationError(f"unknown mode {mode!r}; expected one of {KNN_MODES}")
+
+        self.window_size = int(window_size)
+        self.subsequence_width = int(subsequence_width)
+        self.k_neighbours = int(k_neighbours)
+        self.similarity = similarity
+        self.mode = mode
+        self.exclusion = exclusion_radius(self.subsequence_width)
+
+        d, w, k = self.window_size, self.subsequence_width, self.k_neighbours
+        self._max_subsequences = d - w + 1
+        self._buffer = np.empty(d, dtype=np.float64)
+        self._length = 0
+        self._evictions = 0
+        # (w-1)-length partial dot products carried between updates (Eqn. 5)
+        self._q_store = np.empty(self._max_subsequences, dtype=np.float64)
+        self._q_valid = 0
+        self._knn_indices = np.full((self._max_subsequences, k), PADDING_INDEX, dtype=np.int64)
+        self._knn_sims = np.full((self._max_subsequences, k), -np.inf, dtype=np.float64)
+        self._n_subsequences = 0
+        self._last_similarities: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_seen(self) -> int:
+        """Total number of observations ingested so far."""
+        return self._length + self._evictions
+
+    @property
+    def n_buffered(self) -> int:
+        """Number of observations currently held in the sliding window."""
+        return self._length
+
+    @property
+    def n_subsequences(self) -> int:
+        """Number of subsequences currently represented in the k-NN tables."""
+        return self._n_subsequences
+
+    @property
+    def window(self) -> np.ndarray:
+        """Read-only view of the current sliding window contents."""
+        return self._buffer[: self._length]
+
+    @property
+    def knn_indices(self) -> np.ndarray:
+        """Current k-NN offsets, shape ``(n_subsequences, k)``."""
+        return self._knn_indices[: self._n_subsequences]
+
+    @property
+    def knn_similarities(self) -> np.ndarray:
+        """Current k-NN similarities, shape ``(n_subsequences, k)``."""
+        return self._knn_sims[: self._n_subsequences]
+
+    @property
+    def last_similarity_profile(self) -> np.ndarray | None:
+        """Similarity of every subsequence to the newest one from the last update."""
+        return self._last_similarities
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def update(self, value: float) -> bool:
+        """Ingest one observation and refresh the k-NN tables.
+
+        Returns
+        -------
+        bool
+            True once at least one subsequence exists (i.e. the tables carry
+            information), False while the window is still shorter than ``w``.
+        """
+        value = float(value)
+        if not np.isfinite(value):
+            raise ConfigurationError("stream values must be finite")
+        evicted = self._push(value)
+        if self._length < self.subsequence_width:
+            return False
+        similarities = self._similarities_to_newest(evicted)
+        self._last_similarities = similarities
+        self._refresh_tables(similarities, evicted)
+        return True
+
+    def extend(self, values: np.ndarray) -> None:
+        """Ingest a batch of observations one at a time (convenience helper)."""
+        for value in np.asarray(values, dtype=np.float64):
+            self.update(float(value))
+
+    def reset(self) -> None:
+        """Forget all state and start from an empty window."""
+        self._length = 0
+        self._evictions = 0
+        self._q_valid = 0
+        self._n_subsequences = 0
+        self._knn_indices.fill(PADDING_INDEX)
+        self._knn_sims.fill(-np.inf)
+        self._last_similarities = None
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _push(self, value: float) -> bool:
+        """Append ``value`` to the window buffer, evicting the oldest if full."""
+        if self._length < self.window_size:
+            self._buffer[self._length] = value
+            self._length += 1
+            return False
+        self._buffer[:-1] = self._buffer[1:]
+        self._buffer[-1] = value
+        self._evictions += 1
+        return True
+
+    def _similarities_to_newest(self, evicted: bool) -> np.ndarray:
+        """Similarity of every subsequence to the newest one (Eqns. 1-5)."""
+        w = self.subsequence_width
+        window = self._buffer[: self._length]
+        m = self._length - w + 1
+        if self.mode == "streaming":
+            dot_products = self._incremental_dot_products(window, m, evicted)
+        elif self.mode == "recompute":
+            dot_products = self._recomputed_dot_products(window, m)
+        else:  # fft
+            dot_products = self._fft_dot_products(window, m)
+        means, stds = sliding_mean_std(window, w)
+        complexities = None
+        if self.similarity == "cid":
+            complexities = sliding_complexity(window, w)
+        return similarity_profile(
+            self.similarity, dot_products, means, stds, m - 1, w, complexities
+        )
+
+    def _incremental_dot_products(self, window: np.ndarray, m: int, evicted: bool) -> np.ndarray:
+        """The O(d) dot-product update of Algorithm 2 (Eqns. 3 and 5)."""
+        w = self.subsequence_width
+        length = window.shape[0]
+        tail_prefix = window[length - w : length - 1]  # newest subsequence minus last point
+
+        if self._q_valid == 0:
+            # bootstrap: first time a full subsequence exists
+            partial = np.array(
+                [float(window[i : i + w - 1] @ tail_prefix) for i in range(m)],
+                dtype=np.float64,
+            )
+        elif evicted:
+            # Case B of the derivation: stored values align 1:1 with the new offsets
+            partial = self._q_store[: self._q_valid].copy()
+            if partial.shape[0] != m:  # pragma: no cover - defensive
+                partial = np.array(
+                    [float(window[i : i + w - 1] @ tail_prefix) for i in range(m)],
+                    dtype=np.float64,
+                )
+        else:
+            # Case A (growing window): one new head entry is computed directly,
+            # the rest are the stored values shifted by one offset.
+            partial = np.empty(m, dtype=np.float64)
+            partial[0] = float(window[: w - 1] @ tail_prefix)
+            partial[1:] = self._q_store[: m - 1]
+
+        newest = float(window[-1])
+        full = partial + window[w - 1 : w - 1 + m] * newest  # Eqn. 3
+        # prepare the (w-1)-length dot products for the next update (Eqn. 5)
+        self._q_store[:m] = full - window[:m] * window[length - w]
+        self._q_valid = m
+        return full
+
+    def _recomputed_dot_products(self, window: np.ndarray, m: int) -> np.ndarray:
+        """O(d * w) recomputation of the dot products (ablation mode)."""
+        w = self.subsequence_width
+        subs = np.lib.stride_tricks.sliding_window_view(window, w)
+        query = window[-w:]
+        full = subs @ query
+        self._q_store[:m] = full - window[:m] * window[window.shape[0] - w]
+        self._q_valid = m
+        return full
+
+    def _fft_dot_products(self, window: np.ndarray, m: int) -> np.ndarray:
+        """O(d log d) FFT-based dot products (FLOSS-style ablation mode)."""
+        w = self.subsequence_width
+        query = window[-w:]
+        n = window.shape[0]
+        size = 1 << int(np.ceil(np.log2(n + w)))
+        spec = np.fft.rfft(window, size) * np.fft.rfft(query[::-1], size)
+        conv = np.fft.irfft(spec, size)
+        full = conv[w - 1 : w - 1 + m]
+        self._q_store[:m] = full - window[:m] * window[n - w]
+        self._q_valid = m
+        return full
+
+    def _refresh_tables(self, similarities: np.ndarray, evicted: bool) -> None:
+        """Shift, append and update the k-NN tables (Algorithm 2, lines 15-24)."""
+        k = self.k_neighbours
+        m = similarities.shape[0]
+        newest = m - 1
+
+        if evicted and self._n_subsequences == self._max_subsequences:
+            # k-NN shift: drop the oldest subsequence's row, decrement offsets
+            self._knn_indices[:-1] = self._knn_indices[1:]
+            self._knn_sims[:-1] = self._knn_sims[1:]
+            self._n_subsequences -= 1
+            valid = self._knn_indices[: self._n_subsequences] > PADDING_INDEX
+            self._knn_indices[: self._n_subsequences][valid] -= 1
+
+        # k-NN for the newest subsequence (excluding trivial matches)
+        masked = similarities.copy()
+        low = max(0, newest - self.exclusion + 1)
+        masked[low : newest + 1] = -np.inf
+        row_idx = np.full(k, PADDING_INDEX, dtype=np.int64)
+        row_sim = np.full(k, -np.inf, dtype=np.float64)
+        n_candidates = low
+        if n_candidates > 0:
+            take = min(k, n_candidates)
+            if n_candidates > take:
+                top = np.argpartition(-masked[:n_candidates], take - 1)[:take]
+            else:
+                top = np.arange(n_candidates)
+            top = top[np.argsort(-masked[top], kind="stable")]
+            row_idx[:take] = top
+            row_sim[:take] = masked[top]
+
+        pos = self._n_subsequences
+        self._knn_indices[pos] = row_idx
+        self._knn_sims[pos] = row_sim
+        self._n_subsequences += 1
+
+        # k-NN update: the newest subsequence may displace an existing neighbour
+        if self._n_subsequences > 1:
+            self._insert_newest_into_older_rows(similarities, newest)
+
+    def _insert_newest_into_older_rows(self, similarities: np.ndarray, newest: int) -> None:
+        """Insert the newest subsequence into older rows it now beats (line 22-23)."""
+        n_rows = self._n_subsequences - 1  # all but the newest row
+        indices = self._knn_indices[:n_rows]
+        sims = self._knn_sims[:n_rows]
+        eligible_until = max(0, newest - self.exclusion + 1)
+        if eligible_until == 0:
+            return
+        candidate_sims = similarities[:eligible_until]
+        worst = sims[:eligible_until, -1]
+        rows = np.nonzero(candidate_sims > worst)[0]
+        for row in rows:
+            sim_value = candidate_sims[row]
+            insert_at = int(np.searchsorted(-sims[row], -sim_value))
+            if insert_at >= self.k_neighbours:
+                continue
+            sims[row, insert_at + 1 :] = sims[row, insert_at:-1]
+            indices[row, insert_at + 1 :] = indices[row, insert_at:-1]
+            sims[row, insert_at] = sim_value
+            indices[row, insert_at] = newest

@@ -1,0 +1,233 @@
+"""Subsequence-width (window size) selection methods (paper §3.4, §4.2b).
+
+ClaSS learns its subsequence width ``w`` from the first ``d`` observations of
+the stream.  The paper's ablation study compares four window size selection
+(WSS) algorithms and picks SuSS; all four are implemented here:
+
+* ``suss`` — Summary Statistics Subsequence (Ermshaus et al.): binary search
+  for the smallest width whose per-window summary statistics (mean, standard
+  deviation, range) resemble those of the whole series.
+* ``fft``  — the period of the most dominant Fourier frequency.
+* ``acf``  — the lag of the highest autocorrelation peak.
+* ``mwf``  — Multi-Window-Finder: the first local minimum of the moving
+  average residual across candidate widths.
+
+All functions return an integer width clamped to ``[lower_bound, upper_bound]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_array_1d
+
+#: Names accepted by :func:`learn_subsequence_width`.
+WSS_METHODS = ("suss", "fft", "acf", "mwf", "fixed")
+
+#: Smallest width ever returned; anything below carries too little shape.
+DEFAULT_LOWER_BOUND = 10
+
+
+def _clamp(width: int, lower: int, upper: int) -> int:
+    return int(min(max(width, lower), upper))
+
+
+def _suss_score(values: np.ndarray, width: int, global_stats: np.ndarray) -> float:
+    """Similarity of windowed summary statistics to the global statistics."""
+    n = values.shape[0]
+    if width >= n:
+        return 1.0
+    windows = np.lib.stride_tricks.sliding_window_view(values, width)
+    local = np.stack(
+        [
+            windows.mean(axis=1),
+            windows.std(axis=1),
+            windows.max(axis=1) - windows.min(axis=1),
+        ],
+        axis=1,
+    )
+    diffs = local - global_stats[None, :]
+    # the reference SuSS normalises the per-window distance by sqrt(width)
+    distance = np.sqrt(np.maximum((diffs * diffs).sum(axis=1), 0.0)) / np.sqrt(width)
+    return float(distance.mean())
+
+
+def suss_width(
+    values: np.ndarray,
+    lower_bound: int = DEFAULT_LOWER_BOUND,
+    threshold: float = 0.89,
+) -> int:
+    """Summary Statistics Subsequence (SuSS) width selection.
+
+    Follows the reference formulation: the series is min-max normalised, the
+    per-window summary statistics (mean, standard deviation, range) are
+    compared against the global statistics, and the resulting distance is
+    normalised between the distances of the degenerate widths 1 and ``n - 1``.
+    An exponential search followed by a binary search finds the smallest width
+    whose normalised similarity exceeds ``threshold``, giving the expected
+    O(n log w) runtime stated in §3.6.
+    """
+    values = check_array_1d(values, "values", min_length=2 * lower_bound)
+    values = (values - values.min()) / max(values.max() - values.min(), 1e-12)
+    n = values.shape[0]
+    upper_bound = n - 1
+    global_stats = np.array(
+        [values.mean(), values.std(), values.max() - values.min()], dtype=np.float64
+    )
+
+    max_score = _suss_score(values, 1, global_stats)
+    min_score = _suss_score(values, upper_bound, global_stats)
+    denominator = max(max_score - min_score, 1e-12)
+
+    def similarity(width: int) -> float:
+        raw = _suss_score(values, width, global_stats)
+        return 1.0 - (raw - min_score) / denominator
+
+    # exponential search for the first power of two that is similar enough
+    exponent = 0
+    width = 1
+    while True:
+        width = 2 ** exponent
+        if width >= upper_bound:
+            return _clamp(upper_bound, lower_bound, upper_bound)
+        if width >= lower_bound and similarity(width) > threshold:
+            break
+        exponent += 1
+
+    # binary search inside (width // 2, width]
+    low, high = max(lower_bound, width // 2), width
+    while low < high:
+        mid = (low + high) // 2
+        if similarity(mid) > threshold:
+            high = mid
+        else:
+            low = mid + 1
+    return _clamp(low, lower_bound, upper_bound)
+
+
+def dominant_fourier_frequency_width(
+    values: np.ndarray,
+    lower_bound: int = DEFAULT_LOWER_BOUND,
+    upper_bound: int | None = None,
+) -> int:
+    """Width equal to the period of the strongest Fourier component."""
+    values = check_array_1d(values, "values", min_length=2 * lower_bound)
+    n = values.shape[0]
+    upper_bound = upper_bound or max(lower_bound + 1, n // 3)
+    detrended = values - values.mean()
+    spectrum = np.abs(np.fft.rfft(detrended))
+    freqs = np.fft.rfftfreq(n)
+    best_width, best_power = lower_bound, -np.inf
+    for idx in range(1, spectrum.shape[0]):
+        if freqs[idx] <= 0:
+            continue
+        period = int(round(1.0 / freqs[idx]))
+        if lower_bound <= period <= upper_bound and spectrum[idx] > best_power:
+            best_power = float(spectrum[idx])
+            best_width = period
+    return _clamp(best_width, lower_bound, upper_bound)
+
+
+def highest_autocorrelation_width(
+    values: np.ndarray,
+    lower_bound: int = DEFAULT_LOWER_BOUND,
+    upper_bound: int | None = None,
+) -> int:
+    """Width equal to the lag of the highest autocorrelation peak."""
+    values = check_array_1d(values, "values", min_length=2 * lower_bound)
+    n = values.shape[0]
+    upper_bound = upper_bound or max(lower_bound + 1, n // 3)
+    detrended = values - values.mean()
+    denominator = float(detrended @ detrended)
+    if denominator <= 0:
+        return lower_bound
+    acf = np.correlate(detrended, detrended, mode="full")[n - 1 :] / denominator
+    search = acf[lower_bound : upper_bound + 1]
+    if search.size == 0:
+        return lower_bound
+    # prefer an actual local maximum; fall back to the global argmax
+    peaks = [
+        i
+        for i in range(1, search.shape[0] - 1)
+        if search[i] >= search[i - 1] and search[i] >= search[i + 1]
+    ]
+    if peaks:
+        best = max(peaks, key=lambda i: search[i])
+    else:
+        best = int(np.argmax(search))
+    return _clamp(lower_bound + best, lower_bound, upper_bound)
+
+
+def multi_window_finder_width(
+    values: np.ndarray,
+    lower_bound: int = DEFAULT_LOWER_BOUND,
+    upper_bound: int | None = None,
+    step: int | None = None,
+) -> int:
+    """Multi-Window-Finder: first local minimum of the moving-average residual."""
+    values = check_array_1d(values, "values", min_length=2 * lower_bound)
+    n = values.shape[0]
+    upper_bound = upper_bound or max(lower_bound + 1, n // 3)
+    step = step or max(1, (upper_bound - lower_bound) // 50)
+    widths = list(range(lower_bound, upper_bound + 1, step))
+    losses = []
+    for width in widths:
+        kernel = np.ones(width) / width
+        moving_average = np.convolve(values, kernel, mode="valid")
+        residual = values[width - 1 :] - moving_average
+        losses.append(float(np.abs(residual).sum()))
+    losses_arr = np.asarray(losses)
+    for i in range(1, losses_arr.shape[0] - 1):
+        if losses_arr[i] <= losses_arr[i - 1] and losses_arr[i] <= losses_arr[i + 1]:
+            return _clamp(widths[i], lower_bound, upper_bound)
+    return _clamp(widths[int(np.argmin(losses_arr))], lower_bound, upper_bound)
+
+
+_METHODS: dict[str, Callable[..., int]] = {
+    "suss": suss_width,
+    "fft": dominant_fourier_frequency_width,
+    "acf": highest_autocorrelation_width,
+    "mwf": multi_window_finder_width,
+}
+
+
+def learn_subsequence_width(
+    values: np.ndarray,
+    method: str = "suss",
+    lower_bound: int = DEFAULT_LOWER_BOUND,
+    max_width: int | None = None,
+    fixed_width: int | None = None,
+) -> int:
+    """Learn the subsequence width from a prefix of the stream.
+
+    Parameters
+    ----------
+    values:
+        The first ``d`` observations of the stream.
+    method:
+        One of ``"suss"`` (default), ``"fft"``, ``"acf"``, ``"mwf"`` or
+        ``"fixed"`` (requires ``fixed_width``).
+    lower_bound:
+        Smallest admissible width.
+    max_width:
+        Optional cap; the result is clamped so the width stays usable with the
+        sliding window (ClaSS enforces ``w <= d / 4``).
+    fixed_width:
+        Width to return verbatim when ``method="fixed"``.
+    """
+    if method == "fixed":
+        if fixed_width is None:
+            raise ConfigurationError('method="fixed" requires fixed_width')
+        width = int(fixed_width)
+    elif method in _METHODS:
+        width = _METHODS[method](values, lower_bound=lower_bound)
+    else:
+        raise ConfigurationError(
+            f"unknown window size selection method {method!r}; expected one of {WSS_METHODS}"
+        )
+    if max_width is not None:
+        width = min(width, int(max_width))
+    return max(width, lower_bound if method != "fixed" else 2)

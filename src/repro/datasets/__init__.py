@@ -1,0 +1,69 @@
+"""Annotated dataset substrates: synthetic stand-ins for the paper's benchmarks."""
+
+from repro.datasets.archives import (
+    make_mhealth_like,
+    make_mitbih_arr_like,
+    make_mitbih_ve_like,
+    make_pamap_like,
+    make_sleep_like,
+    make_wesad_like,
+)
+from repro.datasets.benchmarks import make_tssb_like, make_utsa_like
+from repro.datasets.dataset import TimeSeriesDataset
+from repro.datasets.generators import GENERATORS, get_generator
+from repro.datasets.loaders import (
+    load_collection_from_directory,
+    load_dataset_csv,
+    load_dataset_npz,
+    save_collection,
+    save_dataset_csv,
+    save_dataset_npz,
+)
+from repro.datasets.registry import (
+    ARCHIVE_COLLECTIONS,
+    BENCHMARK_COLLECTIONS,
+    COLLECTIONS,
+    CollectionSpec,
+    collection_summary,
+    load_archive_suite,
+    load_benchmark_suite,
+    load_collection,
+)
+from repro.datasets.synthetic import (
+    STATE_LIBRARY,
+    SegmentSpec,
+    compose_stream,
+    random_segment_specs,
+)
+
+__all__ = [
+    "TimeSeriesDataset",
+    "SegmentSpec",
+    "compose_stream",
+    "random_segment_specs",
+    "STATE_LIBRARY",
+    "GENERATORS",
+    "get_generator",
+    "make_tssb_like",
+    "make_utsa_like",
+    "make_mhealth_like",
+    "make_pamap_like",
+    "make_wesad_like",
+    "make_sleep_like",
+    "make_mitbih_arr_like",
+    "make_mitbih_ve_like",
+    "COLLECTIONS",
+    "CollectionSpec",
+    "BENCHMARK_COLLECTIONS",
+    "ARCHIVE_COLLECTIONS",
+    "load_collection",
+    "load_benchmark_suite",
+    "load_archive_suite",
+    "collection_summary",
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "save_collection",
+    "load_collection_from_directory",
+]

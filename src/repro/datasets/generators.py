@@ -1,0 +1,256 @@
+"""Segment-level signal generators used to synthesise annotated streams.
+
+The paper evaluates on real sensor recordings (IMU, ECG, EEG, respiration,
+EDA, ...).  Those archives are not redistributable inside this offline
+reproduction, so each generator below produces a signal family with the same
+qualitative behaviour: repetitive temporal patterns whose shape, period,
+amplitude and noise level encode the latent state of the observed process.
+A change of generator (or of generator parameters) between two consecutive
+segments therefore produces exactly the kind of change point ClaSS and its
+competitors are designed to find.
+
+Every generator is a pure function of ``(length, rng, **params)`` returning a
+1-d float array, which keeps the composition in
+:mod:`repro.datasets.synthetic` trivially extensible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+def sine_wave(
+    length: int,
+    rng: np.random.Generator,
+    period: float = 50.0,
+    amplitude: float = 1.0,
+    noise: float = 0.05,
+    phase: float | None = None,
+) -> np.ndarray:
+    """Sinusoid with a fixed period — the simplest repetitive temporal pattern."""
+    phase = rng.uniform(0, 2 * np.pi) if phase is None else phase
+    t = np.arange(length)
+    signal = amplitude * np.sin(2.0 * np.pi * t / period + phase)
+    return signal + rng.normal(0.0, noise, length)
+
+
+def square_wave(
+    length: int,
+    rng: np.random.Generator,
+    period: float = 60.0,
+    amplitude: float = 1.0,
+    noise: float = 0.05,
+    duty: float = 0.5,
+) -> np.ndarray:
+    """Square wave, a sharp-edged periodic pattern (machine on/off cycles)."""
+    t = np.arange(length) + rng.integers(0, int(period))
+    phase = (t % period) / period
+    signal = amplitude * np.where(phase < duty, 1.0, -1.0)
+    return signal + rng.normal(0.0, noise, length)
+
+
+def sawtooth_wave(
+    length: int,
+    rng: np.random.Generator,
+    period: float = 70.0,
+    amplitude: float = 1.0,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Sawtooth ramp pattern (charging/discharging processes)."""
+    t = np.arange(length) + rng.integers(0, int(period))
+    signal = amplitude * (2.0 * ((t % period) / period) - 1.0)
+    return signal + rng.normal(0.0, noise, length)
+
+
+def ar_process(
+    length: int,
+    rng: np.random.Generator,
+    coefficients: tuple[float, ...] = (0.6, -0.3),
+    noise: float = 1.0,
+    mean: float = 0.0,
+) -> np.ndarray:
+    """Stationary autoregressive process (broadband physiological noise)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    order = coefficients.shape[0]
+    burn_in = 10 * order
+    innovations = rng.normal(0.0, noise, length + burn_in)
+    signal = np.zeros(length + burn_in)
+    for t in range(order, length + burn_in):
+        signal[t] = float(coefficients @ signal[t - order : t][::-1]) + innovations[t]
+    return mean + signal[burn_in:]
+
+
+def gaussian_noise(
+    length: int,
+    rng: np.random.Generator,
+    mean: float = 0.0,
+    std: float = 1.0,
+) -> np.ndarray:
+    """Plain white noise with a configurable level (sensor at rest)."""
+    return rng.normal(mean, std, length)
+
+
+def random_walk(
+    length: int,
+    rng: np.random.Generator,
+    step_std: float = 0.1,
+    drift: float = 0.0,
+) -> np.ndarray:
+    """Integrated noise (slow wandering baselines such as temperature)."""
+    steps = rng.normal(drift, step_std, length)
+    walk = np.cumsum(steps)
+    return walk - walk.mean()
+
+
+def ecg_like(
+    length: int,
+    rng: np.random.Generator,
+    beat_period: int = 80,
+    amplitude: float = 1.0,
+    noise: float = 0.03,
+    irregular: bool = False,
+    fibrillation: bool = False,
+) -> np.ndarray:
+    """Synthetic single-lead ECG built from Gaussian P-QRS-T bumps.
+
+    ``irregular`` jitters the beat-to-beat interval (arrhythmia-like),
+    ``fibrillation`` replaces the organised beats with fast disorganised
+    oscillations (ventricular-fibrillation-like), matching the transitions of
+    the MIT-BIH archives used in Figures 1 and 9.
+    """
+    if fibrillation:
+        base = sine_wave(length, rng, period=max(beat_period / 6.0, 8.0), amplitude=0.6 * amplitude, noise=noise)
+        wobble = sine_wave(length, rng, period=max(beat_period / 2.5, 15.0), amplitude=0.3 * amplitude, noise=noise)
+        return base + wobble
+
+    signal = np.zeros(length)
+    template_t = np.linspace(0.0, 1.0, beat_period)
+
+    def bump(centre: float, width: float, height: float) -> np.ndarray:
+        return height * np.exp(-0.5 * ((template_t - centre) / width) ** 2)
+
+    template = (
+        bump(0.18, 0.035, 0.15)    # P wave
+        - bump(0.36, 0.012, 0.18)  # Q
+        + bump(0.40, 0.016, 1.0)   # R
+        - bump(0.44, 0.012, 0.22)  # S
+        + bump(0.65, 0.06, 0.3)    # T wave
+    ) * amplitude
+
+    position = 0
+    while position < length:
+        period = beat_period
+        if irregular:
+            period = max(int(beat_period * rng.uniform(0.6, 1.5)), 10)
+            if rng.random() < 0.15:
+                # premature complex: early, taller beat
+                period = max(int(beat_period * 0.5), 10)
+        segment = template[: min(beat_period, length - position)]
+        scale = rng.uniform(1.2, 1.6) if (irregular and rng.random() < 0.2) else 1.0
+        signal[position : position + segment.shape[0]] += scale * segment
+        position += period
+    return signal + rng.normal(0.0, noise, length)
+
+
+def activity_like(
+    length: int,
+    rng: np.random.Generator,
+    base_period: float = 45.0,
+    amplitude: float = 1.0,
+    harmonics: int = 3,
+    noise: float = 0.1,
+    burstiness: float = 0.0,
+) -> np.ndarray:
+    """Accelerometer-style signal: a harmonic mixture with optional bursts.
+
+    Walking, running and cycling produce quasi-periodic accelerations with
+    activity-specific fundamental frequencies and harmonic content; resting
+    produces low-amplitude noise.  ``burstiness`` adds irregular high-energy
+    bursts (e.g. rope jumping, stair climbing).
+    """
+    t = np.arange(length)
+    phase = rng.uniform(0, 2 * np.pi, harmonics)
+    weights = np.array([1.0 / (h + 1) for h in range(harmonics)])
+    signal = np.zeros(length)
+    for h in range(harmonics):
+        signal += weights[h] * np.sin(2.0 * np.pi * (h + 1) * t / base_period + phase[h])
+    signal *= amplitude / max(np.abs(signal).max(), 1e-9)
+    if burstiness > 0:
+        n_bursts = max(1, int(burstiness * length / 200))
+        for _ in range(n_bursts):
+            centre = rng.integers(0, length)
+            width = int(rng.uniform(10, 40))
+            lo, hi = max(0, centre - width), min(length, centre + width)
+            signal[lo:hi] += rng.normal(0.0, amplitude * burstiness, hi - lo)
+    return signal + rng.normal(0.0, noise, length)
+
+
+def respiration_like(
+    length: int,
+    rng: np.random.Generator,
+    breath_period: float = 250.0,
+    amplitude: float = 1.0,
+    noise: float = 0.05,
+    variability: float = 0.1,
+) -> np.ndarray:
+    """Slow quasi-periodic respiration signal with breath-to-breath variability."""
+    t = np.arange(length, dtype=np.float64)
+    # frequency modulation produces breath-length variability
+    modulation = 1.0 + variability * np.sin(2.0 * np.pi * t / (breath_period * 7.3) + rng.uniform(0, 6.28))
+    phase = np.cumsum(2.0 * np.pi * modulation / breath_period)
+    signal = amplitude * np.sin(phase)
+    return signal + rng.normal(0.0, noise, length)
+
+
+def eeg_like(
+    length: int,
+    rng: np.random.Generator,
+    band: tuple[float, float] = (0.02, 0.08),
+    amplitude: float = 1.0,
+    noise: float = 0.1,
+) -> np.ndarray:
+    """Band-limited noise mimicking EEG activity in a given frequency band.
+
+    Sleep stages differ in their dominant EEG bands (delta for deep sleep,
+    alpha/beta for wake), which this generator reproduces by filtering white
+    noise to a normalised frequency band via the FFT.
+    """
+    low, high = band
+    if not 0.0 < low < high <= 0.5:
+        raise ConfigurationError("band must satisfy 0 < low < high <= 0.5")
+    white = rng.normal(0.0, 1.0, length)
+    spectrum = np.fft.rfft(white)
+    freqs = np.fft.rfftfreq(length)
+    mask = (freqs >= low) & (freqs <= high)
+    spectrum[~mask] = 0.0
+    filtered = np.fft.irfft(spectrum, length)
+    scale = amplitude / max(filtered.std(), 1e-9)
+    return filtered * scale + rng.normal(0.0, noise, length)
+
+
+#: Registry of all segment generators, used by the random composition helpers.
+GENERATORS: dict[str, Callable[..., np.ndarray]] = {
+    "sine": sine_wave,
+    "square": square_wave,
+    "sawtooth": sawtooth_wave,
+    "ar": ar_process,
+    "noise": gaussian_noise,
+    "random_walk": random_walk,
+    "ecg": ecg_like,
+    "activity": activity_like,
+    "respiration": respiration_like,
+    "eeg": eeg_like,
+}
+
+
+def get_generator(name: str) -> Callable[..., np.ndarray]:
+    """Look up a segment generator by name."""
+    if name not in GENERATORS:
+        raise ConfigurationError(
+            f"unknown generator {name!r}; expected one of {sorted(GENERATORS)}"
+        )
+    return GENERATORS[name]

@@ -1,0 +1,115 @@
+"""Persistence helpers for annotated datasets (NPZ and CSV round trips).
+
+Generated collections can be materialised to disk once and reloaded by the
+benchmark harness, which keeps experiment runs deterministic and avoids
+regenerating long streams repeatedly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.dataset import TimeSeriesDataset
+from repro.utils.exceptions import ValidationError
+
+
+def save_dataset_npz(dataset: TimeSeriesDataset, path: str | Path) -> Path:
+    """Save one dataset (values, change points and metadata) as an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        values=dataset.values,
+        change_points=dataset.change_points,
+        sample_rate=np.array([dataset.sample_rate]),
+        name=np.array([dataset.name]),
+        collection=np.array([dataset.collection]),
+        metadata=np.array([json.dumps(dataset.metadata, default=str)]),
+    )
+    return path
+
+
+def load_dataset_npz(path: str | Path) -> TimeSeriesDataset:
+    """Load a dataset previously written by :func:`save_dataset_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"dataset file {path} does not exist")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"][0])) if "metadata" in archive else {}
+        return TimeSeriesDataset(
+            name=str(archive["name"][0]),
+            values=archive["values"],
+            change_points=archive["change_points"],
+            sample_rate=float(archive["sample_rate"][0]),
+            collection=str(archive["collection"][0]),
+            metadata=metadata,
+        )
+
+
+def save_dataset_csv(dataset: TimeSeriesDataset, path: str | Path) -> Path:
+    """Save a dataset as CSV: one value per row, change points in the header comment."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        handle.write(f"# name={dataset.name}\n")
+        handle.write(f"# collection={dataset.collection}\n")
+        handle.write(f"# sample_rate={dataset.sample_rate}\n")
+        handle.write(f"# change_points={','.join(map(str, dataset.change_points.tolist()))}\n")
+        writer = csv.writer(handle)
+        writer.writerow(["timepoint", "value"])
+        for index, value in enumerate(dataset.values):
+            writer.writerow([index, repr(float(value))])
+    return path
+
+
+def load_dataset_csv(path: str | Path) -> TimeSeriesDataset:
+    """Load a dataset previously written by :func:`save_dataset_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"dataset file {path} does not exist")
+    header: dict[str, str] = {}
+    values: list[float] = []
+    with open(path, newline="") as handle:
+        for line in handle:
+            if line.startswith("#"):
+                key, _, value = line[1:].strip().partition("=")
+                header[key.strip()] = value.strip()
+                continue
+            reader = csv.reader([line])
+            row = next(reader)
+            if row and row[0] != "timepoint":
+                values.append(float(row[1]))
+    change_points = (
+        np.array([int(v) for v in header.get("change_points", "").split(",") if v], dtype=np.int64)
+        if header.get("change_points")
+        else np.empty(0, dtype=np.int64)
+    )
+    return TimeSeriesDataset(
+        name=header.get("name", path.stem),
+        values=np.asarray(values, dtype=np.float64),
+        change_points=change_points,
+        sample_rate=float(header.get("sample_rate", 100.0)),
+        collection=header.get("collection", ""),
+    )
+
+
+def save_collection(datasets: list[TimeSeriesDataset], directory: str | Path) -> list[Path]:
+    """Save every dataset of a collection into ``directory`` as NPZ files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        save_dataset_npz(dataset, directory / f"{dataset.name.replace('/', '_')}.npz")
+        for dataset in datasets
+    ]
+
+
+def load_collection_from_directory(directory: str | Path) -> list[TimeSeriesDataset]:
+    """Load every ``.npz`` dataset found in ``directory`` (sorted by file name)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ValidationError(f"{directory} is not a directory")
+    return [load_dataset_npz(p) for p in sorted(directory.glob("*.npz"))]

@@ -1,0 +1,203 @@
+"""Central registry of all dataset collections used by the evaluation (Table 1).
+
+The registry maps collection names to their generator factories together with
+the specification of the corresponding real collection (number of series,
+length range, segment range) so the Table 1 reproduction can print both the
+paper's numbers and the numbers of the simulated stand-ins side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datasets.archives import (
+    make_mhealth_like,
+    make_mitbih_arr_like,
+    make_mitbih_ve_like,
+    make_pamap_like,
+    make_sleep_like,
+    make_wesad_like,
+)
+from repro.datasets.benchmarks import make_tssb_like, make_utsa_like
+from repro.datasets.dataset import TimeSeriesDataset
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CollectionSpec:
+    """Description of one dataset collection and its real-world counterpart."""
+
+    name: str
+    kind: str  # "benchmark" or "archive"
+    factory: Callable[..., list[TimeSeriesDataset]]
+    paper_n_series: int
+    paper_length: tuple[int, int, int]      # min / median / max of the real archive
+    paper_segments: tuple[int, int, int]    # min / median / max segments
+    default_n_series: int
+    description: str
+
+
+#: All eight collections of Table 1.
+COLLECTIONS: dict[str, CollectionSpec] = {
+    "TSSB": CollectionSpec(
+        name="TSSB",
+        kind="benchmark",
+        factory=make_tssb_like,
+        paper_n_series=75,
+        paper_length=(240, 3_500, 20_700),
+        paper_segments=(1, 3, 9),
+        default_n_series=75,
+        description="Time Series Segmentation Benchmark (semi-synthetic UCR series)",
+    ),
+    "UTSA": CollectionSpec(
+        name="UTSA",
+        kind="benchmark",
+        factory=make_utsa_like,
+        paper_n_series=32,
+        paper_length=(2_000, 12_000, 40_000),
+        paper_segments=(2, 2, 3),
+        default_n_series=32,
+        description="UCR Time Series Semantic Segmentation Archive",
+    ),
+    "mHealth": CollectionSpec(
+        name="mHealth",
+        kind="archive",
+        factory=make_mhealth_like,
+        paper_n_series=90,
+        paper_length=(32_200, 34_300, 35_500),
+        paper_segments=(12, 12, 12),
+        default_n_series=12,
+        description="Mobile-health ankle IMU activity recordings",
+    ),
+    "ArrDB": CollectionSpec(
+        name="ArrDB",
+        kind="archive",
+        factory=make_mitbih_arr_like,
+        paper_n_series=96,
+        paper_length=(650_000, 650_000, 650_000),
+        paper_segments=(1, 10, 207),
+        default_n_series=10,
+        description="MIT-BIH Arrhythmia ECG database",
+    ),
+    "VEDB": CollectionSpec(
+        name="VEDB",
+        kind="archive",
+        factory=make_mitbih_ve_like,
+        paper_n_series=44,
+        paper_length=(525_000, 525_000, 525_000),
+        paper_segments=(2, 13, 134),
+        default_n_series=8,
+        description="MIT-BIH Ventricular Fibrillation ECG database",
+    ),
+    "PAMAP": CollectionSpec(
+        name="PAMAP",
+        kind="archive",
+        factory=make_pamap_like,
+        paper_n_series=135,
+        paper_length=(37_500, 132_100, 175_000),
+        paper_segments=(2, 9, 9),
+        default_n_series=12,
+        description="Physical activity monitoring IMU recordings",
+    ),
+    "SleepDB": CollectionSpec(
+        name="SleepDB",
+        kind="archive",
+        factory=make_sleep_like,
+        paper_n_series=88,
+        paper_length=(2_700_000, 3_100_000, 3_900_000),
+        paper_segments=(83, 138, 231),
+        default_n_series=8,
+        description="Sleep-EDF polysomnographic sleep-stage recordings",
+    ),
+    "WESAD": CollectionSpec(
+        name="WESAD",
+        kind="archive",
+        factory=make_wesad_like,
+        paper_n_series=32,
+        paper_length=(2_000_000, 2_100_000, 2_100_000),
+        paper_segments=(5, 5, 5),
+        default_n_series=8,
+        description="Wearable stress and affect detection chest recordings",
+    ),
+}
+
+#: The two benchmark collections of §4.3.
+BENCHMARK_COLLECTIONS = ("TSSB", "UTSA")
+
+#: The six data-archive collections of §4.3.
+ARCHIVE_COLLECTIONS = ("mHealth", "ArrDB", "VEDB", "PAMAP", "SleepDB", "WESAD")
+
+
+def load_collection(
+    name: str,
+    n_series: int | None = None,
+    length_scale: float = 1.0,
+    seed: int | None = None,
+) -> list[TimeSeriesDataset]:
+    """Generate one collection of annotated series.
+
+    Parameters
+    ----------
+    name:
+        Collection name (see :data:`COLLECTIONS`).
+    n_series:
+        Number of series to generate; defaults to the collection's
+        laptop-scale default (the paper-scale count is in the spec).
+    length_scale:
+        Multiplier on the segment lengths (1.0 = the stand-in's default
+        scaled-down lengths).
+    seed:
+        Optional seed override (defaults to the collection's fixed seed).
+    """
+    if name not in COLLECTIONS:
+        raise ConfigurationError(
+            f"unknown collection {name!r}; expected one of {sorted(COLLECTIONS)}"
+        )
+    spec = COLLECTIONS[name]
+    kwargs: dict = {
+        "n_series": n_series if n_series is not None else spec.default_n_series,
+        "length_scale": length_scale,
+    }
+    if seed is not None:
+        kwargs["seed"] = seed
+    return spec.factory(**kwargs)
+
+
+def load_benchmark_suite(
+    n_series_per_collection: int | None = None,
+    length_scale: float = 1.0,
+) -> dict[str, list[TimeSeriesDataset]]:
+    """All benchmark collections keyed by name."""
+    return {
+        name: load_collection(name, n_series_per_collection, length_scale)
+        for name in BENCHMARK_COLLECTIONS
+    }
+
+
+def load_archive_suite(
+    n_series_per_collection: int | None = None,
+    length_scale: float = 1.0,
+) -> dict[str, list[TimeSeriesDataset]]:
+    """All archive collections keyed by name."""
+    return {
+        name: load_collection(name, n_series_per_collection, length_scale)
+        for name in ARCHIVE_COLLECTIONS
+    }
+
+
+def collection_summary(datasets: list[TimeSeriesDataset]) -> dict:
+    """Aggregate length / segment statistics of a generated collection."""
+    import numpy as np
+
+    lengths = np.array([len(d) for d in datasets])
+    segments = np.array([d.n_segments for d in datasets])
+    return {
+        "n_series": len(datasets),
+        "length_min": int(lengths.min()),
+        "length_median": float(np.median(lengths)),
+        "length_max": int(lengths.max()),
+        "segments_min": int(segments.min()),
+        "segments_median": float(np.median(segments)),
+        "segments_max": int(segments.max()),
+    }

@@ -1,0 +1,225 @@
+"""Composition of annotated streams from segment specifications.
+
+A stream is described by a list of :class:`SegmentSpec` (generator name,
+length, parameters, state label).  :func:`compose_stream` renders the
+segments, optionally blends short transition ramps between them (real sensors
+rarely jump instantaneously), and returns a
+:class:`~repro.datasets.dataset.TimeSeriesDataset` whose annotated change
+points are the segment boundaries.
+
+:func:`random_segment_specs` draws segment specifications from a library of
+"states" — parameterised generator families — making sure consecutive
+segments use different states, which is what gives the benchmark collections
+their ground-truth change points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.dataset import TimeSeriesDataset
+from repro.datasets.generators import get_generator
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass
+class SegmentSpec:
+    """Specification of a single homogeneous segment."""
+
+    generator: str
+    length: int
+    params: dict = field(default_factory=dict)
+    label: str = ""
+
+    def render(self, rng: np.random.Generator) -> np.ndarray:
+        """Materialise the segment's values."""
+        if self.length < 1:
+            raise ConfigurationError("segment length must be positive")
+        return get_generator(self.generator)(self.length, rng, **self.params)
+
+
+def compose_stream(
+    segments: list[SegmentSpec],
+    name: str = "synthetic",
+    collection: str = "synthetic",
+    sample_rate: float = 100.0,
+    seed: int | None = None,
+    transition: int = 0,
+    standardise: bool = True,
+    subsequence_width: int | None = None,
+) -> TimeSeriesDataset:
+    """Render a list of segment specifications into an annotated dataset.
+
+    Parameters
+    ----------
+    segments:
+        At least one segment specification.
+    transition:
+        Length of the linear cross-fade applied across each boundary (0 means
+        hard switches, as in most benchmark series).
+    standardise:
+        Z-normalise the final series (the paper's benchmarks ship
+        preprocessed, roughly standardised series).
+    subsequence_width:
+        Optional annotated temporal-pattern width stored in the metadata
+        (FLOSS takes its width from such annotations in the paper).
+    """
+    if not segments:
+        raise ConfigurationError("at least one segment specification is required")
+    rng = np.random.default_rng(seed)
+    rendered = [spec.render(rng) for spec in segments]
+
+    values = np.concatenate(rendered)
+    if transition > 0:
+        offset = 0
+        for piece in rendered[:-1]:
+            offset += piece.shape[0]
+            lo = max(0, offset - transition // 2)
+            hi = min(values.shape[0], offset + transition // 2)
+            if hi - lo >= 3:
+                ramp = np.linspace(values[lo], values[hi - 1], hi - lo)
+                blend = np.linspace(0.0, 1.0, hi - lo) * 0.5
+                values[lo:hi] = (1 - blend) * values[lo:hi] + blend * ramp
+
+    change_points = np.cumsum([spec.length for spec in segments])[:-1]
+    if standardise:
+        values = (values - values.mean()) / max(values.std(), 1e-12)
+
+    metadata = {
+        "segment_labels": [spec.label or spec.generator for spec in segments],
+        "segment_generators": [spec.generator for spec in segments],
+        "seed": seed,
+    }
+    if subsequence_width is not None:
+        metadata["subsequence_width"] = int(subsequence_width)
+    return TimeSeriesDataset(
+        name=name,
+        values=values,
+        change_points=change_points,
+        sample_rate=sample_rate,
+        collection=collection,
+        metadata=metadata,
+    )
+
+
+#: Parameterised "states" a process can be in.  Each entry maps to a generator
+#: plus a parameter sampler; drawing different states for consecutive segments
+#: guarantees a genuine signal change at each annotated change point.
+STATE_LIBRARY: dict[str, dict] = {
+    "slow_sine": {"generator": "sine", "period": (40, 90), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
+    "fast_sine": {"generator": "sine", "period": (12, 30), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
+    "square": {"generator": "square", "period": (30, 90), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
+    "sawtooth": {"generator": "sawtooth", "period": (30, 90), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
+    "calm_noise": {"generator": "noise", "mean": (-0.2, 0.2), "std": (0.05, 0.2)},
+    "wild_noise": {"generator": "noise", "mean": (-0.2, 0.2), "std": (0.8, 1.5)},
+    "ar_smooth": {"generator": "ar", "coefficients": ((0.8, -0.2),), "noise": (0.3, 0.8)},
+    "ar_rough": {"generator": "ar", "coefficients": ((-0.5, 0.2),), "noise": (0.3, 0.8)},
+    "walk": {"generator": "random_walk", "step_std": (0.05, 0.2)},
+    "strong_activity": {
+        "generator": "activity",
+        "base_period": (20, 40),
+        "amplitude": (1.0, 2.0),
+        "noise": (0.05, 0.2),
+        "burstiness": (0.0, 0.3),
+    },
+    "light_activity": {
+        "generator": "activity",
+        "base_period": (60, 120),
+        "amplitude": (0.3, 0.8),
+        "noise": (0.05, 0.2),
+        "burstiness": (0.0, 0.1),
+    },
+    "ecg_normal": {"generator": "ecg", "beat_period": (60, 100), "amplitude": (0.8, 1.4), "noise": (0.02, 0.08)},
+    "ecg_irregular": {
+        "generator": "ecg",
+        "beat_period": (60, 100),
+        "amplitude": (0.8, 1.4),
+        "noise": (0.02, 0.08),
+        "irregular": (True,),
+    },
+    "ecg_fibrillation": {
+        "generator": "ecg",
+        "beat_period": (60, 100),
+        "amplitude": (0.8, 1.4),
+        "noise": (0.02, 0.08),
+        "fibrillation": (True,),
+    },
+    "respiration_calm": {"generator": "respiration", "breath_period": (200, 320), "amplitude": (0.8, 1.2), "noise": (0.02, 0.08)},
+    "respiration_excited": {"generator": "respiration", "breath_period": (80, 140), "amplitude": (1.0, 1.8), "noise": (0.05, 0.15)},
+    "eeg_deep": {"generator": "eeg", "band": ((0.005, 0.03),), "amplitude": (1.0, 1.6)},
+    "eeg_light": {"generator": "eeg", "band": ((0.03, 0.1),), "amplitude": (0.8, 1.2)},
+    "eeg_wake": {"generator": "eeg", "band": ((0.1, 0.3),), "amplitude": (0.5, 1.0)},
+}
+
+
+def _sample_state_params(state: dict, rng: np.random.Generator) -> dict:
+    """Draw concrete generator parameters from a state description."""
+    params = {}
+    for key, value in state.items():
+        if key == "generator":
+            continue
+        if isinstance(value, tuple) and len(value) == 2 and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in value
+        ):
+            low, high = value
+            sampled = rng.uniform(float(low), float(high))
+            params[key] = int(round(sampled)) if isinstance(low, int) and isinstance(high, int) else sampled
+        elif isinstance(value, tuple):
+            params[key] = value[int(rng.integers(0, len(value)))]
+        else:
+            params[key] = value
+    return params
+
+
+def random_segment_specs(
+    n_segments: int,
+    segment_length_range: tuple[int, int],
+    rng: np.random.Generator,
+    states: list[str] | None = None,
+    allow_repeats: bool = False,
+) -> list[SegmentSpec]:
+    """Draw a sequence of segment specifications with differing states.
+
+    Parameters
+    ----------
+    n_segments:
+        Number of segments (number of change points + 1).
+    segment_length_range:
+        Inclusive (min, max) range segment lengths are drawn from.
+    states:
+        Candidate state names (defaults to the full library).
+    allow_repeats:
+        If True a state may reappear later in the stream (not adjacently),
+        which exercises the "reoccurring sub-segments" sub-case of §4.3.
+    """
+    if n_segments < 1:
+        raise ConfigurationError("n_segments must be at least 1")
+    candidates = list(states or STATE_LIBRARY.keys())
+    if len(candidates) < 2 and n_segments > 1:
+        raise ConfigurationError("need at least two states to build change points")
+
+    specs: list[SegmentSpec] = []
+    previous_state: str | None = None
+    used: list[str] = []
+    for _ in range(n_segments):
+        options = [name for name in candidates if name != previous_state]
+        if not allow_repeats:
+            fresh = [name for name in options if name not in used]
+            if fresh:
+                options = fresh
+        state_name = options[int(rng.integers(0, len(options)))]
+        used.append(state_name)
+        previous_state = state_name
+        state = STATE_LIBRARY[state_name]
+        length = int(rng.integers(segment_length_range[0], segment_length_range[1] + 1))
+        specs.append(
+            SegmentSpec(
+                generator=state["generator"],
+                length=length,
+                params=_sample_state_params(state, rng),
+                label=state_name,
+            )
+        )
+    return specs

@@ -1,0 +1,91 @@
+"""Evaluation framework: Covering, ranks, CD statistics, runner and reports."""
+
+from repro.evaluation.ablation import (
+    PAPER_ABLATION_GRID,
+    AblationEntry,
+    ablation_rows,
+    ablation_sample,
+    run_ablation,
+)
+from repro.evaluation.covering import (
+    change_points_to_segments,
+    covering_matrix,
+    covering_score,
+    interval_jaccard,
+)
+from repro.evaluation.metrics import (
+    ChangePointMatch,
+    change_point_f1,
+    detection_delays,
+    match_change_points,
+    mean_absolute_error_of_matched_cps,
+)
+from repro.evaluation.ranking import (
+    CriticalDifferenceResult,
+    critical_difference_analysis,
+    friedman_test,
+    mean_ranks,
+    nemenyi_critical_difference,
+    pairwise_wins,
+    rank_scores,
+    wins_and_ties_per_method,
+)
+from repro.evaluation.reporting import (
+    format_markdown_table,
+    format_ranking,
+    format_summary,
+    format_table,
+)
+from repro.evaluation.runner import (
+    EvaluationRecord,
+    ExperimentResult,
+    class_factory,
+    default_method_factories,
+    run_experiment,
+    run_method_on_dataset,
+    stream_dataset,
+)
+from repro.evaluation.throughput import (
+    ThroughputReport,
+    measure_throughput,
+    measure_update_scaling,
+)
+
+__all__ = [
+    "covering_score",
+    "covering_matrix",
+    "interval_jaccard",
+    "change_points_to_segments",
+    "change_point_f1",
+    "match_change_points",
+    "detection_delays",
+    "mean_absolute_error_of_matched_cps",
+    "ChangePointMatch",
+    "rank_scores",
+    "mean_ranks",
+    "friedman_test",
+    "nemenyi_critical_difference",
+    "critical_difference_analysis",
+    "CriticalDifferenceResult",
+    "pairwise_wins",
+    "wins_and_ties_per_method",
+    "EvaluationRecord",
+    "ExperimentResult",
+    "run_experiment",
+    "run_method_on_dataset",
+    "stream_dataset",
+    "class_factory",
+    "default_method_factories",
+    "ThroughputReport",
+    "measure_throughput",
+    "measure_update_scaling",
+    "format_table",
+    "format_markdown_table",
+    "format_ranking",
+    "format_summary",
+    "AblationEntry",
+    "run_ablation",
+    "ablation_sample",
+    "ablation_rows",
+    "PAPER_ABLATION_GRID",
+]

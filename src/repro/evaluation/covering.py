@@ -1,0 +1,80 @@
+"""Covering segmentation metric (paper §4.1, Eqn. 6; van den Burg & Williams).
+
+The Covering score measures how well a predicted segmentation overlaps an
+annotated one: every ground-truth segment contributes its best Jaccard overlap
+with any predicted segment, weighted by its length.  It is a soft metric that
+handles different numbers of segments (including the empty prediction, which
+still scores the overlap of the single implicit segment).
+
+All functions accept change points as arrays of offsets; the first change
+point at 0 and the series end are implicit, following Definition 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import ValidationError
+
+
+def change_points_to_segments(
+    change_points: Iterable[int], n_timepoints: int
+) -> list[tuple[int, int]]:
+    """Convert change point offsets into half-open (start, end) segments.
+
+    Out-of-range and duplicate change points are dropped; the remainder is
+    sorted, so predictions from any segmenter can be passed verbatim.
+    """
+    n_timepoints = int(n_timepoints)
+    if n_timepoints < 1:
+        raise ValidationError("n_timepoints must be positive")
+    inside = sorted({int(cp) for cp in change_points if 0 < int(cp) < n_timepoints})
+    boundaries = [0, *inside, n_timepoints]
+    return [(boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)]
+
+
+def interval_jaccard(a: tuple[int, int], b: tuple[int, int]) -> float:
+    """Jaccard index of two half-open integer intervals."""
+    intersection = max(0, min(a[1], b[1]) - max(a[0], b[0]))
+    union = max(a[1], b[1]) - min(a[0], b[0])
+    if union <= 0:
+        return 0.0
+    return intersection / union
+
+
+def covering_score(
+    true_change_points: Sequence[int] | np.ndarray,
+    predicted_change_points: Sequence[int] | np.ndarray,
+    n_timepoints: int,
+) -> float:
+    """Covering of the ground-truth segmentation by the predicted one (Eqn. 6).
+
+    Returns a value in ``[0, 1]``; 1.0 means every annotated segment is
+    exactly recovered by some predicted segment.
+    """
+    true_segments = change_points_to_segments(true_change_points, n_timepoints)
+    predicted_segments = change_points_to_segments(predicted_change_points, n_timepoints)
+
+    total = 0.0
+    for segment in true_segments:
+        weight = (segment[1] - segment[0]) / n_timepoints
+        best = max(interval_jaccard(segment, candidate) for candidate in predicted_segments)
+        total += weight * best
+    return float(total)
+
+
+def covering_matrix(
+    true_change_points: Sequence[int],
+    predicted_change_points: Sequence[int],
+    n_timepoints: int,
+) -> np.ndarray:
+    """Full Jaccard matrix between true and predicted segments (for inspection)."""
+    true_segments = change_points_to_segments(true_change_points, n_timepoints)
+    predicted_segments = change_points_to_segments(predicted_change_points, n_timepoints)
+    matrix = np.zeros((len(true_segments), len(predicted_segments)))
+    for i, t in enumerate(true_segments):
+        for j, p in enumerate(predicted_segments):
+            matrix[i, j] = interval_jaccard(t, p)
+    return matrix

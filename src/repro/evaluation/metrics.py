@@ -1,0 +1,120 @@
+"""Additional segmentation quality metrics beyond Covering.
+
+The paper's quantitative analysis is based on Covering; the use cases of §4.5
+additionally discuss detection delay ("early streaming time series
+segmentation").  This module provides the margin-based change point F1 score
+common in the CPD literature, detection-delay statistics, and simple
+prediction/annotation counting helpers used by the reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class ChangePointMatch:
+    """Matching of predicted to annotated change points under a margin."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    matched_pairs: list[tuple[int, int]]
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def match_change_points(
+    true_change_points: Sequence[int],
+    predicted_change_points: Sequence[int],
+    margin: int,
+) -> ChangePointMatch:
+    """Greedy one-to-one matching of predictions to annotations within ``margin``."""
+    true_list = sorted(int(cp) for cp in true_change_points)
+    predicted_list = sorted(int(cp) for cp in predicted_change_points)
+    unmatched_true = set(range(len(true_list)))
+    pairs: list[tuple[int, int]] = []
+    for predicted in predicted_list:
+        best_index, best_distance = None, margin + 1
+        for index in unmatched_true:
+            distance = abs(true_list[index] - predicted)
+            if distance <= margin and distance < best_distance:
+                best_index, best_distance = index, distance
+        if best_index is not None:
+            unmatched_true.remove(best_index)
+            pairs.append((true_list[best_index], predicted))
+    true_positives = len(pairs)
+    return ChangePointMatch(
+        true_positives=true_positives,
+        false_positives=len(predicted_list) - true_positives,
+        false_negatives=len(true_list) - true_positives,
+        matched_pairs=pairs,
+    )
+
+
+def change_point_f1(
+    true_change_points: Sequence[int],
+    predicted_change_points: Sequence[int],
+    n_timepoints: int,
+    margin_fraction: float = 0.01,
+) -> float:
+    """Margin-based change point F1 (margin = ``margin_fraction`` of the length)."""
+    margin = max(int(margin_fraction * n_timepoints), 1)
+    return match_change_points(true_change_points, predicted_change_points, margin).f1
+
+
+def detection_delays(
+    true_change_points: Sequence[int],
+    predicted_change_points: Sequence[int],
+    detection_times: Sequence[int],
+    margin: int,
+) -> list[int]:
+    """Delay between each matched annotated change point and its report time.
+
+    Used by the early-segmentation use case (Figure 9): for every annotated
+    change point matched by a prediction within ``margin``, the delay is the
+    difference between the time the prediction was *reported* (not its
+    location) and the annotated change point.
+    """
+    predicted = list(predicted_change_points)
+    times = list(detection_times)
+    delays: list[int] = []
+    for true_cp in true_change_points:
+        best_delay: int | None = None
+        for cp, detected_at in zip(predicted, times):
+            if abs(int(cp) - int(true_cp)) <= margin:
+                delay = int(detected_at) - int(true_cp)
+                if best_delay is None or delay < best_delay:
+                    best_delay = delay
+        if best_delay is not None:
+            delays.append(best_delay)
+    return delays
+
+
+def mean_absolute_error_of_matched_cps(
+    true_change_points: Sequence[int],
+    predicted_change_points: Sequence[int],
+    margin: int,
+) -> float:
+    """Mean location error over matched change points (NaN if none matched)."""
+    match = match_change_points(true_change_points, predicted_change_points, margin)
+    if not match.matched_pairs:
+        return float("nan")
+    errors = [abs(t - p) for t, p in match.matched_pairs]
+    return float(np.mean(errors))

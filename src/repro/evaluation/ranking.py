@@ -1,0 +1,171 @@
+"""Rank aggregation and critical-difference statistics (paper §4.1, Figure 5).
+
+The paper aggregates per-series Covering scores into mean ranks per method,
+tests for overall differences with the Friedman test, and reports which
+methods differ significantly using a Nemenyi two-tailed test at alpha = 0.05,
+visualised as a critical difference (CD) diagram.  This module computes all of
+those quantities numerically (the diagram itself is a plot; the benchmark
+harness prints the rank ordering, the CD value and the groups of methods that
+are not significantly different, which is the diagram's information content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.exceptions import ValidationError
+
+#: Critical values of the studentised range statistic q_alpha (alpha = 0.05)
+#: divided by sqrt(2), indexed by the number of compared methods (2..12).
+#: These are the standard constants used for Nemenyi CD diagrams (Demšar 2006).
+_NEMENYI_Q_005 = {
+    2: 1.959964,
+    3: 2.343701,
+    4: 2.569032,
+    5: 2.727774,
+    6: 2.849705,
+    7: 2.948319,
+    8: 3.030879,
+    9: 3.101730,
+    10: 3.163684,
+    11: 3.218654,
+    12: 3.268004,
+}
+
+
+def rank_scores(score_matrix: np.ndarray, higher_is_better: bool = True) -> np.ndarray:
+    """Per-dataset ranks of every method (1 = best), averaging ties.
+
+    Parameters
+    ----------
+    score_matrix:
+        Array of shape ``(n_datasets, n_methods)``.
+    """
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValidationError("score_matrix must be 2-dimensional (datasets x methods)")
+    oriented = -scores if higher_is_better else scores
+    return np.apply_along_axis(stats.rankdata, 1, oriented)
+
+
+def mean_ranks(score_matrix: np.ndarray, higher_is_better: bool = True) -> np.ndarray:
+    """Mean rank per method across all datasets (lower = better)."""
+    return rank_scores(score_matrix, higher_is_better).mean(axis=0)
+
+
+def friedman_test(score_matrix: np.ndarray) -> tuple[float, float]:
+    """Friedman chi-square statistic and p-value over the methods' scores."""
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    if scores.shape[1] < 3:
+        raise ValidationError("the Friedman test needs at least three methods")
+    statistic, p_value = stats.friedmanchisquare(*[scores[:, j] for j in range(scores.shape[1])])
+    return float(statistic), float(p_value)
+
+
+def nemenyi_critical_difference(n_methods: int, n_datasets: int, alpha: float = 0.05) -> float:
+    """Critical difference of mean ranks for the two-tailed Nemenyi test."""
+    if alpha != 0.05:
+        raise ValidationError("only alpha = 0.05 critical values are tabulated")
+    if n_methods < 2:
+        raise ValidationError("need at least two methods")
+    q = _NEMENYI_Q_005.get(n_methods)
+    if q is None:
+        # asymptotic approximation via the studentised range distribution
+        q = stats.studentized_range.ppf(1 - alpha, n_methods, np.inf) / np.sqrt(2.0)
+    return float(q * np.sqrt(n_methods * (n_methods + 1) / (6.0 * n_datasets)))
+
+
+@dataclass
+class CriticalDifferenceResult:
+    """All numbers behind a critical-difference diagram."""
+
+    method_names: list[str]
+    mean_ranks: np.ndarray
+    critical_difference: float
+    friedman_statistic: float
+    friedman_p_value: float
+    cliques: list[list[str]]
+
+    def ordering(self) -> list[tuple[str, float]]:
+        """Methods sorted from best (lowest mean rank) to worst."""
+        order = np.argsort(self.mean_ranks)
+        return [(self.method_names[i], float(self.mean_ranks[i])) for i in order]
+
+    def is_significantly_better(self, method_a: str, method_b: str) -> bool:
+        """True when ``method_a``'s mean rank beats ``method_b``'s by more than the CD."""
+        rank_a = self.mean_ranks[self.method_names.index(method_a)]
+        rank_b = self.mean_ranks[self.method_names.index(method_b)]
+        return bool(rank_b - rank_a > self.critical_difference)
+
+
+def critical_difference_analysis(
+    score_matrix: np.ndarray,
+    method_names: list[str],
+    higher_is_better: bool = True,
+    alpha: float = 0.05,
+) -> CriticalDifferenceResult:
+    """Full CD-diagram analysis: mean ranks, Friedman test, CD, and cliques.
+
+    Cliques are maximal groups of methods whose mean ranks all lie within one
+    critical difference of each other — the "bars" of a CD diagram.
+    """
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    if scores.shape[1] != len(method_names):
+        raise ValidationError("method_names must match the number of score columns")
+    ranks = mean_ranks(scores, higher_is_better)
+    cd = nemenyi_critical_difference(len(method_names), scores.shape[0], alpha)
+    statistic, p_value = friedman_test(scores)
+
+    order = np.argsort(ranks)
+    cliques: list[list[str]] = []
+    for start in range(len(order)):
+        group = [method_names[order[start]]]
+        for other in range(start + 1, len(order)):
+            if ranks[order[other]] - ranks[order[start]] <= cd:
+                group.append(method_names[order[other]])
+        if len(group) > 1 and not any(set(group) <= set(existing) for existing in cliques):
+            cliques.append(group)
+
+    return CriticalDifferenceResult(
+        method_names=list(method_names),
+        mean_ranks=ranks,
+        critical_difference=cd,
+        friedman_statistic=statistic,
+        friedman_p_value=p_value,
+        cliques=cliques,
+    )
+
+
+def pairwise_wins(
+    score_matrix: np.ndarray, method_names: list[str], higher_is_better: bool = True
+) -> dict[tuple[str, str], tuple[int, int, int]]:
+    """Win/tie/loss counts for every ordered method pair (paper §4.3)."""
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    results: dict[tuple[str, str], tuple[int, int, int]] = {}
+    for i, name_a in enumerate(method_names):
+        for j, name_b in enumerate(method_names):
+            if i == j:
+                continue
+            diff = scores[:, i] - scores[:, j]
+            if not higher_is_better:
+                diff = -diff
+            wins = int(np.sum(diff > 1e-12))
+            ties = int(np.sum(np.abs(diff) <= 1e-12))
+            losses = int(np.sum(diff < -1e-12))
+            results[(name_a, name_b)] = (wins, ties, losses)
+    return results
+
+
+def wins_and_ties_per_method(
+    score_matrix: np.ndarray, method_names: list[str], higher_is_better: bool = True
+) -> dict[str, int]:
+    """Number of datasets where each method achieves the (possibly tied) best score."""
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    best = scores.max(axis=1) if higher_is_better else scores.min(axis=1)
+    counts = {}
+    for j, name in enumerate(method_names):
+        counts[name] = int(np.sum(np.abs(scores[:, j] - best) <= 1e-12))
+    return counts

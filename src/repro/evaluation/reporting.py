@@ -1,0 +1,91 @@
+"""Plain-text and markdown report writers for the benchmark harness.
+
+Every benchmark prints the rows / series of the paper table or figure it
+reproduces; these helpers keep that output consistent and readable without
+pulling in a plotting or dataframe dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(columns or rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, separator, body])
+    return "\n".join(parts)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dictionaries as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = "| " + " | ".join(map(str, columns)) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = "\n".join(
+        "| " + " | ".join(render(row.get(column, "")) for column in columns) + " |" for row in rows
+    )
+    return "\n".join([header, separator, body])
+
+
+def format_ranking(ordering: Iterable[tuple[str, float]], critical_difference: float) -> str:
+    """Render a critical-difference ordering like the textual part of Figure 5."""
+    lines = [f"critical difference (Nemenyi, alpha=0.05): {critical_difference:.3f}"]
+    for position, (name, rank) in enumerate(ordering, start=1):
+        lines.append(f"  {position}. {name:14s} mean rank {rank:.2f}")
+    return "\n".join(lines)
+
+
+def format_summary(summary: Mapping[str, Mapping[str, float]], metric: str = "covering") -> str:
+    """Render a per-method mean/median/std summary (Table 3 style)."""
+    rows = [
+        {
+            "method": method,
+            "mean %": 100.0 * stats["mean"],
+            "median %": 100.0 * stats["median"],
+            "std %": 100.0 * stats["std"],
+            "n": stats["n"],
+        }
+        for method, stats in sorted(summary.items(), key=lambda kv: -kv[1]["mean"])
+    ]
+    return format_table(rows, title=f"summary of {metric}", float_format="{:.1f}")

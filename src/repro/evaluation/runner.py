@@ -1,0 +1,320 @@
+"""Streaming experiment runner (paper §4.1, §4.3).
+
+The runner simulates the streaming setting exactly as the paper does: every
+series is replayed one observation at a time into a freshly constructed
+segmenter, the reported change points are collected, and the segmentation is
+scored with Covering against the annotations.  Wall-clock time and throughput
+are recorded alongside so the same run feeds the accuracy tables (Table 3,
+Figure 5) and the runtime/throughput figures (Figures 6-7).
+
+Because methods need per-dataset configuration (ClaSS caps its window at the
+series length, FLOSS takes the annotated subsequence width, Window uses ten
+times that width), methods are supplied as *factories*: callables receiving
+the dataset and returning a ready-to-stream segmenter.
+:func:`default_method_factories` builds the paper-configured factories for
+ClaSS and all eight competitors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.competitors import get_competitor
+from repro.core.class_segmenter import ClaSS
+from repro.datasets.dataset import TimeSeriesDataset
+from repro.evaluation.covering import covering_score
+from repro.evaluation.metrics import change_point_f1
+from repro.utils.exceptions import ConfigurationError
+
+
+class SupportsStreaming(Protocol):
+    """Structural type shared by ClaSS and every competitor."""
+
+    def update(self, value: float) -> int | None:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def change_points(self) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+#: A method factory builds a fresh segmenter configured for one dataset.
+MethodFactory = Callable[[TimeSeriesDataset], SupportsStreaming]
+
+
+@dataclass
+class EvaluationRecord:
+    """Outcome of streaming one method over one dataset."""
+
+    method: str
+    dataset: str
+    collection: str
+    n_timepoints: int
+    n_true_change_points: int
+    n_predicted_change_points: int
+    covering: float
+    f1: float
+    runtime_seconds: float
+    throughput: float
+    predicted_change_points: np.ndarray
+    detection_times: np.ndarray
+
+    def as_row(self) -> dict:
+        """Flat dictionary representation used by the report writers."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "collection": self.collection,
+            "n_timepoints": self.n_timepoints,
+            "n_true_cps": self.n_true_change_points,
+            "n_pred_cps": self.n_predicted_change_points,
+            "covering": round(self.covering, 4),
+            "f1": round(self.f1, 4),
+            "runtime_s": round(self.runtime_seconds, 4),
+            "throughput": round(self.throughput, 1),
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """All records of one experiment, with aggregation helpers."""
+
+    records: list[EvaluationRecord] = field(default_factory=list)
+
+    @property
+    def methods(self) -> list[str]:
+        """Method names in first-appearance order."""
+        seen: list[str] = []
+        for record in self.records:
+            if record.method not in seen:
+                seen.append(record.method)
+        return seen
+
+    @property
+    def datasets(self) -> list[str]:
+        """Dataset names in first-appearance order."""
+        seen: list[str] = []
+        for record in self.records:
+            if record.dataset not in seen:
+                seen.append(record.dataset)
+        return seen
+
+    def filter(self, collection: str | None = None, method: str | None = None) -> "ExperimentResult":
+        """Sub-result restricted to one collection and/or one method."""
+        records = [
+            r
+            for r in self.records
+            if (collection is None or r.collection == collection)
+            and (method is None or r.method == method)
+        ]
+        return ExperimentResult(records)
+
+    def score_matrix(self, metric: str = "covering") -> tuple[np.ndarray, list[str], list[str]]:
+        """Datasets x methods matrix of a metric, plus the row/column labels."""
+        methods = self.methods
+        datasets = self.datasets
+        matrix = np.full((len(datasets), len(methods)), np.nan)
+        for record in self.records:
+            row = datasets.index(record.dataset)
+            col = methods.index(record.method)
+            matrix[row, col] = getattr(record, metric)
+        return matrix, datasets, methods
+
+    def summary_by_method(self, metric: str = "covering") -> dict[str, dict[str, float]]:
+        """Mean / median / std of a metric per method (Table 3 style)."""
+        summary: dict[str, dict[str, float]] = {}
+        for method in self.methods:
+            values = np.array([getattr(r, metric) for r in self.records if r.method == method])
+            summary[method] = {
+                "mean": float(np.mean(values)),
+                "median": float(np.median(values)),
+                "std": float(np.std(values)),
+                "n": int(values.shape[0]),
+            }
+        return summary
+
+    def total_runtime_by_method(self) -> dict[str, float]:
+        """Total wall-clock seconds spent per method (Figure 6 top-left)."""
+        totals: dict[str, float] = {}
+        for record in self.records:
+            totals[record.method] = totals.get(record.method, 0.0) + record.runtime_seconds
+        return totals
+
+    def mean_throughput_by_method(self) -> dict[str, float]:
+        """Average points/second per method (Figure 6 bottom-left)."""
+        result: dict[str, float] = {}
+        for method in self.methods:
+            values = [r.throughput for r in self.records if r.method == method]
+            result[method] = float(np.mean(values)) if values else 0.0
+        return result
+
+
+def stream_dataset(
+    segmenter: SupportsStreaming, dataset: TimeSeriesDataset
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Replay ``dataset`` through ``segmenter`` one point at a time.
+
+    Returns the predicted change points, the detection times and the elapsed
+    wall-clock seconds.
+    """
+    start = time.perf_counter()
+    detections: list[tuple[int, int]] = []
+    for index, value in enumerate(dataset.values):
+        change_point = segmenter.update(float(value))
+        if change_point is not None:
+            detections.append((int(change_point), index + 1))
+    if hasattr(segmenter, "finalise"):
+        segmenter.finalise()
+    elapsed = time.perf_counter() - start
+    change_points = np.asarray(segmenter.change_points, dtype=np.int64)
+    detection_times = np.asarray([t for _, t in detections], dtype=np.int64)
+    if detection_times.shape[0] != change_points.shape[0]:
+        detection_times = np.asarray(
+            [t for _, t in detections][: change_points.shape[0]], dtype=np.int64
+        )
+    return change_points, detection_times, elapsed
+
+
+def run_method_on_dataset(
+    method_name: str,
+    factory: MethodFactory,
+    dataset: TimeSeriesDataset,
+) -> EvaluationRecord:
+    """Build, stream and score one method on one dataset."""
+    segmenter = factory(dataset)
+    predicted, detection_times, elapsed = stream_dataset(segmenter, dataset)
+    covering = covering_score(dataset.change_points, predicted, dataset.n_timepoints)
+    f1 = change_point_f1(dataset.change_points, predicted, dataset.n_timepoints, margin_fraction=0.02)
+    throughput = dataset.n_timepoints / elapsed if elapsed > 0 else float("inf")
+    return EvaluationRecord(
+        method=method_name,
+        dataset=dataset.name,
+        collection=dataset.collection,
+        n_timepoints=dataset.n_timepoints,
+        n_true_change_points=int(dataset.change_points.shape[0]),
+        n_predicted_change_points=int(predicted.shape[0]),
+        covering=covering,
+        f1=f1,
+        runtime_seconds=elapsed,
+        throughput=throughput,
+        predicted_change_points=predicted,
+        detection_times=detection_times,
+    )
+
+
+def run_experiment(
+    methods: dict[str, MethodFactory],
+    datasets: Sequence[TimeSeriesDataset],
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Stream every dataset through every method and collect all records."""
+    if not methods:
+        raise ConfigurationError("at least one method factory is required")
+    result = ExperimentResult()
+    for dataset in datasets:
+        for method_name, factory in methods.items():
+            record = run_method_on_dataset(method_name, factory, dataset)
+            result.records.append(record)
+            if verbose:  # pragma: no cover - console output
+                print(
+                    f"  {method_name:14s} {dataset.name:24s} covering={record.covering:.3f} "
+                    f"({record.runtime_seconds:.2f}s)"
+                )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# paper-configured method factories
+# --------------------------------------------------------------------------- #
+
+
+def _dataset_width(dataset: TimeSeriesDataset, fallback: int = 50) -> int:
+    """Annotated subsequence width of a dataset, with a sensible fallback."""
+    width = dataset.subsequence_width_hint
+    if width is None:
+        width = fallback
+    return max(10, min(int(width), dataset.n_timepoints // 8))
+
+
+def class_factory(
+    window_size: int = 10_000,
+    scoring_interval: int = 1,
+    use_annotated_width: bool = False,
+    **kwargs,
+) -> MethodFactory:
+    """Factory producing paper-configured ClaSS instances per dataset.
+
+    ``window_size`` is capped at half of the series length so the subsequence
+    width can always be learned before the stream ends; ``scoring_interval``
+    trades per-point scoring for throughput (see DESIGN.md).
+    """
+
+    def build(dataset: TimeSeriesDataset) -> ClaSS:
+        capped_window = int(min(window_size, max(dataset.n_timepoints // 2, 100)))
+        width = _dataset_width(dataset) if use_annotated_width else None
+        if width is not None:
+            width = min(width, capped_window // 4)
+        return ClaSS(
+            window_size=capped_window,
+            subsequence_width=width,
+            scoring_interval=scoring_interval,
+            **kwargs,
+        )
+
+    return build
+
+
+def default_method_factories(
+    window_size: int = 10_000,
+    scoring_interval: int = 1,
+    floss_stride: int = 1,
+    include: Sequence[str] | None = None,
+    class_kwargs: dict | None = None,
+) -> dict[str, MethodFactory]:
+    """Paper-configured factories for ClaSS and the eight competitors.
+
+    Parameters
+    ----------
+    window_size:
+        Sliding window size for ClaSS and FLOSS (paper: 10k).
+    scoring_interval, floss_stride:
+        Optional strides for the two expensive profile-based methods so the
+        pure-Python evaluation stays tractable on large suites.
+    include:
+        Optional subset of method names.
+    class_kwargs:
+        Extra keyword arguments forwarded to ClaSS.
+    """
+    class_kwargs = dict(class_kwargs or {})
+
+    def floss(dataset: TimeSeriesDataset):
+        width = _dataset_width(dataset)
+        return get_competitor(
+            "FLOSS",
+            window_size=int(min(window_size, max(dataset.n_timepoints // 2, 4 * width + 10))),
+            subsequence_width=width,
+            stride=floss_stride,
+        )
+
+    def window(dataset: TimeSeriesDataset):
+        width = _dataset_width(dataset)
+        return get_competitor("Window", window_size=min(10 * width, max(dataset.n_timepoints // 4, 40)))
+
+    factories: dict[str, MethodFactory] = {
+        "ClaSS": class_factory(window_size, scoring_interval, **class_kwargs),
+        "FLOSS": floss,
+        "Window": window,
+        "BOCD": lambda dataset: get_competitor("BOCD"),
+        "ChangeFinder": lambda dataset: get_competitor("ChangeFinder"),
+        "NEWMA": lambda dataset: get_competitor("NEWMA"),
+        "ADWIN": lambda dataset: get_competitor("ADWIN"),
+        "DDM": lambda dataset: get_competitor("DDM"),
+        "HDDM": lambda dataset: get_competitor("HDDM"),
+    }
+    if include is not None:
+        factories = {name: factories[name] for name in include}
+    return factories

@@ -1,0 +1,114 @@
+"""Throughput and update-latency measurement helpers (paper §4.4).
+
+The paper reports two runtime views: the total wall-clock time spent per
+method across all series versus segmentation quality (Figure 6 top left), and
+the standalone data throughput in observations per second (Figure 6 bottom
+left), plus the throughput/accuracy trade-off across sliding window sizes
+(Figure 6 right).  The helpers here measure per-update latencies and
+aggregate throughput for any object implementing the streaming ``update``
+protocol, independent of the evaluation runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ThroughputReport:
+    """Throughput statistics of one streaming run."""
+
+    method: str
+    n_points: int
+    total_seconds: float
+    mean_points_per_second: float
+    peak_points_per_second: float
+    mean_update_latency: float
+    p95_update_latency: float
+
+    def as_row(self) -> dict:
+        """Flat dictionary for the report writers."""
+        return {
+            "method": self.method,
+            "n_points": self.n_points,
+            "total_s": round(self.total_seconds, 3),
+            "points_per_s": round(self.mean_points_per_second, 1),
+            "peak_points_per_s": round(self.peak_points_per_second, 1),
+            "mean_latency_ms": round(self.mean_update_latency * 1e3, 4),
+            "p95_latency_ms": round(self.p95_update_latency * 1e3, 4),
+        }
+
+
+def measure_throughput(
+    segmenter,
+    values: np.ndarray,
+    method_name: str | None = None,
+    chunk_size: int = 500,
+) -> ThroughputReport:
+    """Stream ``values`` through ``segmenter`` and measure throughput.
+
+    Peak throughput is the best rate observed over any single chunk of
+    ``chunk_size`` consecutive observations (the paper reports ClaSS's peak
+    rate separately because its scoring cost drops right after a change point
+    is emitted).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    chunk_rates: list[float] = []
+    latencies = np.empty(n, dtype=np.float64)
+
+    total_start = time.perf_counter()
+    position = 0
+    while position < n:
+        chunk = values[position : position + chunk_size]
+        chunk_start = time.perf_counter()
+        for offset, value in enumerate(chunk):
+            update_start = time.perf_counter()
+            segmenter.update(float(value))
+            latencies[position + offset] = time.perf_counter() - update_start
+        chunk_elapsed = time.perf_counter() - chunk_start
+        if chunk_elapsed > 0:
+            chunk_rates.append(chunk.shape[0] / chunk_elapsed)
+        position += chunk.shape[0]
+    total_elapsed = time.perf_counter() - total_start
+
+    return ThroughputReport(
+        method=method_name or type(segmenter).__name__,
+        n_points=n,
+        total_seconds=total_elapsed,
+        mean_points_per_second=n / total_elapsed if total_elapsed > 0 else float("inf"),
+        peak_points_per_second=float(max(chunk_rates)) if chunk_rates else float("inf"),
+        mean_update_latency=float(latencies.mean()) if n else 0.0,
+        p95_update_latency=float(np.percentile(latencies, 95)) if n else 0.0,
+    )
+
+
+def measure_update_scaling(
+    factory,
+    window_sizes: list[int],
+    values: np.ndarray,
+    warmup: int = 200,
+    measured_updates: int = 300,
+) -> dict[int, float]:
+    """Mean per-update latency of a method for several sliding window sizes.
+
+    ``factory`` receives a window size and returns a fresh segmenter.  Used by
+    the Table 2 complexity benchmark to show how per-point update cost grows
+    with ``d`` for each method.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    results: dict[int, float] = {}
+    for window_size in window_sizes:
+        segmenter = factory(window_size)
+        n_warm = min(warmup + window_size, values.shape[0] - measured_updates)
+        for value in values[:n_warm]:
+            segmenter.update(float(value))
+        start = time.perf_counter()
+        for value in values[n_warm : n_warm + measured_updates]:
+            segmenter.update(float(value))
+        elapsed = time.perf_counter() - start
+        results[window_size] = elapsed / measured_updates
+    return results

@@ -1,0 +1,39 @@
+"""Minimal push-based stream-processing engine (the Apache Flink substitute)."""
+
+from repro.streamengine.class_operator import (
+    ClaSSPipelineResult,
+    ClaSSWindowOperator,
+    run_class_pipeline,
+)
+from repro.streamengine.operators import (
+    FilterOperator,
+    MapOperator,
+    Operator,
+    SegmentationOperator,
+    SlidingWindowOperator,
+)
+from repro.streamengine.pipeline import Pipeline, PipelineMetrics
+from repro.streamengine.records import ChangePointEvent, Record
+from repro.streamengine.sinks import CallbackSink, ChangePointSink, CollectSink
+from repro.streamengine.sources import ArraySource, DatasetSource, PacedSource
+
+__all__ = [
+    "Record",
+    "ChangePointEvent",
+    "ArraySource",
+    "DatasetSource",
+    "PacedSource",
+    "Operator",
+    "MapOperator",
+    "FilterOperator",
+    "SlidingWindowOperator",
+    "SegmentationOperator",
+    "Pipeline",
+    "PipelineMetrics",
+    "CollectSink",
+    "ChangePointSink",
+    "CallbackSink",
+    "ClaSSWindowOperator",
+    "ClaSSPipelineResult",
+    "run_class_pipeline",
+]

@@ -1,0 +1,124 @@
+"""Stream operators: the processing vertices of a pipeline.
+
+Operators receive one record at a time and emit zero or more records
+downstream — the "one-at-a-time" processing model of Flink that the paper's
+window operator targets.  Besides the generic map / filter / sliding-window
+operators, :class:`SegmentationOperator` wraps any object implementing the
+streaming segmentation protocol (ClaSS or any competitor) and turns its
+reported change points into :class:`~repro.streamengine.records.ChangePointEvent`
+records, which is precisely what the paper's ClaSS Flink window operator does.
+"""
+
+from __future__ import annotations
+
+import abc
+import collections
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.streamengine.records import ChangePointEvent, Record
+
+
+class Operator(abc.ABC):
+    """Base class of all stream operators."""
+
+    #: Name shown in pipeline summaries.
+    name: str = "operator"
+
+    @abc.abstractmethod
+    def process(self, record: Record) -> Iterable[Record]:
+        """Consume one record and yield downstream records."""
+
+    def flush(self) -> Iterable[Record]:
+        """Emit any pending records when the stream ends (default: nothing)."""
+        return []
+
+
+class MapOperator(Operator):
+    """Apply a function to every record's value."""
+
+    name = "map"
+
+    def __init__(self, function: Callable[[float], float]) -> None:
+        self.function = function
+
+    def process(self, record: Record) -> Iterable[Record]:
+        yield Record(
+            timestamp=record.timestamp,
+            value=self.function(record.value),
+            stream=record.stream,
+            metadata=record.metadata,
+        )
+
+
+class FilterOperator(Operator):
+    """Drop records for which the predicate is False."""
+
+    name = "filter"
+
+    def __init__(self, predicate: Callable[[Record], bool]) -> None:
+        self.predicate = predicate
+
+    def process(self, record: Record) -> Iterable[Record]:
+        if self.predicate(record):
+            yield record
+
+
+class SlidingWindowOperator(Operator):
+    """Emit an aggregate of the last ``window_size`` values every ``slide`` records."""
+
+    name = "sliding_window"
+
+    def __init__(
+        self,
+        window_size: int,
+        slide: int = 1,
+        aggregate: Callable[[np.ndarray], float] = np.mean,
+    ) -> None:
+        self.window_size = int(window_size)
+        self.slide = max(1, int(slide))
+        self.aggregate = aggregate
+        self._buffer: collections.deque[float] = collections.deque(maxlen=self.window_size)
+        self._count = 0
+
+    def process(self, record: Record) -> Iterable[Record]:
+        self._buffer.append(float(record.value))
+        self._count += 1
+        if len(self._buffer) == self.window_size and self._count % self.slide == 0:
+            value = float(self.aggregate(np.asarray(self._buffer)))
+            yield Record(timestamp=record.timestamp, value=value, stream=record.stream)
+
+
+class SegmentationOperator(Operator):
+    """Wrap a streaming segmenter (ClaSS or a competitor) as a stream operator.
+
+    Incoming value records are fed to the segmenter; whenever it reports a
+    change point, a :class:`ChangePointEvent` record is emitted downstream.
+    """
+
+    name = "segmentation"
+
+    def __init__(self, segmenter, forward_values: bool = False) -> None:
+        self.segmenter = segmenter
+        self.forward_values = bool(forward_values)
+        self.n_processed = 0
+
+    def process(self, record: Record) -> Iterable[Record]:
+        self.n_processed += 1
+        change_point = self.segmenter.update(float(record.value))
+        if self.forward_values:
+            yield record
+        if change_point is not None:
+            event = ChangePointEvent(
+                change_point=int(change_point),
+                detected_at=int(record.timestamp) + 1,
+                stream=record.stream,
+                score=float(getattr(self.segmenter, "last_score", 0.0)),
+            )
+            yield Record(timestamp=record.timestamp, value=event, stream=record.stream)
+
+    def flush(self) -> Iterable[Record]:
+        if hasattr(self.segmenter, "finalise"):
+            self.segmenter.finalise()
+        return []

@@ -1,0 +1,38 @@
+"""Record and event types flowing through the stream engine.
+
+The engine is a deliberately small, single-process substitute for the Apache
+Flink deployment of the paper (§4.4): it models the integration surface that
+matters for a streaming segmentation operator — one-at-a-time delivery of
+timestamped records, stateful operators, sinks, and throughput accounting —
+without a cluster runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Record:
+    """One timestamped element of a data stream."""
+
+    timestamp: int
+    value: Any
+    stream: str = "default"
+    metadata: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass(frozen=True)
+class ChangePointEvent:
+    """Event emitted by a segmentation operator when a change point is found."""
+
+    change_point: int
+    detected_at: int
+    stream: str
+    score: float = 0.0
+
+    @property
+    def detection_delay(self) -> int:
+        """Observations between the change point and its detection."""
+        return int(self.detected_at - self.change_point)

@@ -1,0 +1,29 @@
+"""Shared utilities: validation, running statistics and library exceptions."""
+
+from repro.utils.exceptions import (
+    ConfigurationError,
+    NotEnoughDataError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.running_stats import RunningStats, sliding_mean_std, sliding_sums
+from repro.utils.validation import (
+    check_array_1d,
+    check_positive_int,
+    check_probability,
+    check_window_size,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ConfigurationError",
+    "NotEnoughDataError",
+    "RunningStats",
+    "sliding_mean_std",
+    "sliding_sums",
+    "check_array_1d",
+    "check_positive_int",
+    "check_probability",
+    "check_window_size",
+]

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so downstream
+users can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when an input array or scalar fails validation."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when mutually incompatible or out-of-range parameters are given."""
+
+
+class NotEnoughDataError(ReproError, RuntimeError):
+    """Raised when an operation is requested before enough data has been observed."""

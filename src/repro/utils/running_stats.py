@@ -1,0 +1,167 @@
+"""Running and sliding statistics used by the streaming k-NN (paper Eqns. 1-2).
+
+The paper derives subsequence means and standard deviations from differenced
+cumulative running sums so that each can be obtained in O(1) from its
+predecessor.  This module provides both the vectorised batch helpers (used
+once per window update, O(d) total) and an O(1)-per-point online accumulator
+used by several competitors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sliding_sums(values: np.ndarray, window_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return the sliding sums and sliding sums of squares for each offset.
+
+    Parameters
+    ----------
+    values:
+        1-d array of length ``n``.
+    window_size:
+        Subsequence width ``w``.
+
+    Returns
+    -------
+    (sums, squared_sums):
+        Arrays of length ``n - w + 1`` where entry ``i`` covers
+        ``values[i:i + w]``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    window_size = int(window_size)
+    if values.shape[0] < window_size:
+        raise ValueError("series shorter than window size")
+    csum = np.concatenate(([0.0], np.cumsum(values)))
+    csum2 = np.concatenate(([0.0], np.cumsum(values * values)))
+    sums = csum[window_size:] - csum[:-window_size]
+    squared = csum2[window_size:] - csum2[:-window_size]
+    return sums, squared
+
+
+def sliding_mean_std(
+    values: np.ndarray, window_size: int, std_floor: float = 1e-8
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding means and standard deviations per subsequence offset.
+
+    Standard deviations are floored at ``std_floor`` so that constant
+    subsequences do not produce divisions by zero in the correlation
+    computation (their correlation is handled separately).
+    """
+    sums, squared = sliding_sums(values, window_size)
+    mean = sums / window_size
+    variance = squared / window_size - mean * mean
+    variance = np.maximum(variance, 0.0)
+    std = np.sqrt(variance)
+    std = np.maximum(std, std_floor)
+    return mean, std
+
+
+def sliding_complexity(values: np.ndarray, window_size: int) -> np.ndarray:
+    """Complexity estimate per subsequence, used by the CID similarity.
+
+    The complexity estimate of Batista et al. is the Euclidean norm of the
+    first difference of the subsequence.  Computed for every offset via a
+    cumulative sum of squared differences.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] < window_size:
+        raise ValueError("series shorter than window size")
+    diffs = np.diff(values)
+    sq = diffs * diffs
+    csum = np.concatenate(([0.0], np.cumsum(sq)))
+    # subsequence i spans values[i:i+w]; its diffs span indices [i, i+w-2]
+    per_window = csum[window_size - 1:] - csum[: values.shape[0] - window_size + 1]
+    return np.sqrt(np.maximum(per_window, 0.0))
+
+
+class RunningStats:
+    """Online mean / variance accumulator (Welford's algorithm).
+
+    Used by the drift-detection competitors (DDM, HDDM, Page-Hinkley, the
+    adapters) where per-point O(1) updates and numerical stability matter.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def reset(self) -> None:
+        """Forget all observed values."""
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Incorporate one observation."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Current sample mean (0.0 before the first observation)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Current (population) variance."""
+        if self._count < 1:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def std(self) -> float:
+        """Current (population) standard deviation."""
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+
+class ExponentialMovingStats:
+    """Exponentially weighted mean/variance, used by NEWMA and HDDM-W."""
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        self.alpha = float(alpha)
+        self._mean = 0.0
+        self._var = 0.0
+        self._initialised = False
+
+    def reset(self) -> None:
+        """Forget all observed values."""
+        self._mean = 0.0
+        self._var = 0.0
+        self._initialised = False
+
+    def update(self, value: float) -> None:
+        """Incorporate one observation with exponential forgetting."""
+        if not self._initialised:
+            self._mean = float(value)
+            self._var = 0.0
+            self._initialised = True
+            return
+        delta = value - self._mean
+        self._mean += self.alpha * delta
+        self._var = (1.0 - self.alpha) * (self._var + self.alpha * delta * delta)
+
+    @property
+    def mean(self) -> float:
+        """Current exponentially weighted mean."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Current exponentially weighted variance."""
+        return self._var
+
+    @property
+    def std(self) -> float:
+        """Current exponentially weighted standard deviation."""
+        return float(np.sqrt(max(self._var, 0.0)))

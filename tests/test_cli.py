@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.loaders import save_dataset_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "TSSB" in output and "WESAD" in output
+
+
+class TestSegment:
+    def test_demo_segmentation(self, capsys):
+        assert main(["segment", "--demo", "--window-size", "1500", "--scoring-interval", "25"]) == 0
+        output = capsys.readouterr().out
+        assert "change points" in output
+        assert "covering vs annotation" in output
+
+    def test_segment_csv_file(self, tmp_path, small_dataset, capsys):
+        path = save_dataset_csv(small_dataset, tmp_path / "stream.csv")
+        assert main(["segment", str(path), "--window-size", "1000", "--scoring-interval", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "loaded" in output
+
+    def test_segment_plain_text_file(self, tmp_path, capsys, rng):
+        values = np.concatenate(
+            [np.sin(2 * np.pi * np.arange(600) / 20), np.sign(np.sin(2 * np.pi * np.arange(600) / 60))]
+        ) + rng.normal(0, 0.05, 1_200)
+        path = tmp_path / "values.txt"
+        np.savetxt(path, values)
+        assert main(["segment", str(path), "--window-size", "600", "--scoring-interval", "30"]) == 0
+        assert "change points" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_evaluate_small_suite(self, capsys):
+        exit_code = main([
+            "evaluate", "--collection", "TSSB", "--n-series", "2",
+            "--length-scale", "0.2", "--window-size", "1000",
+            "--scoring-interval", "40", "--methods", "ClaSS,DDM,HDDM", "--quiet",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "summary of covering" in output
+        assert "mean rank" in output

@@ -1,0 +1,90 @@
+"""Unit tests for the competitor base interface and threshold detector."""
+
+import numpy as np
+import pytest
+
+from repro.competitors.base import ScoreThresholdDetector, StreamSegmenter
+from repro.utils.exceptions import ConfigurationError
+
+
+class _StubSegmenter(StreamSegmenter):
+    """Reports a change point at every multiple of 100 observations."""
+
+    name = "stub"
+
+    def _update(self, value: float) -> int | None:
+        if self._n_seen % 100 == 0:
+            return self._n_seen - 10
+        return None
+
+
+class TestStreamSegmenter:
+    def test_update_counts_and_collects(self):
+        segmenter = _StubSegmenter()
+        segmenter.process(np.zeros(350))
+        assert segmenter.n_seen == 350
+        assert segmenter.change_points.tolist() == [90, 190, 290]
+        assert segmenter.detection_times.tolist() == [100, 200, 300]
+
+    def test_non_monotone_reports_are_dropped(self):
+        class Backwards(StreamSegmenter):
+            name = "backwards"
+
+            def _update(self, value):
+                # keeps reporting the same past location over and over
+                return 50 if self._n_seen >= 60 else None
+
+        segmenter = Backwards()
+        segmenter.process(np.zeros(200))
+        assert segmenter.change_points.tolist() == [50]
+
+    def test_future_reports_are_clamped(self):
+        class Future(StreamSegmenter):
+            name = "future"
+
+            def _update(self, value):
+                return self._n_seen + 1_000 if self._n_seen == 10 else None
+
+        segmenter = Future()
+        segmenter.process(np.zeros(20))
+        assert segmenter.change_points.tolist() == [9]
+
+    def test_segments_property(self):
+        segmenter = _StubSegmenter()
+        segmenter.process(np.zeros(250))
+        assert segmenter.segments == [(0, 90), (90, 190)]
+
+    def test_reset(self):
+        segmenter = _StubSegmenter()
+        segmenter.process(np.zeros(150))
+        segmenter.reset()
+        assert segmenter.n_seen == 0
+        assert segmenter.change_points.shape[0] == 0
+
+
+class TestScoreThresholdDetector:
+    def test_triggers_above_threshold(self):
+        detector = ScoreThresholdDetector(threshold=0.5, exclusion_zone=10)
+        assert not detector.check(0.4, 1)
+        assert detector.check(0.6, 2)
+
+    def test_exclusion_zone_suppresses_bursts(self):
+        detector = ScoreThresholdDetector(threshold=0.5, exclusion_zone=50)
+        assert detector.check(0.9, 100)
+        assert not detector.check(0.9, 120)
+        assert detector.check(0.9, 151)
+
+    def test_lower_is_change_orientation(self):
+        detector = ScoreThresholdDetector(threshold=0.3, exclusion_zone=0, higher_is_change=False)
+        assert detector.check(0.2, 1)
+        assert not detector.check(0.4, 2)
+
+    def test_negative_exclusion_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScoreThresholdDetector(threshold=0.5, exclusion_zone=-1)
+
+    def test_reset_clears_last_report(self):
+        detector = ScoreThresholdDetector(threshold=0.5, exclusion_zone=100)
+        assert detector.check(0.9, 10)
+        detector.reset()
+        assert detector.check(0.9, 20)

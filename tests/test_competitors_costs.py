@@ -1,0 +1,82 @@
+"""Unit tests for the Window baseline's segment cost functions."""
+
+import numpy as np
+import pytest
+
+from repro.competitors.costs import (
+    COST_FUNCTIONS,
+    cost_ar,
+    cost_gaussian,
+    cost_kernel,
+    cost_l1,
+    cost_l2,
+    cost_mahalanobis,
+    discrepancy,
+    get_cost_function,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestIndividualCosts:
+    def test_l2_is_sum_of_squared_deviations(self, rng):
+        segment = rng.normal(size=100)
+        assert cost_l2(segment) == pytest.approx(np.sum((segment - segment.mean()) ** 2))
+
+    def test_l1_uses_median(self):
+        segment = np.array([0.0, 0.0, 0.0, 10.0])
+        assert cost_l1(segment) == pytest.approx(10.0)
+
+    def test_costs_zero_for_empty_or_tiny_segments(self):
+        assert cost_l2(np.array([])) == 0.0
+        assert cost_gaussian(np.array([1.0])) == 0.0
+        assert cost_mahalanobis(np.array([2.0])) == 0.0
+
+    def test_gaussian_cost_increases_with_variance(self, rng):
+        low = cost_gaussian(rng.normal(0, 0.1, 200))
+        high = cost_gaussian(rng.normal(0, 5.0, 200))
+        assert high > low
+
+    def test_ar_cost_lower_for_ar_process(self, rng):
+        # an AR(1)-predictable signal has lower AR cost than white noise of the
+        # same variance
+        noise = rng.normal(size=400)
+        ar = np.zeros(400)
+        for t in range(1, 400):
+            ar[t] = 0.95 * ar[t - 1] + 0.1 * noise[t]
+        ar = ar / ar.std() * noise.std()
+        assert cost_ar(ar) < cost_ar(noise)
+
+    def test_kernel_cost_nonnegative(self, rng):
+        assert cost_kernel(rng.normal(size=150)) >= 0.0
+
+    def test_mahalanobis_is_scale_invariant(self, rng):
+        segment = rng.normal(size=200)
+        assert cost_mahalanobis(segment) == pytest.approx(cost_mahalanobis(10 * segment), rel=1e-9)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in COST_FUNCTIONS:
+            assert callable(get_cost_function(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_cost_function("huber")
+
+
+class TestDiscrepancy:
+    @pytest.mark.parametrize("cost_name", ["l2", "gaussian", "ar", "l1"])
+    def test_higher_at_change_than_within_segment(self, rng, cost_name):
+        cost = get_cost_function(cost_name)
+        homogeneous = rng.normal(0, 1, 400)
+        shifted = np.concatenate([rng.normal(0, 1, 200), rng.normal(6, 1, 200)])
+        assert discrepancy(shifted, cost) > discrepancy(homogeneous, cost)
+
+    def test_bounded_in_unit_interval(self, rng):
+        cost = get_cost_function("l2")
+        for _ in range(5):
+            value = discrepancy(rng.normal(size=100), cost)
+            assert 0.0 <= value <= 1.0
+
+    def test_tiny_segment_returns_zero(self):
+        assert discrepancy(np.array([1.0, 2.0]), cost_l2) == 0.0

@@ -1,0 +1,211 @@
+"""Behavioural tests for the drift/CPD competitors (BOCD, ChangeFinder, NEWMA,
+ADWIN, DDM, HDDM, Page-Hinkley, Window)."""
+
+import numpy as np
+import pytest
+
+from repro.competitors import (
+    ADWIN,
+    BOCD,
+    DDM,
+    HDDMA,
+    HDDMW,
+    NEWMA,
+    ChangeFinder,
+    PageHinkley,
+    WindowSegmenter,
+    get_competitor,
+)
+from repro.competitors.adapters import (
+    OnlinePredictor,
+    PredictionErrorBinarizer,
+    StandardizedErrorStream,
+)
+from repro.competitors.change_finder import SDAR
+
+
+def _mean_shift(rng, n_side=1_500, mean=5.0, noise=0.3):
+    return np.concatenate([rng.normal(0, noise, n_side), rng.normal(mean, noise, n_side)])
+
+
+def _near(change_points, target, tolerance):
+    return any(abs(int(cp) - target) <= tolerance for cp in change_points)
+
+
+class TestAdapters:
+    def test_online_predictor_tracks_level(self):
+        predictor = OnlinePredictor(order=5)
+        for value in [1.0, 1.0, 1.0, 1.0, 1.0]:
+            predictor.observe(value)
+        assert predictor.predict() == pytest.approx(1.0)
+
+    def test_binariser_flags_large_errors(self, rng):
+        binariser = PredictionErrorBinarizer(order=5, tolerance=2.0)
+        flags = [binariser.update(v) for v in rng.normal(0, 0.2, 300)]
+        flags_after_shift = [binariser.update(v) for v in rng.normal(8, 0.2, 5)]
+        assert sum(flags[50:]) <= 30            # few flags in the stationary part
+        assert max(flags_after_shift) == 1      # the jump is flagged
+
+    def test_standardised_error_stream_spikes_at_shift(self, rng):
+        stream = StandardizedErrorStream(order=5)
+        baseline = [stream.update(v) for v in rng.normal(0, 0.2, 300)]
+        spike = [stream.update(v) for v in rng.normal(8, 0.2, 3)]
+        assert max(spike) > max(baseline[50:])
+
+
+class TestBOCD:
+    def test_detects_clear_mean_shift(self, rng):
+        values = _mean_shift(rng, n_side=800, mean=6.0, noise=0.2)
+        bocd = BOCD(hazard=1 / 300, run_length_drop=100, max_run_length=1_200)
+        detected = bocd.process(values)
+        assert _near(detected, 800, 150)
+
+    def test_silent_on_stationary_noise(self, rng):
+        bocd = BOCD(hazard=1 / 300, run_length_drop=150)
+        assert bocd.process(rng.normal(0, 1, 1_500)).shape[0] == 0
+
+    def test_run_length_truncation_bounds_state(self, rng):
+        bocd = BOCD(max_run_length=50)
+        bocd.process(rng.normal(0, 1, 500))
+        assert bocd._run_probs.shape[0] <= 50
+
+    def test_invalid_hazard(self):
+        with pytest.raises(ValueError):
+            BOCD(hazard=2.0)
+
+
+class TestChangeFinder:
+    def test_sdar_score_spikes_on_outlier(self, rng):
+        sdar = SDAR(order=3, discount=0.02)
+        for value in rng.normal(0, 0.3, 300):
+            baseline = sdar.update(float(value))
+        spike = sdar.update(10.0)
+        assert spike > baseline + 1.0
+
+    def test_detects_mean_shift(self, rng):
+        values = _mean_shift(rng, n_side=1_000, mean=5.0)
+        finder = ChangeFinder()
+        detected = finder.process(values)
+        assert _near(detected, 1_000, 200)
+
+    def test_few_detections_on_noise(self, rng):
+        finder = ChangeFinder()
+        detected = finder.process(rng.normal(0, 1, 2_000))
+        assert detected.shape[0] <= 2
+
+
+class TestNEWMA:
+    def test_detects_variance_change(self, rng):
+        values = np.concatenate([rng.normal(0, 0.3, 1_500), rng.normal(0, 3.0, 1_500)])
+        newma = NEWMA()
+        detected = newma.process(values)
+        assert _near(detected, 1_500, 400)
+
+    def test_invalid_forgetting_factors(self):
+        with pytest.raises(ValueError):
+            NEWMA(fast_forgetting=0.01, slow_forgetting=0.05)
+
+
+class TestADWIN:
+    def test_detects_mean_shift(self, rng):
+        values = _mean_shift(rng, n_side=1_200, mean=4.0, noise=0.5)
+        adwin = ADWIN()
+        detected = adwin.process(values)
+        assert _near(detected, 1_200, 400)
+
+    def test_window_statistics(self, rng):
+        adwin = ADWIN()
+        adwin.process(rng.normal(2.0, 0.1, 400))
+        assert adwin.window_length > 0
+        assert adwin.window_mean == pytest.approx(2.0, abs=0.2)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            ADWIN(delta=0.0)
+
+
+class TestDDMAndHDDM:
+    def test_ddm_detects_mean_shift(self, rng):
+        values = _mean_shift(rng, n_side=1_200, mean=6.0, noise=0.3)
+        ddm = DDM(drift_factor=10.0)
+        detected = ddm.process(values)
+        assert _near(detected, 1_200, 400)
+
+    def test_ddm_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DDM(warning_factor=5.0, drift_factor=3.0)
+
+    def test_hddm_a_detects_mean_shift(self, rng):
+        values = _mean_shift(rng, n_side=1_500, mean=6.0, noise=0.3)
+        hddm = HDDMA(drift_confidence=1e-4, warning_confidence=1e-2)
+        detected = hddm.process(values)
+        assert _near(detected, 1_500, 500)
+
+    def test_hddm_w_detects_mean_shift(self, rng):
+        values = _mean_shift(rng, n_side=1_500, mean=6.0, noise=0.3)
+        hddm = HDDMW(drift_confidence=1e-4, warning_confidence=1e-2)
+        detected = hddm.process(values)
+        assert _near(detected, 1_500, 500)
+
+    def test_hddm_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HDDMA(drift_confidence=0.1, warning_confidence=0.01)
+        with pytest.raises(ValueError):
+            HDDMW(lambda_=0.0)
+
+
+class TestPageHinkley:
+    def test_detects_mean_shift(self, rng):
+        values = _mean_shift(rng, n_side=1_000, mean=3.0, noise=0.3)
+        detector = PageHinkley(threshold=30.0)
+        detected = detector.process(values)
+        assert _near(detected, 1_000, 300)
+
+    def test_silent_on_constant_signal(self):
+        detector = PageHinkley()
+        assert detector.process(np.full(1_000, 2.0)).shape[0] == 0
+
+
+class TestWindowSegmenter:
+    def test_detects_mean_shift_at_buffer_centre(self, rng):
+        values = _mean_shift(rng, n_side=1_000, mean=5.0)
+        window = WindowSegmenter(window_size=300, cost="l2", threshold=0.5)
+        detected = window.process(values)
+        assert _near(detected, 1_000, 300)
+
+    def test_ar_cost_detects_shape_change(self, rng):
+        t = np.arange(1_200)
+        values = np.concatenate(
+            [np.sin(2 * np.pi * t / 20), rng.normal(0, 1, 1_200)]
+        ) + rng.normal(0, 0.05, 2_400)
+        window = WindowSegmenter(window_size=400, cost="ar", threshold=0.2)
+        detected = window.process(values)
+        assert _near(detected, 1_200, 400)
+
+    def test_stride_reduces_checks(self, rng):
+        values = _mean_shift(rng, n_side=600, mean=5.0)
+        strided = WindowSegmenter(window_size=200, cost="l2", threshold=0.5, stride=25)
+        detected = strided.process(values)
+        assert _near(detected, 600, 300)
+
+
+class TestRegistry:
+    def test_every_registered_competitor_streams(self, rng):
+        values = _mean_shift(rng, n_side=400, mean=5.0)
+        from repro.competitors import COMPETITOR_REGISTRY
+
+        for name in COMPETITOR_REGISTRY:
+            kwargs = {}
+            if name == "FLOSS":
+                kwargs = {"window_size": 400, "subsequence_width": 20, "stride": 10}
+            if name == "Window":
+                kwargs = {"window_size": 150}
+            competitor = get_competitor(name, **kwargs)
+            competitor.process(values)
+            assert competitor.n_seen == values.shape[0]
+
+    def test_unknown_competitor(self):
+        from repro.utils.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            get_competitor("Prophet")

@@ -1,0 +1,69 @@
+"""Unit and integration tests for the FLOSS competitor."""
+
+import numpy as np
+import pytest
+
+from repro.competitors.floss import FLOSS, corrected_arc_curve
+
+
+class TestCorrectedArcCurve:
+    def test_all_local_neighbours_give_flat_curve(self):
+        # every subsequence points to its immediate neighbour: arcs never span
+        # far, so no position is crossed by many arcs and the CAC dips are mild
+        nn = np.array([1, 0, 3, 2, 5, 4, 7, 6, 9, 8] * 10)
+        cac = corrected_arc_curve(nn, exclusion=2)
+        assert cac.shape == nn.shape
+        assert np.all(cac >= 0.0) and np.all(cac <= 1.0)
+
+    def test_two_isolated_halves_dip_at_boundary(self):
+        # arcs stay within each half -> the boundary is crossed by no arc
+        m = 200
+        nn = np.empty(m, dtype=np.int64)
+        for i in range(m):
+            if i < m // 2:
+                nn[i] = (i + 7) % (m // 2)
+            else:
+                nn[i] = m // 2 + ((i - m // 2 + 7) % (m // 2))
+        cac = corrected_arc_curve(nn, exclusion=5)
+        interior = cac[10:-10]
+        assert int(np.argmin(interior)) + 10 == pytest.approx(m // 2, abs=3)
+        assert cac[m // 2] < 0.1
+
+    def test_negative_neighbours_ignored(self):
+        nn = np.array([-1, -1, 1, 2, 3, 4, 5, 6, 7, 8])
+        cac = corrected_arc_curve(nn, exclusion=1)
+        assert np.isfinite(cac).all()
+
+    def test_tiny_input(self):
+        assert corrected_arc_curve(np.array([1, 0])).tolist() == [1.0, 1.0]
+
+
+class TestFLOSS:
+    def test_detects_shape_change(self, sine_square_stream):
+        values, true_cp = sine_square_stream
+        floss = FLOSS(window_size=1_500, subsequence_width=25, stride=10)
+        detected = floss.process(values)
+        assert detected.shape[0] >= 1
+        assert any(abs(cp - true_cp) < 200 for cp in detected)
+
+    def test_fewer_detections_on_stationary_than_on_changing_signal(self, rng, sine_square_stream):
+        stationary = np.sin(2 * np.pi * np.arange(2_500) / 40) + rng.normal(0, 0.05, 2_500)
+        floss_stationary = FLOSS(window_size=1_200, subsequence_width=40, stride=10)
+        n_stationary = floss_stationary.process(stationary).shape[0]
+        # FLOSS's greedy thresholding produces some false positives (the paper
+        # notes its noisy arc curve); it must still fire far less often than
+        # one detection per 500 observations on a homogeneous signal
+        assert n_stationary <= 5
+
+    def test_exclusion_zone_prevents_bursts(self, sine_square_stream):
+        values, _ = sine_square_stream
+        floss = FLOSS(window_size=1_500, subsequence_width=25, stride=5, exclusion_zone=300)
+        detected = floss.process(values)
+        assert np.all(np.diff(detected) >= 300) or detected.shape[0] <= 1
+
+    def test_exposes_last_curve(self, sine_square_stream):
+        values, _ = sine_square_stream
+        floss = FLOSS(window_size=1_200, subsequence_width=25, stride=20)
+        floss.process(values[:2_000])
+        assert floss.last_curve is not None
+        assert np.all(floss.last_curve <= 1.0)

@@ -1,0 +1,129 @@
+"""Tests for the multivariate ClaSS ensemble (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multivariate import MultivariateClaSS
+from repro.utils.exceptions import ConfigurationError
+
+
+def _multichannel_stream(rng, n_per_segment=1_200, lag=0):
+    """Three channels that all change state at the same time point (channel 2 is noise)."""
+    t = np.arange(n_per_segment)
+    channel_a = np.concatenate([np.sin(2 * np.pi * t / 25), np.sign(np.sin(2 * np.pi * t / 70))])
+    channel_b = np.concatenate([np.sin(2 * np.pi * t / 40), np.sin(2 * np.pi * t / 12)])
+    if lag:
+        channel_b = np.roll(channel_b, lag)
+    channel_c = rng.normal(0, 1, 2 * n_per_segment)
+    values = np.stack([channel_a, channel_b, channel_c], axis=1)
+    values[:, :2] += rng.normal(0, 0.05, (2 * n_per_segment, 2))
+    return values, n_per_segment
+
+
+class TestConstruction:
+    def test_rejects_bad_channel_count(self):
+        with pytest.raises(ConfigurationError):
+            MultivariateClaSS(n_channels=0)
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ConfigurationError):
+            MultivariateClaSS(n_channels=3, channel_weights=[1.0, 1.0])
+
+    def test_rejects_unsatisfiable_vote_threshold(self):
+        with pytest.raises(ConfigurationError):
+            MultivariateClaSS(n_channels=2, min_votes=5)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            MultivariateClaSS(n_channels=2, channel_weights=[1.0, -1.0])
+
+    def test_rejects_wrong_observation_width(self):
+        ensemble = MultivariateClaSS(n_channels=2, window_size=500, subsequence_width=20)
+        with pytest.raises(ConfigurationError):
+            ensemble.update([1.0, 2.0, 3.0])
+
+    def test_rejects_wrong_matrix_shape(self, rng):
+        ensemble = MultivariateClaSS(n_channels=2, window_size=500, subsequence_width=20)
+        with pytest.raises(ConfigurationError):
+            ensemble.process(rng.normal(size=(100, 3)))
+
+
+class TestFusion:
+    def test_detects_joint_change_with_two_votes(self, rng):
+        values, true_cp = _multichannel_stream(rng)
+        ensemble = MultivariateClaSS(
+            n_channels=3,
+            min_votes=2,
+            fusion_tolerance=400,
+            window_size=1_200,
+            subsequence_width=25,
+            scoring_interval=25,
+        )
+        detected = ensemble.process(values)
+        assert detected.shape[0] >= 1
+        assert any(abs(cp - true_cp) < 300 for cp in detected)
+        fused = ensemble.fused_reports[0]
+        assert fused.n_votes >= 2
+        assert set(fused.supporting_channels) <= {0, 1, 2}
+
+    def test_noise_only_channels_produce_nothing(self, rng):
+        values = rng.normal(0, 1, (2_000, 2))
+        ensemble = MultivariateClaSS(
+            n_channels=2, min_votes=1, window_size=800, subsequence_width=20, scoring_interval=40
+        )
+        assert ensemble.process(values).shape[0] == 0
+
+    def test_union_mode_with_single_vote(self, rng):
+        values, true_cp = _multichannel_stream(rng)
+        ensemble = MultivariateClaSS(
+            n_channels=3,
+            min_votes=1,
+            window_size=1_200,
+            subsequence_width=25,
+            scoring_interval=25,
+        )
+        detected = ensemble.process(values)
+        assert any(abs(cp - true_cp) < 300 for cp in detected)
+
+    def test_dimension_selection_ignores_disabled_channel(self, rng):
+        values, true_cp = _multichannel_stream(rng)
+        # only the pure-noise channel is active: nothing may be reported
+        ensemble = MultivariateClaSS(
+            n_channels=3,
+            min_votes=1,
+            channel_weights=[0.0, 0.0, 1.0],
+            window_size=1_200,
+            subsequence_width=25,
+            scoring_interval=25,
+        )
+        assert ensemble.process(values).shape[0] == 0
+
+    def test_channel_change_points_exposed(self, rng):
+        values, _ = _multichannel_stream(rng)
+        ensemble = MultivariateClaSS(
+            n_channels=3, min_votes=2, window_size=1_200, subsequence_width=25, scoring_interval=25
+        )
+        ensemble.process(values)
+        per_channel = ensemble.channel_change_points
+        assert len(per_channel) == 3
+        assert all(isinstance(cps, np.ndarray) for cps in per_channel)
+
+    def test_fused_change_points_strictly_increasing(self, rng):
+        t = np.arange(900)
+        channel = np.concatenate(
+            [np.sin(2 * np.pi * t / 25), np.sign(np.sin(2 * np.pi * t / 60)), np.sin(2 * np.pi * t / 12)]
+        )
+        values = np.stack([channel, channel], axis=1) + rng.normal(0, 0.05, (2_700, 2))
+        ensemble = MultivariateClaSS(
+            n_channels=2, min_votes=2, window_size=1_000, subsequence_width=25, scoring_interval=25
+        )
+        detected = ensemble.process(values)
+        assert np.all(np.diff(detected) > 0)
+
+    def test_n_seen_counts_observations(self, rng):
+        values = rng.normal(0, 1, (500, 2))
+        ensemble = MultivariateClaSS(
+            n_channels=2, min_votes=1, window_size=400, subsequence_width=20, scoring_interval=50
+        )
+        ensemble.process(values)
+        assert ensemble.n_seen == 500

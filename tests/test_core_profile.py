@@ -1,0 +1,60 @@
+"""Unit tests for the ClaSP profile container."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import ClaSPProfile
+
+
+def _profile():
+    scores = np.array([0.5, 0.7, 0.9, 0.6, 0.8, 0.75])
+    splits = np.arange(10, 16)
+    return ClaSPProfile(
+        scores=scores,
+        splits=splits,
+        region_start=100,
+        window_start_time=5_000,
+        subsequence_width=20,
+    )
+
+
+class TestClaSPProfile:
+    def test_len_and_empty(self):
+        profile = _profile()
+        assert len(profile) == 6
+        assert not profile.is_empty
+        assert ClaSPProfile.empty().is_empty
+
+    def test_global_maximum(self):
+        split, score = _profile().global_maximum()
+        assert split == 12
+        assert score == pytest.approx(0.9)
+
+    def test_global_maximum_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            ClaSPProfile.empty().global_maximum()
+
+    def test_to_absolute(self):
+        profile = _profile()
+        assert profile.to_absolute(12) == 5_000 + 100 + 12
+
+    def test_local_maxima(self):
+        profile = _profile()
+        maxima = profile.local_maxima(order=1)
+        assert 12 in maxima.tolist()
+        assert 14 in maxima.tolist()
+
+    def test_local_maxima_too_short(self):
+        profile = ClaSPProfile(scores=np.array([0.5]), splits=np.array([3]))
+        assert profile.local_maxima().size == 0
+
+    def test_dense_representation(self):
+        profile = _profile()
+        dense = profile.dense(length=20)
+        assert dense.shape == (20,)
+        assert np.isnan(dense[0])
+        assert dense[12] == pytest.approx(0.9)
+
+    def test_dense_default_length(self):
+        dense = _profile().dense()
+        assert dense.shape == (16,)

@@ -1,0 +1,89 @@
+"""Unit tests for confusion-matrix based classification scores."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    accuracy_score,
+    binary_f1,
+    confusion_from_labels,
+    get_score_function,
+    macro_f1_score,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestBinaryF1:
+    def test_perfect(self):
+        assert binary_f1(10, 0, 0) == pytest.approx(1.0)
+
+    def test_no_true_positives(self):
+        assert binary_f1(0, 5, 5) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # precision 0.8, recall 2/3 -> f1 = 2*0.8*(2/3)/(0.8+2/3)
+        assert binary_f1(8, 2, 4) == pytest.approx(2 * 0.8 * (2 / 3) / (0.8 + 2 / 3))
+
+    def test_vectorised(self):
+        out = binary_f1(np.array([10, 0]), np.array([0, 5]), np.array([0, 5]))
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(1.0)
+
+
+class TestMacroF1:
+    def test_perfect_classification(self):
+        assert macro_f1_score(50, 0, 0, 50) == pytest.approx(1.0)
+
+    def test_all_predicted_one_class(self):
+        # everything predicted as class 1: class 0 F1 = 0, class 1 F1 = 2*p*r/(p+r)
+        score = macro_f1_score(0, 30, 0, 70)
+        precision1 = 70 / 100
+        expected = 0.5 * (0.0 + 2 * precision1 * 1.0 / (precision1 + 1.0))
+        assert score == pytest.approx(expected)
+
+    def test_symmetric_in_class_swap(self):
+        a = macro_f1_score(40, 10, 5, 45)
+        b = macro_f1_score(45, 5, 10, 40)
+        assert a == pytest.approx(b)
+
+    def test_matches_sklearn_style_reference(self, rng):
+        y_true = rng.integers(0, 2, 200)
+        y_pred = rng.integers(0, 2, 200)
+        n00, n01, n10, n11 = confusion_from_labels(y_true, y_pred)
+
+        def f1(cls):
+            tp = np.sum((y_true == cls) & (y_pred == cls))
+            fp = np.sum((y_true != cls) & (y_pred == cls))
+            fn = np.sum((y_true == cls) & (y_pred != cls))
+            precision = tp / max(tp + fp, 1e-12)
+            recall = tp / max(tp + fn, 1e-12)
+            return 2 * precision * recall / max(precision + recall, 1e-12)
+
+        expected = 0.5 * (f1(0) + f1(1))
+        assert macro_f1_score(n00, n01, n10, n11) == pytest.approx(expected, abs=1e-9)
+
+
+class TestAccuracy:
+    def test_balanced_accuracy(self):
+        # recall0 = 0.9, recall1 = 0.5
+        assert accuracy_score(90, 10, 50, 50) == pytest.approx(0.7)
+
+    def test_perfect(self):
+        assert accuracy_score(10, 0, 0, 10) == pytest.approx(1.0)
+
+
+class TestHelpers:
+    def test_confusion_from_labels(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 0, 1])
+        assert confusion_from_labels(y_true, y_pred) == (1, 1, 1, 2)
+
+    def test_confusion_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            confusion_from_labels(np.zeros(3), np.zeros(4))
+
+    def test_get_score_function(self):
+        assert get_score_function("macro_f1") is macro_f1_score
+        assert get_score_function("accuracy") is accuracy_score
+        with pytest.raises(ConfigurationError):
+            get_score_function("auc")

@@ -1,0 +1,122 @@
+"""Unit tests for the dot-product based similarity measures."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (
+    SIMILARITY_MEASURES,
+    cid_factor,
+    get_similarity,
+    pairwise_similarity_matrix,
+    pearson_from_dot_products,
+    similarity_profile,
+    squared_distance_from_correlation,
+)
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.running_stats import sliding_complexity, sliding_mean_std
+
+
+def _direct_pearson(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+class TestPearsonFromDotProducts:
+    def test_matches_numpy_corrcoef(self, rng):
+        values = rng.normal(size=200)
+        w = 20
+        m = values.shape[0] - w + 1
+        subs = np.lib.stride_tricks.sliding_window_view(values, w)
+        query = m - 1
+        dots = subs @ subs[query]
+        means, stds = sliding_mean_std(values, w)
+        corr = pearson_from_dot_products(dots, means, stds, query, w)
+        for i in range(0, m, 13):
+            assert corr[i] == pytest.approx(_direct_pearson(subs[i], subs[query]), abs=1e-8)
+
+    def test_self_correlation_is_one(self, rng):
+        values = rng.normal(size=100)
+        w = 10
+        subs = np.lib.stride_tricks.sliding_window_view(values, w)
+        dots = subs @ subs[-1]
+        means, stds = sliding_mean_std(values, w)
+        corr = pearson_from_dot_products(dots, means, stds, subs.shape[0] - 1, w)
+        assert corr[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_clipped_to_valid_range(self, rng):
+        values = rng.normal(size=80)
+        w = 8
+        subs = np.lib.stride_tricks.sliding_window_view(values, w)
+        dots = subs @ subs[-1]
+        means, stds = sliding_mean_std(values, w)
+        corr = pearson_from_dot_products(dots, means, stds, subs.shape[0] - 1, w)
+        assert np.all(corr <= 1.0) and np.all(corr >= -1.0)
+
+
+class TestEuclideanAndCid:
+    def test_distance_from_correlation_identity(self):
+        # perfectly correlated -> zero distance; anti-correlated -> maximal
+        assert squared_distance_from_correlation(np.array([1.0]), 10)[0] == pytest.approx(0.0)
+        assert squared_distance_from_correlation(np.array([-1.0]), 10)[0] == pytest.approx(40.0)
+
+    def test_cid_factor_symmetric_floor(self):
+        complexities = np.array([0.0, 1.0, 2.0])
+        factor = cid_factor(complexities, query_index=1)
+        assert factor[1] == pytest.approx(1.0)
+        assert factor[2] == pytest.approx(2.0)
+        assert np.isfinite(factor).all()
+
+    def test_cid_requires_complexities(self, rng):
+        values = rng.normal(size=60)
+        w = 6
+        subs = np.lib.stride_tricks.sliding_window_view(values, w)
+        dots = subs @ subs[-1]
+        means, stds = sliding_mean_std(values, w)
+        with pytest.raises(ConfigurationError, match="complexities"):
+            similarity_profile("cid", dots, means, stds, subs.shape[0] - 1, w)
+
+    def test_all_measures_rank_self_highest(self, rng):
+        values = rng.normal(size=150)
+        w = 12
+        subs = np.lib.stride_tricks.sliding_window_view(values, w)
+        dots = subs @ subs[-1]
+        means, stds = sliding_mean_std(values, w)
+        complexities = sliding_complexity(values, w)
+        for measure in SIMILARITY_MEASURES:
+            profile = similarity_profile(
+                measure, dots, means, stds, subs.shape[0] - 1, w, complexities
+            )
+            assert int(np.argmax(profile)) == subs.shape[0] - 1
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_and_unit_diagonal(self, rng):
+        values = rng.normal(size=100)
+        matrix = pairwise_similarity_matrix(values, 10)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-9)
+        np.testing.assert_allclose(np.diag(matrix), 1.0, atol=1e-9)
+
+    def test_euclidean_is_negative_distance(self, rng):
+        values = rng.normal(size=80)
+        matrix = pairwise_similarity_matrix(values, 8, measure="euclidean")
+        assert np.all(matrix <= 1e-9)
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-6)
+
+    def test_unknown_measure_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            pairwise_similarity_matrix(rng.normal(size=50), 5, measure="cosine")
+
+
+class TestGetSimilarity:
+    def test_lookup_and_dispatch(self, rng):
+        values = rng.normal(size=60)
+        w = 6
+        subs = np.lib.stride_tricks.sliding_window_view(values, w)
+        dots = subs @ subs[-1]
+        means, stds = sliding_mean_std(values, w)
+        fn = get_similarity("pearson")
+        out = fn(dots, means, stds, subs.shape[0] - 1, w)
+        assert out.shape == (subs.shape[0],)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_similarity("manhattan")

@@ -1,0 +1,162 @@
+"""Unit and property tests for the exact streaming k-NN (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import pairwise_similarity_matrix
+from repro.core.streaming_knn import (
+    KNN_MODES,
+    PADDING_INDEX,
+    StreamingKNN,
+    exact_knn_bruteforce,
+    exclusion_radius,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_rejects_small_window(self):
+        with pytest.raises(ConfigurationError):
+            StreamingKNN(window_size=15, subsequence_width=10)
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ConfigurationError):
+            StreamingKNN(window_size=100, subsequence_width=1)
+
+    def test_rejects_bad_similarity(self):
+        with pytest.raises(ConfigurationError):
+            StreamingKNN(window_size=100, subsequence_width=10, similarity="cosine")
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            StreamingKNN(window_size=100, subsequence_width=10, mode="gpu")
+
+    def test_rejects_non_finite_values(self):
+        knn = StreamingKNN(window_size=100, subsequence_width=10)
+        with pytest.raises(ConfigurationError):
+            knn.update(float("nan"))
+
+    def test_exclusion_radius(self):
+        assert exclusion_radius(10) == 15
+        assert exclusion_radius(7) == 11
+
+
+class TestAgainstBruteForce:
+    def test_similarities_match_bruteforce_without_eviction(self, rng):
+        values = rng.normal(size=260)
+        w, k = 12, 3
+        knn = StreamingKNN(window_size=values.shape[0], subsequence_width=w, k_neighbours=k)
+        knn.extend(values)
+        _, brute_sims = exact_knn_bruteforce(values, w, k)
+        stream_sims = knn.knn_similarities
+        finite = np.isfinite(brute_sims) & np.isfinite(stream_sims)
+        np.testing.assert_allclose(stream_sims[finite], brute_sims[finite], atol=1e-6)
+        assert np.array_equal(np.isfinite(brute_sims), np.isfinite(stream_sims))
+
+    def test_last_profile_is_exact_after_eviction(self, rng):
+        values = rng.normal(size=400)
+        w = 10
+        knn = StreamingKNN(window_size=150, subsequence_width=w, k_neighbours=3)
+        knn.extend(values)
+        expected = pairwise_similarity_matrix(knn.window, w)[-1]
+        np.testing.assert_allclose(knn.last_similarity_profile, expected, atol=1e-8)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        width=st.integers(min_value=3, max_value=10),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_bruteforce(self, seed, width, k):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=40 + 10 * width)
+        knn = StreamingKNN(window_size=values.shape[0], subsequence_width=width, k_neighbours=k)
+        knn.extend(values)
+        _, brute_sims = exact_knn_bruteforce(values, width, k)
+        stream_sims = knn.knn_similarities
+        finite = np.isfinite(brute_sims) & np.isfinite(stream_sims)
+        np.testing.assert_allclose(stream_sims[finite], brute_sims[finite], atol=1e-6)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_profile_exact_under_sliding(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=250)
+        w = 8
+        knn = StreamingKNN(window_size=90, subsequence_width=w, k_neighbours=2)
+        knn.extend(values)
+        expected = pairwise_similarity_matrix(knn.window, w)[-1]
+        np.testing.assert_allclose(knn.last_similarity_profile, expected, atol=1e-7)
+
+
+class TestModesAgree:
+    @pytest.mark.parametrize("mode", KNN_MODES)
+    def test_profiles_identical_across_modes(self, rng, mode):
+        values = rng.normal(size=300)
+        w = 11
+        reference = StreamingKNN(window_size=120, subsequence_width=w, mode="streaming")
+        other = StreamingKNN(window_size=120, subsequence_width=w, mode=mode)
+        for value in values:
+            reference.update(float(value))
+            other.update(float(value))
+        np.testing.assert_allclose(
+            reference.last_similarity_profile, other.last_similarity_profile, atol=1e-6
+        )
+
+
+class TestBookkeeping:
+    def test_row_count_grows_then_saturates(self, rng):
+        values = rng.normal(size=300)
+        knn = StreamingKNN(window_size=100, subsequence_width=10, k_neighbours=3)
+        knn.extend(values)
+        assert knn.n_subsequences == 100 - 10 + 1
+        assert knn.n_buffered == 100
+        assert knn.n_seen == 300
+
+    def test_indices_shift_negative_after_eviction(self, rng):
+        values = rng.normal(size=400)
+        knn = StreamingKNN(window_size=120, subsequence_width=10, k_neighbours=1)
+        knn.extend(values)
+        indices = knn.knn_indices
+        # stale neighbours may have negative offsets; none may point past the window
+        assert indices.max() < knn.n_subsequences
+        assert np.any(indices < knn.n_subsequences)
+
+    def test_exclusion_zone_respected(self, rng):
+        values = rng.normal(size=220)
+        w, k = 10, 2
+        knn = StreamingKNN(window_size=values.shape[0], subsequence_width=w, k_neighbours=k)
+        knn.extend(values)
+        excl = exclusion_radius(w)
+        indices = knn.knn_indices
+        rows = np.arange(indices.shape[0])
+        valid = indices > PADDING_INDEX
+        distances = np.abs(indices - rows[:, None])
+        assert np.all(distances[valid] >= excl)
+
+    def test_reset_clears_state(self, rng):
+        knn = StreamingKNN(window_size=100, subsequence_width=10)
+        knn.extend(rng.normal(size=150))
+        knn.reset()
+        assert knn.n_seen == 0
+        assert knn.n_subsequences == 0
+        assert knn.last_similarity_profile is None
+        knn.extend(rng.normal(size=150))
+        assert knn.n_subsequences > 0
+
+    def test_constant_stream_does_not_crash(self):
+        knn = StreamingKNN(window_size=80, subsequence_width=8)
+        knn.extend(np.full(200, 5.0))
+        assert np.isfinite(knn.knn_similarities[np.isfinite(knn.knn_similarities)]).all()
+
+    def test_euclidean_and_cid_similarities_are_nonpositive(self, rng):
+        values = rng.normal(size=200)
+        for measure in ("euclidean", "cid"):
+            knn = StreamingKNN(
+                window_size=100, subsequence_width=10, similarity=measure, k_neighbours=2
+            )
+            knn.extend(values)
+            sims = knn.knn_similarities
+            assert np.all(sims[np.isfinite(sims)] <= 1e-9)

@@ -1,0 +1,81 @@
+"""Unit tests for the window size selection (WSS) algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.window_size import (
+    WSS_METHODS,
+    dominant_fourier_frequency_width,
+    highest_autocorrelation_width,
+    learn_subsequence_width,
+    multi_window_finder_width,
+    suss_width,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+def _periodic(rng, period, n=3_000, noise=0.05):
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+class TestFFTAndACF:
+    @pytest.mark.parametrize("period", [25, 60, 120])
+    def test_fft_recovers_period(self, rng, period):
+        width = dominant_fourier_frequency_width(_periodic(rng, period))
+        assert abs(width - period) <= max(3, period // 10)
+
+    @pytest.mark.parametrize("period", [25, 60, 120])
+    def test_acf_recovers_period(self, rng, period):
+        width = highest_autocorrelation_width(_periodic(rng, period))
+        assert abs(width - period) <= max(3, period // 10)
+
+    def test_acf_constant_signal_returns_lower_bound(self):
+        values = np.full(500, 2.0)
+        assert highest_autocorrelation_width(values) == 10
+
+
+class TestSuSS:
+    def test_returns_reasonable_width_for_periodic_signal(self, rng):
+        width = suss_width(_periodic(rng, 40))
+        assert 10 <= width <= 120
+
+    def test_monotone_with_period(self, rng):
+        short = suss_width(_periodic(rng, 20))
+        long = suss_width(_periodic(rng, 150))
+        assert long > short
+
+    def test_respects_lower_bound(self, rng):
+        width = suss_width(rng.normal(size=400), lower_bound=25)
+        assert width >= 25
+
+
+class TestMWF:
+    def test_returns_width_in_bounds(self, rng):
+        width = multi_window_finder_width(_periodic(rng, 50))
+        assert 10 <= width <= 1_000
+
+
+class TestLearnSubsequenceWidth:
+    @pytest.mark.parametrize("method", [m for m in WSS_METHODS if m != "fixed"])
+    def test_all_methods_run(self, rng, method):
+        values = _periodic(rng, 45, n=2_000)
+        width = learn_subsequence_width(values, method=method)
+        assert isinstance(width, int)
+        assert width >= 10
+
+    def test_fixed_method(self, rng):
+        assert learn_subsequence_width(rng.normal(size=100), method="fixed", fixed_width=33) == 33
+
+    def test_fixed_requires_width(self, rng):
+        with pytest.raises(ConfigurationError):
+            learn_subsequence_width(rng.normal(size=100), method="fixed")
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ConfigurationError):
+            learn_subsequence_width(rng.normal(size=100), method="magic")
+
+    def test_max_width_cap(self, rng):
+        values = _periodic(rng, 200, n=3_000)
+        width = learn_subsequence_width(values, method="acf", max_width=50)
+        assert width <= 50

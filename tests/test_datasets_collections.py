@@ -1,0 +1,117 @@
+"""Tests for benchmark/archive factories, the registry and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ARCHIVE_COLLECTIONS,
+    BENCHMARK_COLLECTIONS,
+    COLLECTIONS,
+    collection_summary,
+    load_collection,
+    load_collection_from_directory,
+    load_dataset_csv,
+    load_dataset_npz,
+    make_mhealth_like,
+    make_tssb_like,
+    make_utsa_like,
+    make_wesad_like,
+    save_collection,
+    save_dataset_csv,
+    save_dataset_npz,
+)
+from repro.utils.exceptions import ConfigurationError, ValidationError
+
+
+class TestBenchmarkFactories:
+    def test_tssb_like_counts_and_ranges(self):
+        collection = make_tssb_like(n_series=10, length_scale=0.3, seed=5)
+        assert len(collection) == 10
+        for dataset in collection:
+            assert dataset.collection == "TSSB-like"
+            assert 1 <= dataset.n_segments <= 9
+            assert dataset.subsequence_width_hint is not None
+
+    def test_utsa_like_segment_counts(self):
+        collection = make_utsa_like(n_series=6, length_scale=0.3, seed=5)
+        assert all(2 <= d.n_segments <= 3 for d in collection)
+
+    def test_deterministic_given_seed(self):
+        a = make_tssb_like(n_series=3, length_scale=0.3, seed=9)
+        b = make_tssb_like(n_series=3, length_scale=0.3, seed=9)
+        for da, db in zip(a, b):
+            np.testing.assert_array_equal(da.values, db.values)
+            np.testing.assert_array_equal(da.change_points, db.change_points)
+
+    def test_length_scale_shrinks_series(self):
+        small = make_tssb_like(n_series=3, length_scale=0.2, seed=4)
+        large = make_tssb_like(n_series=3, length_scale=1.0, seed=4)
+        assert np.median([len(d) for d in small]) < np.median([len(d) for d in large])
+
+
+class TestArchiveFactories:
+    def test_mhealth_has_twelve_activities(self):
+        collection = make_mhealth_like(n_series=2, length_scale=0.1)
+        assert all(d.n_segments == 12 for d in collection)
+
+    def test_wesad_has_five_affect_states(self):
+        collection = make_wesad_like(n_series=2, length_scale=0.1)
+        assert all(d.n_segments == 5 for d in collection)
+        assert all(len(set(d.segment_labels)) == 5 for d in collection)
+
+    @pytest.mark.parametrize("name", ARCHIVE_COLLECTIONS)
+    def test_all_archives_generate(self, name):
+        collection = load_collection(name, n_series=2, length_scale=0.1)
+        assert len(collection) == 2
+        for dataset in collection:
+            assert np.isfinite(dataset.values).all()
+            assert dataset.n_segments >= 1
+
+
+class TestRegistry:
+    def test_registry_covers_table1(self):
+        assert set(BENCHMARK_COLLECTIONS) | set(ARCHIVE_COLLECTIONS) == set(COLLECTIONS)
+        assert len(COLLECTIONS) == 8
+
+    def test_paper_specs_recorded(self):
+        spec = COLLECTIONS["TSSB"]
+        assert spec.paper_n_series == 75
+        assert spec.paper_segments == (1, 3, 9)
+
+    def test_unknown_collection(self):
+        with pytest.raises(ConfigurationError):
+            load_collection("UCI-HAR")
+
+    def test_collection_summary(self):
+        collection = load_collection("UTSA", n_series=4, length_scale=0.2)
+        summary = collection_summary(collection)
+        assert summary["n_series"] == 4
+        assert summary["length_min"] <= summary["length_median"] <= summary["length_max"]
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, tmp_path, small_dataset):
+        path = save_dataset_npz(small_dataset, tmp_path / "demo.npz")
+        loaded = load_dataset_npz(path)
+        np.testing.assert_array_equal(loaded.values, small_dataset.values)
+        np.testing.assert_array_equal(loaded.change_points, small_dataset.change_points)
+        assert loaded.name == small_dataset.name
+        assert loaded.metadata["segment_labels"] == small_dataset.metadata["segment_labels"]
+
+    def test_csv_round_trip(self, tmp_path, small_dataset):
+        path = save_dataset_csv(small_dataset, tmp_path / "demo.csv")
+        loaded = load_dataset_csv(path)
+        np.testing.assert_allclose(loaded.values, small_dataset.values)
+        np.testing.assert_array_equal(loaded.change_points, small_dataset.change_points)
+
+    def test_collection_round_trip(self, tmp_path):
+        collection = make_tssb_like(n_series=3, length_scale=0.2, seed=3)
+        save_collection(collection, tmp_path / "tssb")
+        loaded = load_collection_from_directory(tmp_path / "tssb")
+        assert len(loaded) == 3
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_dataset_npz(tmp_path / "missing.npz")
+        with pytest.raises(ValidationError):
+            load_collection_from_directory(tmp_path / "missing_dir")

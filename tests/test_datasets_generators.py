@@ -1,0 +1,106 @@
+"""Unit tests for the segment-level signal generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    GENERATORS,
+    activity_like,
+    ar_process,
+    ecg_like,
+    eeg_like,
+    gaussian_noise,
+    get_generator,
+    random_walk,
+    respiration_like,
+    sawtooth_wave,
+    sine_wave,
+    square_wave,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestBasicGenerators:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_length_and_finiteness(self, rng, name):
+        values = GENERATORS[name](500, rng)
+        assert values.shape == (500,)
+        assert np.isfinite(values).all()
+
+    def test_sine_period_visible_in_spectrum(self, rng):
+        values = sine_wave(2_000, rng, period=50, noise=0.01)
+        spectrum = np.abs(np.fft.rfft(values - values.mean()))
+        dominant = np.argmax(spectrum[1:]) + 1
+        period = 1.0 / np.fft.rfftfreq(2_000)[dominant]
+        assert period == pytest.approx(50, rel=0.1)
+
+    def test_square_wave_amplitude(self, rng):
+        values = square_wave(1_000, rng, amplitude=2.0, noise=0.0)
+        assert set(np.round(np.unique(values), 6).tolist()) <= {-2.0, 2.0}
+
+    def test_sawtooth_range(self, rng):
+        values = sawtooth_wave(1_000, rng, amplitude=1.0, noise=0.0)
+        assert values.min() >= -1.0 - 1e-9 and values.max() <= 1.0 + 1e-9
+
+    def test_gaussian_noise_statistics(self, rng):
+        values = gaussian_noise(20_000, rng, mean=1.0, std=2.0)
+        assert values.mean() == pytest.approx(1.0, abs=0.1)
+        assert values.std() == pytest.approx(2.0, abs=0.1)
+
+    def test_random_walk_is_centred(self, rng):
+        values = random_walk(5_000, rng)
+        assert values.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_ar_process_autocorrelated(self, rng):
+        values = ar_process(5_000, rng, coefficients=(0.9,), noise=1.0)
+        lag1 = np.corrcoef(values[:-1], values[1:])[0, 1]
+        assert lag1 > 0.6
+
+
+class TestDomainGenerators:
+    def test_ecg_has_sharp_peaks(self, rng):
+        values = ecg_like(2_000, rng, beat_period=80, noise=0.01)
+        # R peaks should clearly exceed the bulk of the signal
+        assert np.percentile(values, 99.5) > 4 * np.std(values)
+
+    def test_ecg_fibrillation_differs_from_normal(self, rng):
+        normal = ecg_like(2_000, rng, beat_period=80, noise=0.01)
+        fib = ecg_like(2_000, np.random.default_rng(1), beat_period=80, noise=0.01, fibrillation=True)
+        # fibrillation removes the spiky beats: kurtosis drops substantially
+        def kurtosis(x):
+            z = (x - x.mean()) / x.std()
+            return float(np.mean(z ** 4))
+        assert kurtosis(normal) > kurtosis(fib) + 1.0
+
+    def test_activity_amplitude_scales(self, rng):
+        quiet = activity_like(2_000, rng, amplitude=0.3)
+        strong = activity_like(2_000, np.random.default_rng(2), amplitude=2.5)
+        assert strong.std() > 2 * quiet.std()
+
+    def test_respiration_slow_oscillation(self, rng):
+        values = respiration_like(4_000, rng, breath_period=200, noise=0.01)
+        spectrum = np.abs(np.fft.rfft(values - values.mean()))
+        dominant = np.argmax(spectrum[1:]) + 1
+        period = 1.0 / np.fft.rfftfreq(4_000)[dominant]
+        assert 120 < period < 320
+
+    def test_eeg_band_limited(self, rng):
+        values = eeg_like(4_096, rng, band=(0.1, 0.2), noise=0.0)
+        spectrum = np.abs(np.fft.rfft(values))
+        freqs = np.fft.rfftfreq(4_096)
+        in_band = spectrum[(freqs >= 0.1) & (freqs <= 0.2)].sum()
+        out_band = spectrum[(freqs < 0.08) | (freqs > 0.25)].sum()
+        assert in_band > 5 * out_band
+
+    def test_eeg_invalid_band(self, rng):
+        with pytest.raises(ConfigurationError):
+            eeg_like(1_000, rng, band=(0.4, 0.2))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_generator("sine") is sine_wave
+
+    def test_unknown_generator(self):
+        with pytest.raises(ConfigurationError):
+            get_generator("fractal")

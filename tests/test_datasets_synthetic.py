@@ -1,0 +1,124 @@
+"""Unit tests for dataset containers and stream composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.dataset import TimeSeriesDataset
+from repro.datasets.synthetic import (
+    STATE_LIBRARY,
+    SegmentSpec,
+    compose_stream,
+    random_segment_specs,
+)
+from repro.utils.exceptions import ConfigurationError, ValidationError
+
+
+class TestTimeSeriesDataset:
+    def test_segment_bookkeeping(self):
+        dataset = TimeSeriesDataset(
+            name="demo",
+            values=np.arange(100, dtype=float),
+            change_points=np.array([30, 60]),
+        )
+        assert dataset.n_segments == 3
+        assert dataset.segments == [(0, 30), (30, 60), (60, 100)]
+        assert dataset.median_segment_length == pytest.approx(30.0)
+        assert len(dataset) == 100
+
+    def test_rejects_bad_change_points(self):
+        with pytest.raises(ValidationError):
+            TimeSeriesDataset("bad", np.arange(50, dtype=float), np.array([60]))
+
+    def test_slice_rebases_annotations(self):
+        dataset = TimeSeriesDataset("demo", np.arange(100, dtype=float), np.array([30, 60]))
+        part = dataset.slice(20, 70)
+        assert part.n_timepoints == 50
+        assert part.change_points.tolist() == [10, 40]
+
+    def test_iter_stream(self):
+        dataset = TimeSeriesDataset("demo", np.arange(10, dtype=float), np.array([5]))
+        assert list(dataset.iter_stream()) == list(map(float, range(10)))
+
+    def test_summary(self):
+        dataset = TimeSeriesDataset("demo", np.arange(10, dtype=float), np.array([5]), collection="c")
+        summary = dataset.summary()
+        assert summary["length"] == 10 and summary["n_segments"] == 2
+
+
+class TestComposeStream:
+    def test_change_points_at_segment_boundaries(self):
+        specs = [
+            SegmentSpec("sine", 300, {"period": 20}),
+            SegmentSpec("square", 200, {"period": 40}),
+            SegmentSpec("noise", 250, {}),
+        ]
+        dataset = compose_stream(specs, seed=1)
+        assert dataset.change_points.tolist() == [300, 500]
+        assert dataset.n_timepoints == 750
+        assert dataset.segment_labels == ["sine", "square", "noise"]
+
+    def test_standardised_by_default(self):
+        specs = [SegmentSpec("sine", 500, {"period": 25}), SegmentSpec("noise", 500, {"std": 3.0})]
+        dataset = compose_stream(specs, seed=2)
+        assert abs(dataset.values.mean()) < 1e-9
+        assert dataset.values.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_reproducible_with_seed(self):
+        specs = [SegmentSpec("sine", 300, {"period": 20}), SegmentSpec("noise", 300, {})]
+        a = compose_stream(specs, seed=11)
+        b = compose_stream(specs, seed=11)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_transition_blending_keeps_annotations(self):
+        specs = [SegmentSpec("sine", 400, {"period": 20}), SegmentSpec("square", 400, {"period": 50})]
+        dataset = compose_stream(specs, seed=3, transition=20)
+        assert dataset.change_points.tolist() == [400]
+
+    def test_requires_segments(self):
+        with pytest.raises(ConfigurationError):
+            compose_stream([])
+
+    def test_subsequence_width_stored(self):
+        specs = [SegmentSpec("sine", 300, {"period": 20}), SegmentSpec("noise", 300, {})]
+        dataset = compose_stream(specs, seed=4, subsequence_width=42)
+        assert dataset.subsequence_width_hint == 42
+
+
+class TestRandomSegmentSpecs:
+    def test_consecutive_states_differ(self, rng):
+        specs = random_segment_specs(8, (100, 200), rng)
+        labels = [spec.label for spec in specs]
+        assert all(a != b for a, b in zip(labels, labels[1:]))
+
+    def test_lengths_in_range(self, rng):
+        specs = random_segment_specs(10, (150, 300), rng)
+        assert all(150 <= spec.length <= 300 for spec in specs)
+
+    def test_single_segment_allowed(self, rng):
+        specs = random_segment_specs(1, (100, 100), rng)
+        assert len(specs) == 1
+
+    def test_invalid_segment_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_segment_specs(0, (10, 20), rng)
+
+    def test_restricted_state_set(self, rng):
+        specs = random_segment_specs(4, (100, 150), rng, states=["slow_sine", "square"])
+        assert {spec.label for spec in specs} <= {"slow_sine", "square"}
+
+    @given(seed=st.integers(min_value=0, max_value=5_000), n=st.integers(min_value=2, max_value=9))
+    @settings(max_examples=20, deadline=None)
+    def test_property_rendering_always_valid(self, seed, n):
+        rng = np.random.default_rng(seed)
+        specs = random_segment_specs(n, (60, 120), rng, allow_repeats=True)
+        dataset = compose_stream(specs, seed=seed)
+        assert dataset.n_segments == n
+        assert np.isfinite(dataset.values).all()
+
+    def test_every_library_state_renders(self, rng):
+        for name, state in STATE_LIBRARY.items():
+            specs = random_segment_specs(1, (120, 150), rng, states=[name])
+            dataset = compose_stream(specs, seed=5)
+            assert np.isfinite(dataset.values).all(), name

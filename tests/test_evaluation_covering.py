@@ -1,0 +1,100 @@
+"""Unit and property tests for the Covering metric (Eqn. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.covering import (
+    change_points_to_segments,
+    covering_matrix,
+    covering_score,
+    interval_jaccard,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestSegmentsConversion:
+    def test_empty_prediction_gives_single_segment(self):
+        assert change_points_to_segments([], 100) == [(0, 100)]
+
+    def test_change_points_sorted_and_deduplicated(self):
+        segments = change_points_to_segments([70, 30, 30], 100)
+        assert segments == [(0, 30), (30, 70), (70, 100)]
+
+    def test_out_of_range_points_dropped(self):
+        segments = change_points_to_segments([-5, 0, 50, 100, 140], 100)
+        assert segments == [(0, 50), (50, 100)]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValidationError):
+            change_points_to_segments([10], 0)
+
+
+class TestIntervalJaccard:
+    def test_identical(self):
+        assert interval_jaccard((0, 10), (0, 10)) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert interval_jaccard((0, 10), (10, 20)) == pytest.approx(0.0)
+
+    def test_half_overlap(self):
+        assert interval_jaccard((0, 10), (5, 15)) == pytest.approx(5 / 15)
+
+
+class TestCoveringScore:
+    def test_perfect_prediction(self):
+        assert covering_score([300, 600], [300, 600], 900) == pytest.approx(1.0)
+
+    def test_empty_prediction_on_single_segment(self):
+        assert covering_score([], [], 500) == pytest.approx(1.0)
+
+    def test_empty_prediction_on_two_segments(self):
+        # best overlap of each true half with the single predicted segment is 1/2
+        assert covering_score([500], [], 1_000) == pytest.approx(0.5)
+
+    def test_known_partial_overlap(self):
+        # true segments [0,400) and [400,1000); prediction splits at 500
+        score = covering_score([400], [500], 1_000)
+        expected = 0.4 * (400 / 500) + 0.6 * (500 / 600)
+        assert score == pytest.approx(expected)
+
+    def test_over_segmentation_penalised(self):
+        exact = covering_score([500], [500], 1_000)
+        noisy = covering_score([500], [100, 200, 300, 400, 500, 600, 700, 800, 900], 1_000)
+        assert noisy < exact
+
+    def test_close_prediction_scores_high(self):
+        assert covering_score([500], [510], 1_000) > 0.95
+
+    @given(
+        n=st.integers(min_value=50, max_value=2_000),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounded_and_perfect_on_self(self, n, seed):
+        rng = np.random.default_rng(seed)
+        n_cps = int(rng.integers(0, 6))
+        cps = np.sort(rng.choice(np.arange(1, n), size=min(n_cps, n - 2), replace=False))
+        other = np.sort(rng.choice(np.arange(1, n), size=min(int(rng.integers(0, 6)), n - 2), replace=False))
+        score = covering_score(cps, other, n)
+        assert 0.0 <= score <= 1.0
+        assert covering_score(cps, cps, n) == pytest.approx(1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_prediction_order_irrelevant(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 500
+        cps = [100, 250, 400]
+        prediction = rng.choice(np.arange(1, n), size=4, replace=False)
+        a = covering_score(cps, prediction, n)
+        b = covering_score(cps, prediction[::-1], n)
+        assert a == pytest.approx(b)
+
+
+class TestCoveringMatrix:
+    def test_shape_and_values(self):
+        matrix = covering_matrix([50], [40, 80], 100)
+        assert matrix.shape == (2, 3)
+        assert matrix.max() <= 1.0

@@ -1,0 +1,110 @@
+"""Unit tests for CP-F1, detection delays, ranks and CD statistics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    change_point_f1,
+    detection_delays,
+    match_change_points,
+    mean_absolute_error_of_matched_cps,
+)
+from repro.evaluation.ranking import (
+    critical_difference_analysis,
+    friedman_test,
+    mean_ranks,
+    nemenyi_critical_difference,
+    pairwise_wins,
+    rank_scores,
+    wins_and_ties_per_method,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestChangePointMatching:
+    def test_exact_match(self):
+        match = match_change_points([100, 200], [100, 200], margin=10)
+        assert match.true_positives == 2
+        assert match.f1 == pytest.approx(1.0)
+
+    def test_one_to_one_matching(self):
+        # two predictions near the same annotation: only one may match
+        match = match_change_points([100], [95, 105], margin=10)
+        assert match.true_positives == 1
+        assert match.false_positives == 1
+
+    def test_miss_and_false_alarm(self):
+        match = match_change_points([100, 500], [300], margin=20)
+        assert match.true_positives == 0
+        assert match.false_negatives == 2
+        assert match.false_positives == 1
+        assert match.f1 == 0.0
+
+    def test_f1_helper(self):
+        assert change_point_f1([500], [505], 1_000, margin_fraction=0.01) == pytest.approx(1.0)
+        assert change_point_f1([500], [], 1_000) == 0.0
+
+    def test_detection_delays(self):
+        delays = detection_delays([100, 400], [102, 401], [150, 470], margin=10)
+        assert delays == [50, 70]
+
+    def test_detection_delays_unmatched_ignored(self):
+        assert detection_delays([100], [900], [950], margin=10) == []
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error_of_matched_cps([100, 200], [105, 190], margin=20) == pytest.approx(7.5)
+        assert np.isnan(mean_absolute_error_of_matched_cps([100], [500], margin=20))
+
+
+class TestRanking:
+    def test_rank_scores_basic(self):
+        scores = np.array([[0.9, 0.5, 0.7], [0.2, 0.8, 0.4]])
+        ranks = rank_scores(scores)
+        np.testing.assert_array_equal(ranks[0], [1, 3, 2])
+        np.testing.assert_array_equal(ranks[1], [3, 1, 2])
+
+    def test_mean_ranks_ties_are_averaged(self):
+        scores = np.array([[0.5, 0.5, 0.1]])
+        np.testing.assert_allclose(mean_ranks(scores), [1.5, 1.5, 3.0])
+
+    def test_rank_scores_requires_2d(self):
+        with pytest.raises(ValidationError):
+            rank_scores(np.array([1.0, 2.0]))
+
+    def test_friedman_detects_consistent_winner(self, rng):
+        base = rng.uniform(0.3, 0.5, size=(30, 1))
+        scores = np.hstack([base + 0.4, base, base - 0.1])
+        statistic, p_value = friedman_test(scores)
+        assert p_value < 1e-5
+        assert statistic > 0
+
+    def test_nemenyi_cd_decreases_with_more_datasets(self):
+        assert nemenyi_critical_difference(5, 200) < nemenyi_critical_difference(5, 20)
+
+    def test_critical_difference_analysis(self, rng):
+        base = rng.uniform(0.3, 0.5, size=(40, 1))
+        # "best" always wins; "mid" and "low" are statistically indistinguishable
+        scores = np.hstack(
+            [base + 0.4, base + rng.normal(0, 0.02, (40, 1)), base + rng.normal(0, 0.02, (40, 1))]
+        )
+        result = critical_difference_analysis(scores, ["best", "mid", "low"])
+        ordering = result.ordering()
+        assert ordering[0][0] == "best"
+        assert result.is_significantly_better("best", "low")
+        assert not result.is_significantly_better("mid", "low")
+        assert any({"mid", "low"} <= set(clique) for clique in result.cliques)
+
+    def test_method_name_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            critical_difference_analysis(rng.random((10, 3)), ["a", "b"])
+
+    def test_pairwise_wins(self):
+        scores = np.array([[0.9, 0.1], [0.8, 0.2], [0.3, 0.4]])
+        wins = pairwise_wins(scores, ["a", "b"])
+        assert wins[("a", "b")] == (2, 0, 1)
+        assert wins[("b", "a")] == (1, 0, 2)
+
+    def test_wins_and_ties(self):
+        scores = np.array([[0.9, 0.9], [0.2, 0.5]])
+        counts = wins_and_ties_per_method(scores, ["a", "b"])
+        assert counts == {"a": 1, "b": 2}

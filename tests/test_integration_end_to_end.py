@@ -1,0 +1,75 @@
+"""End-to-end integration tests mirroring the paper's headline experiments
+at a miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.core.class_segmenter import ClaSS
+from repro.datasets import load_collection, make_mitbih_ve_like
+from repro.evaluation import (
+    covering_score,
+    critical_difference_analysis,
+    default_method_factories,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_benchmark():
+    """A miniature benchmark suite (6 short TSSB-like series)."""
+    return load_collection("TSSB", n_series=6, length_scale=0.3, seed=77)
+
+
+class TestHeadlineResult:
+    def test_class_ranks_first_on_mini_benchmark(self, mini_benchmark):
+        """ClaSS achieves the best mean Covering among a competitor subset
+        (the qualitative shape of Table 3 / Figure 5)."""
+        methods = default_method_factories(
+            window_size=2_000,
+            scoring_interval=25,
+            floss_stride=25,
+            include=["ClaSS", "Window", "DDM", "HDDM"],
+        )
+        result = run_experiment(methods, mini_benchmark)
+        summary = result.summary_by_method()
+        best_method = max(summary, key=lambda name: summary[name]["mean"])
+        assert best_method == "ClaSS"
+        # and the margin over the weak drift detectors is substantial
+        assert summary["ClaSS"]["mean"] > summary["DDM"]["mean"] + 0.1
+        assert summary["ClaSS"]["mean"] > summary["HDDM"]["mean"] + 0.1
+
+    def test_rank_analysis_runs_on_experiment_output(self, mini_benchmark):
+        methods = default_method_factories(
+            window_size=2_000, scoring_interval=30, floss_stride=30,
+            include=["ClaSS", "Window", "DDM"],
+        )
+        result = run_experiment(methods, mini_benchmark)
+        matrix, _, names = result.score_matrix()
+        analysis = critical_difference_analysis(matrix, names)
+        assert analysis.ordering()[0][0] == "ClaSS"
+        assert analysis.critical_difference > 0
+
+
+class TestEarlyDetectionUseCase:
+    def test_ecg_fibrillation_detected_shortly_after_onset(self):
+        """Figure 1 / Figure 9: the ventricular fibrillation onset is reported
+        within a few seconds (at 250 Hz) of the condition starting."""
+        dataset = make_mitbih_ve_like(n_series=1, length_scale=0.4, seed=321)[0]
+        onset = int(dataset.change_points[0])
+        segmenter = ClaSS(window_size=min(4_000, len(dataset) // 2), scoring_interval=20)
+        segmenter.process(dataset.values)
+        matches = [r for r in segmenter.reports if abs(r.change_point - onset) < 600]
+        assert matches, f"onset {onset} not detected, reports: {segmenter.reports}"
+        # reported within ~2.5k observations (= 10 seconds at 250 Hz)
+        assert matches[0].detected_at - onset < 2_500
+
+
+class TestCoveringConsistency:
+    def test_runner_covering_matches_direct_computation(self, mini_benchmark):
+        methods = default_method_factories(include=["DDM"], window_size=500)
+        result = run_experiment(methods, mini_benchmark[:2])
+        for record, dataset in zip(result.records, mini_benchmark[:2]):
+            direct = covering_score(
+                dataset.change_points, record.predicted_change_points, dataset.n_timepoints
+            )
+            assert record.covering == pytest.approx(direct)

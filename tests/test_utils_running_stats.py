@@ -1,0 +1,126 @@
+"""Unit and property tests for running statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.running_stats import (
+    ExponentialMovingStats,
+    RunningStats,
+    sliding_complexity,
+    sliding_mean_std,
+    sliding_sums,
+)
+
+
+class TestSlidingSums:
+    def test_matches_direct_computation(self, rng):
+        values = rng.normal(size=200)
+        sums, squares = sliding_sums(values, 16)
+        for i in range(values.shape[0] - 16 + 1):
+            window = values[i : i + 16]
+            assert sums[i] == pytest.approx(window.sum())
+            assert squares[i] == pytest.approx((window ** 2).sum())
+
+    def test_rejects_too_short_series(self):
+        with pytest.raises(ValueError):
+            sliding_sums(np.ones(5), 10)
+
+    def test_window_equal_to_length(self):
+        sums, _ = sliding_sums(np.arange(4, dtype=float), 4)
+        assert sums.shape == (1,)
+        assert sums[0] == pytest.approx(6.0)
+
+
+class TestSlidingMeanStd:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(size=300)
+        mean, std = sliding_mean_std(values, 25)
+        windows = np.lib.stride_tricks.sliding_window_view(values, 25)
+        np.testing.assert_allclose(mean, windows.mean(axis=1), atol=1e-9)
+        np.testing.assert_allclose(std, windows.std(axis=1), atol=1e-7)
+
+    def test_constant_window_std_is_floored(self):
+        mean, std = sliding_mean_std(np.full(50, 3.0), 10)
+        assert np.all(std > 0)
+        assert np.allclose(mean, 3.0)
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_numpy(self, width, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=width + rng.integers(1, 100))
+        mean, std = sliding_mean_std(values, width)
+        windows = np.lib.stride_tricks.sliding_window_view(values, width)
+        np.testing.assert_allclose(mean, windows.mean(axis=1), atol=1e-8)
+        np.testing.assert_allclose(
+            np.maximum(std, 1e-8), np.maximum(windows.std(axis=1), 1e-8), atol=1e-6
+        )
+
+
+class TestSlidingComplexity:
+    def test_matches_direct_computation(self, rng):
+        values = rng.normal(size=120)
+        complexity = sliding_complexity(values, 20)
+        for i in range(values.shape[0] - 20 + 1):
+            expected = np.sqrt(np.sum(np.diff(values[i : i + 20]) ** 2))
+            assert complexity[i] == pytest.approx(expected, abs=1e-9)
+
+    def test_flat_signal_has_zero_complexity(self):
+        complexity = sliding_complexity(np.ones(50), 10)
+        assert np.allclose(complexity, 0.0)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(3.0, 2.0, 500)
+        stats = RunningStats()
+        for value in values:
+            stats.update(float(value))
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(values.mean(), rel=1e-9)
+        assert stats.variance == pytest.approx(values.var(), rel=1e-9)
+        assert stats.std == pytest.approx(values.std(), rel=1e-9)
+
+    def test_empty_is_safe(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_reset(self):
+        stats = RunningStats()
+        stats.update(5.0)
+        stats.reset()
+        assert stats.count == 0
+
+
+class TestExponentialMovingStats:
+    def test_first_value_initialises_mean(self):
+        ema = ExponentialMovingStats(alpha=0.1)
+        ema.update(7.0)
+        assert ema.mean == pytest.approx(7.0)
+        assert ema.variance == pytest.approx(0.0)
+
+    def test_converges_to_constant(self):
+        ema = ExponentialMovingStats(alpha=0.2)
+        for _ in range(200):
+            ema.update(3.0)
+        assert ema.mean == pytest.approx(3.0)
+        assert ema.std == pytest.approx(0.0, abs=1e-6)
+
+    def test_tracks_shift_faster_with_larger_alpha(self):
+        slow, fast = ExponentialMovingStats(0.01), ExponentialMovingStats(0.3)
+        for _ in range(100):
+            slow.update(0.0)
+            fast.update(0.0)
+        for _ in range(20):
+            slow.update(10.0)
+            fast.update(10.0)
+        assert fast.mean > slow.mean
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingStats(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingStats(alpha=1.5)

@@ -1,0 +1,121 @@
+"""Unit tests for the input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.validation import (
+    check_array_1d,
+    check_change_points,
+    check_positive_int,
+    check_probability,
+    check_window_size,
+)
+
+
+class TestCheckArray1d:
+    def test_accepts_list(self):
+        result = check_array_1d([1, 2, 3])
+        assert isinstance(result, np.ndarray)
+        assert result.dtype == np.float64
+        assert result.tolist() == [1.0, 2.0, 3.0]
+
+    def test_accepts_generator(self):
+        result = check_array_1d(float(i) for i in range(5))
+        assert result.shape == (5,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            check_array_1d(np.zeros((3, 3)))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValidationError, match="at least 10"):
+            check_array_1d([1.0, 2.0], min_length=10)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array_1d([1.0, np.nan, 2.0])
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ValidationError):
+            check_array_1d([1.0, np.inf])
+
+    def test_rejects_constant_when_disallowed(self):
+        with pytest.raises(ValidationError, match="constant"):
+            check_array_1d([3.0, 3.0, 3.0], allow_constant=False)
+
+    def test_allows_constant_by_default(self):
+        assert check_array_1d([3.0, 3.0, 3.0]).shape == (3,)
+
+    def test_returns_contiguous_copy_for_strided_input(self):
+        base = np.arange(20, dtype=np.float64)
+        strided = base[::2]
+        result = check_array_1d(strided)
+        assert result.flags["C_CONTIGUOUS"]
+
+
+class TestCheckPositiveInt:
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(3.5, "x")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, "x", minimum=2)
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_probability(0.0, "p", inclusive=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_probability("high", "p")
+
+
+class TestCheckWindowSize:
+    def test_must_fit_series(self):
+        with pytest.raises(ValidationError, match="does not fit"):
+            check_window_size(100, n_timepoints=50)
+
+    def test_minimum_two(self):
+        with pytest.raises(ValidationError):
+            check_window_size(1)
+
+    def test_valid(self):
+        assert check_window_size(10, n_timepoints=100) == 10
+
+
+class TestCheckChangePoints:
+    def test_empty_is_allowed(self):
+        assert check_change_points([], 100).shape == (0,)
+
+    def test_must_be_increasing(self):
+        with pytest.raises(ValidationError, match="increasing"):
+            check_change_points([50, 30], 100)
+
+    def test_must_be_inside_range(self):
+        with pytest.raises(ValidationError):
+            check_change_points([0], 100)
+        with pytest.raises(ValidationError):
+            check_change_points([100], 100)
+
+    def test_valid(self):
+        result = check_change_points([10, 50, 90], 100)
+        assert result.tolist() == [10, 50, 90]
