@@ -41,8 +41,11 @@ def test_fig6_runtime_vs_quality_and_throughput(benchmark, benchmark_experiment,
     print(format_table(rows, title="Figure 6 (left): runtime vs quality and standalone throughput",
                        float_format="{:.1f}"))
 
-    # the fast cluster: constant-time drift detectors beat ClaSS on throughput ...
-    for fast in ("DDM", "HDDM", "ADWIN", "NEWMA"):
+    # the fast cluster: the O(1)-per-point drift detectors beat ClaSS on
+    # throughput by an order of magnitude.  (NEWMA is no longer asserted to
+    # be faster: since the chunked ingestion engine, this build's ClaSS
+    # overtakes the per-point pure-Python NEWMA/ChangeFinder/BOCD cluster.)
+    for fast in ("DDM", "HDDM", "ADWIN"):
         assert throughputs[fast] > throughputs["ClaSS"]
     # ... but ClaSS buys (near-)top accuracy with that runtime
     assert summary["ClaSS"]["mean"] >= max(summary[m]["mean"] for m in summary) - 0.05

@@ -72,6 +72,9 @@ def cmd_datasets(_: argparse.Namespace) -> int:
 
 def cmd_segment(args: argparse.Namespace) -> int:
     """Stream one series through ClaSS and print the detected change points."""
+    if args.chunk_size < 1:
+        print("error: --chunk-size must be a positive integer", file=sys.stderr)
+        return 2
     if args.demo or args.input is None:
         dataset = _demo_dataset()
         values, annotation = dataset.values, dataset.change_points
@@ -86,10 +89,17 @@ def cmd_segment(args: argparse.Namespace) -> int:
         scoring_interval=args.scoring_interval,
         significance_level=args.significance_level,
     )
-    for time_point, value in enumerate(values):
-        change_point = segmenter.update(float(value))
-        if change_point is not None:
-            print(f"change point at t={change_point} (reported at t={time_point + 1})")
+    # chunked ingestion (behaviour-identical to point-wise, much faster);
+    # change points are printed as soon as the chunk containing them is done
+    reported = 0
+    for start in range(0, values.shape[0], args.chunk_size):
+        segmenter.process(values[start : start + args.chunk_size], chunk_size=args.chunk_size)
+        for report in segmenter.reports[reported:]:
+            print(
+                f"change point at t={report.change_point} "
+                f"(reported at t={report.detected_at})"
+            )
+            reported += 1
     segmenter.finalise()
 
     print(f"learned subsequence width: {segmenter.subsequence_width_}")
@@ -138,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
     segment_parser.add_argument("--subsequence-width", type=int, default=None)
     segment_parser.add_argument("--scoring-interval", type=int, default=10)
     segment_parser.add_argument("--significance-level", type=float, default=1e-50)
+    segment_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1_024,
+        help="observations per ingestion chunk (results are identical for any value)",
+    )
     segment_parser.set_defaults(handler=cmd_segment)
 
     evaluate_parser = subparsers.add_parser("evaluate", help="run a miniature comparison")

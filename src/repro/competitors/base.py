@@ -6,7 +6,11 @@ and user code can treat them interchangeably with ClaSS:
 
 * :meth:`StreamSegmenter.update` ingests one observation and returns the
   absolute time point of a change point if one is reported at this step,
-* :meth:`StreamSegmenter.process` streams a finite array point by point,
+* :meth:`StreamSegmenter.process` streams a finite array in chunks,
+  delegating each chunk to :meth:`StreamSegmenter.process_chunk` — the
+  default chunk handler loops over :meth:`update`, and methods with a
+  cheaper batch path (e.g. FLOSS feeding its streaming k-NN substrate
+  through ``update_many``) override it,
 * :attr:`StreamSegmenter.change_points` collects everything reported so far.
 
 Methods that natively produce a continuous score per time point (FLOSS,
@@ -22,6 +26,7 @@ import abc
 
 import numpy as np
 
+from repro.core.class_segmenter import DEFAULT_CHUNK_SIZE
 from repro.utils.exceptions import ConfigurationError
 
 
@@ -65,22 +70,45 @@ class StreamSegmenter(abc.ABC):
     def update(self, value: float) -> int | None:
         """Ingest one observation; return a change point time if one is reported."""
         self._n_seen += 1
-        change_point = self._update(float(value))
-        if change_point is not None:
-            change_point = int(change_point)
-            if change_point >= self._n_seen:
-                change_point = self._n_seen - 1
-            if self._change_points and change_point <= self._change_points[-1]:
-                return None
-            self._change_points.append(change_point)
-            self._detection_times.append(self._n_seen)
-        return change_point
+        return self._record_detection(self._update(float(value)))
 
-    def process(self, values: np.ndarray) -> np.ndarray:
-        """Stream a finite batch of values one at a time; return detected CPs."""
-        for value in np.asarray(values, dtype=np.float64):
-            self.update(float(value))
+    def process(self, values: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """Stream a finite batch of values in chunks; return all CPs so far.
+
+        The array is cut into chunks of at most ``chunk_size`` observations
+        (default :data:`DEFAULT_CHUNK_SIZE`) and each chunk is handed to
+        :meth:`process_chunk`.  Chunked and point-wise ingestion report
+        identical change points for every segmenter.
+
+        Note the return-value difference from ``ClaSS.process``: this method
+        returns the *cumulative* change-point history (the seed contract of
+        the competitor wrappers), while ClaSS returns only the change points
+        detected during the call.  Use :meth:`process_chunk` or diff
+        ``change_points`` across calls for per-call detections.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        elif chunk_size < 1:
+            raise ConfigurationError("chunk_size must be a positive integer")
+        for start in range(0, values.shape[0], chunk_size):
+            self.process_chunk(values[start : start + chunk_size])
         return self.change_points
+
+    def process_chunk(self, values: np.ndarray) -> np.ndarray:
+        """Ingest one chunk; return the change points detected within it.
+
+        The default implementation loops over :meth:`update`.  Subclasses
+        with a cheaper batch ingestion path override this — they must keep
+        :attr:`n_seen` and the detection bookkeeping consistent by routing
+        detections through :meth:`_record_detection`.
+        """
+        detected: list[int] = []
+        for value in values:
+            change_point = self.update(float(value))
+            if change_point is not None:
+                detected.append(change_point)
+        return np.asarray(detected, dtype=np.int64)
 
     def reset(self) -> None:
         """Forget all state (default implementation re-initialises bookkeeping)."""
@@ -90,6 +118,19 @@ class StreamSegmenter(abc.ABC):
         self.last_score = 0.0
 
     # ------------------------------------------------------------------ #
+
+    def _record_detection(self, change_point: int | None) -> int | None:
+        """Clamp, deduplicate and register a raw detection (shared bookkeeping)."""
+        if change_point is None:
+            return None
+        change_point = int(change_point)
+        if change_point >= self._n_seen:
+            change_point = self._n_seen - 1
+        if self._change_points and change_point <= self._change_points[-1]:
+            return None
+        self._change_points.append(change_point)
+        self._detection_times.append(self._n_seen)
+        return change_point
 
     @abc.abstractmethod
     def _update(self, value: float) -> int | None:

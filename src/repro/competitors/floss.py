@@ -17,6 +17,8 @@ plus O(d) for the arc-curve recomputation.
 
 from __future__ import annotations
 
+import collections
+
 import numpy as np
 
 from repro.competitors.base import StreamSegmenter
@@ -127,7 +129,37 @@ class FLOSS(StreamSegmenter):
             return None
         if self.stride > 1 and (self._n_seen % self.stride) != 0:
             return None
+        return self._evaluate_curve()
 
+    def process_chunk(self, values: np.ndarray) -> np.ndarray:
+        """Chunked ingestion: batch-feed the k-NN between arc-curve strides.
+
+        Values are pushed through the streaming k-NN's ``update_many`` path
+        and the corrected arc curve is evaluated exactly at the stream
+        positions the point-wise path would evaluate it, so both report
+        identical change points.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        detected: list[int] = []
+        position = 0
+        n = values.shape[0]
+        while position < n:
+            until_boundary = self.stride - (self._n_seen % self.stride)
+            take = min(until_boundary, n - position)
+            collections.deque(self._knn.update_many(values[position : position + take]), maxlen=0)
+            self._n_seen += take
+            position += take
+            if (
+                (self._n_seen % self.stride) == 0
+                and self._knn.n_subsequences >= 4 * self.subsequence_width
+            ):
+                change_point = self._record_detection(self._evaluate_curve())
+                if change_point is not None:
+                    detected.append(change_point)
+        return np.asarray(detected, dtype=np.int64)
+
+    def _evaluate_curve(self) -> int | None:
+        """Recompute the corrected arc curve and apply the threshold rule."""
         nearest = self._knn.knn_indices[:, 0].copy()
         nearest[nearest == PADDING_INDEX] = -1
         cac = corrected_arc_curve(nearest, exclusion=self.subsequence_width)

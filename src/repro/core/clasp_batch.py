@@ -17,6 +17,7 @@ by ClaSS, followed by a recursive extraction of significant change points.
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -120,7 +121,7 @@ class ClaSP:
             k_neighbours=self.k_neighbours,
             similarity=self.similarity,
         )
-        knn.extend(values)
+        collections.deque(knn.update_many(values), maxlen=0)
         return knn.knn_indices.copy()
 
     def profile(self, values: np.ndarray, subsequence_width: int | None = None) -> ClaSPProfile:

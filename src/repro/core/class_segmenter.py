@@ -9,11 +9,26 @@ conservative rank-sum significance test (§3.3).  Only the region since the
 last reported change point is scored, which keeps the model small and the
 per-point cost linear in the window size.
 
+Ingestion is *chunked*: :meth:`ClaSS.process` consumes arrays of
+observations, feeds the streaming k-NN through its batched
+``update_many`` path between scoring boundaries (respecting
+``scoring_interval``), and scores exactly at the stream positions the
+point-wise path would — so batched and point-wise ingestion report identical
+change points.  :meth:`ClaSS.update` is the single-element case of the same
+implementation.
+
 Typical use::
 
     from repro import ClaSS
 
     segmenter = ClaSS(window_size=4_000)
+
+    # batched (preferred): consume the stream in arrival chunks
+    for chunk in sensor_chunks:          # e.g. arrays of a few hundred values
+        for change_point in segmenter.process(chunk):
+            print("state change at", change_point)
+
+    # or point-wise, with identical results
     for value in sensor_stream:
         change_point = segmenter.update(value)
         if change_point is not None:
@@ -22,6 +37,7 @@ Typical use::
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +56,11 @@ from repro.utils.validation import check_positive_int
 
 #: Default sliding window size found robust across domains in the paper (§3.5).
 DEFAULT_WINDOW_SIZE = 10_000
+
+#: Default ingestion chunk size of the batch path; large enough to amortise
+#: the per-chunk Python overhead, small enough to keep detection latency and
+#: memory granularity negligible against the 10k default window.
+DEFAULT_CHUNK_SIZE = 1_024
 
 
 @dataclass
@@ -212,27 +233,71 @@ class ClaSS:
     # ------------------------------------------------------------------ #
 
     def update(self, value: float) -> int | None:
-        """Ingest one observation; return the absolute change point if one is found."""
-        value = float(value)
-        self._n_seen += 1
+        """Ingest one observation; return the absolute change point if one is found.
 
-        if self._knn is None:
-            self._prefix.append(value)
-            if self._width is None and len(self._prefix) < self.window_size:
-                return None
-            self._initialise_from_prefix()
-            return self._maybe_score()
+        The single-element case of :meth:`process` — both share one chunked
+        ingestion implementation.
+        """
+        detected = self.process(np.asarray([float(value)], dtype=np.float64))
+        return int(detected[-1]) if detected.size else None
 
-        self._ingest(value)
-        return self._maybe_score()
+    def process(self, values: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """Stream a finite batch of values in chunks; return the CPs detected now.
 
-    def process(self, values: np.ndarray) -> np.ndarray:
-        """Stream a finite batch of values one at a time; return detected CPs."""
+        Values are fed to the streaming k-NN through its batched
+        ``update_many`` path in runs of at most ``chunk_size`` observations,
+        cut so that scoring happens exactly at the stream positions where the
+        point-wise path would score (every ``scoring_interval`` observations).
+        The reported change points are therefore identical for every chunk
+        size, including ``chunk_size=1``.
+
+        Parameters
+        ----------
+        values:
+            1-d array of stream observations (column vectors are flattened).
+        chunk_size:
+            Maximum number of observations handed to the k-NN per batch call
+            (default :data:`DEFAULT_CHUNK_SIZE`).
+
+        Returns
+        -------
+        numpy.ndarray
+            Absolute time points of the change points detected during this
+            call (not the full history; see :attr:`change_points`).  The
+            competitor wrappers' ``process`` keeps their seed contract and
+            returns the cumulative history instead.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        else:
+            chunk_size = check_positive_int(chunk_size, "chunk_size")
         detected: list[int] = []
-        for value in np.asarray(values, dtype=np.float64):
-            change_point = self.update(float(value))
-            if change_point is not None:
-                detected.append(change_point)
+        n = values.shape[0]
+        position = 0
+        while position < n:
+            if self._knn is None:
+                # warm-up: buffer until the subsequence width can be learned
+                self._n_seen += 1
+                self._prefix.append(float(values[position]))
+                position += 1
+                if self._width is None and len(self._prefix) < self.window_size:
+                    continue
+                self._initialise_from_prefix()
+                change_point = self._maybe_score()
+                if change_point is not None:
+                    detected.append(change_point)
+                continue
+            interval = self.scoring_interval
+            until_boundary = interval - (self._n_seen % interval)
+            take = min(until_boundary, chunk_size, n - position)
+            self._ingest_many(values[position : position + take])
+            self._n_seen += take
+            position += take
+            if (self._n_seen % interval) == 0:
+                change_point = self._maybe_score()
+                if change_point is not None:
+                    detected.append(change_point)
         return np.asarray(detected, dtype=np.int64)
 
     def finalise(self) -> np.ndarray:
@@ -282,19 +347,19 @@ class ClaSS:
             similarity=self.similarity,
             mode=self.knn_mode,
         )
-        for value in prefix:
-            self._ingest(float(value))
+        self._ingest_many(prefix)
         self._prefix = []
 
-    def _ingest(self, value: float) -> None:
-        """Feed one value to the k-NN and keep the last-CP offset aligned."""
+    def _ingest_many(self, values: np.ndarray) -> None:
+        """Feed a chunk to the k-NN and keep the last-CP offset aligned."""
         assert self._knn is not None
-        was_full = self._knn.n_buffered == self._knn.window_size
-        self._knn.update(value)
-        if was_full:
-            # the window slid: the unsegmented region moved one position left
+        evictions_before = self._knn.n_evicted
+        collections.deque(self._knn.update_many(values), maxlen=0)  # C-speed drain
+        slid = self._knn.n_evicted - evictions_before
+        if slid:
+            # the window slid: the unsegmented region moved left by `slid`
             self._state.last_change_point_offset = max(
-                0, self._state.last_change_point_offset - 1
+                0, self._state.last_change_point_offset - slid
             )
 
     def _maybe_score(self, force: bool = False) -> int | None:
@@ -373,4 +438,4 @@ class ClaSS:
             similarity=self.similarity,
             mode=self.knn_mode,
         )
-        self._knn.extend(window)
+        collections.deque(self._knn.update_many(window), maxlen=0)

@@ -17,7 +17,11 @@ This module provides a pragmatic ensemble realisation of that idea:
 The ensemble preserves the streaming contract of the univariate algorithm —
 one multivariate observation in, at most one fused change point out — and its
 per-point cost is the sum of the per-channel costs, i.e. still linear in the
-sliding window size.
+sliding window size.  Like the univariate ClaSS, ingestion is chunked:
+:meth:`MultivariateClaSS.process` fans each chunk out column-wise to the
+per-channel segmenters' batch paths and replays the fusion decisions in
+detection-time order, producing exactly the row-at-a-time results at batch
+throughput.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.class_segmenter import ClaSS
+from repro.core.class_segmenter import DEFAULT_CHUNK_SIZE, ClaSS
 from repro.utils.exceptions import ConfigurationError
 
 
@@ -134,51 +138,96 @@ class MultivariateClaSS:
     # ------------------------------------------------------------------ #
 
     def update(self, values) -> int | None:
-        """Ingest one multivariate observation; return a fused change point if confirmed."""
+        """Ingest one multivariate observation; return a fused change point if confirmed.
+
+        The single-row case of :meth:`process` — both share one chunked
+        ingestion implementation.
+        """
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.shape[0] != self.n_channels:
             raise ConfigurationError(
                 f"expected {self.n_channels} channel values, got {values.shape[0]}"
             )
-        self._n_seen += 1
+        fused = self._process_chunk(values.reshape(1, -1), chunk_size=1)
+        return fused[-1] if fused else None
 
-        for channel, (segmenter, weight) in enumerate(zip(self.segmenters, self.channel_weights)):
-            if weight <= 0:
-                continue
-            change_point = segmenter.update(float(values[channel]))
-            if change_point is not None:
-                self._pending.append(
-                    ChannelReport(
-                        channel=channel,
-                        change_point=int(change_point),
-                        detected_at=self._n_seen,
-                        weight=weight,
-                    )
-                )
-        return self._fuse()
+    def process(self, values: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """Stream a (n_timepoints, n_channels) array; return fused change points.
 
-    def process(self, values: np.ndarray) -> np.ndarray:
-        """Stream a (n_timepoints, n_channels) array; return fused change points."""
+        The stream is cut into chunks of ``chunk_size`` multivariate
+        observations; each chunk is fanned out column-wise to the per-channel
+        segmenters through their batched ``process`` path, and the channel
+        reports are fused in detection-time order — exactly the fusion
+        decisions the row-at-a-time path makes.
+        """
         values = np.asarray(values, dtype=np.float64)
         if values.ndim != 2 or values.shape[1] != self.n_channels:
             raise ConfigurationError(
                 f"expected an array of shape (n, {self.n_channels}), got {values.shape}"
             )
-        for row in values:
-            self.update(row)
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        elif chunk_size < 1:
+            raise ConfigurationError("chunk_size must be a positive integer")
+        for start in range(0, values.shape[0], chunk_size):
+            self._process_chunk(values[start : start + chunk_size], chunk_size)
         return self.change_points
 
     # ------------------------------------------------------------------ #
 
-    def _fuse(self) -> int | None:
-        """Resolve pending channel reports into at most one fused change point."""
+    def _process_chunk(self, chunk: np.ndarray, chunk_size: int) -> list[int]:
+        """Fan one chunk out to the channels and replay fusion in time order."""
+        n = chunk.shape[0]
+        new_reports: list[ChannelReport] = []
+        for channel, (segmenter, weight) in enumerate(zip(self.segmenters, self.channel_weights)):
+            if weight <= 0:
+                continue
+            seen_before = len(segmenter.reports)
+            segmenter.process(np.ascontiguousarray(chunk[:, channel]), chunk_size=chunk_size)
+            for report in segmenter.reports[seen_before:]:
+                new_reports.append(
+                    ChannelReport(
+                        channel=channel,
+                        change_point=int(report.change_point),
+                        detected_at=int(report.detected_at),
+                        weight=weight,
+                    )
+                )
+        self._n_seen += n
+
+        # replay fusion at each detection time, channels in index order —
+        # the order in which the row-at-a-time path would have seen them
+        new_reports.sort(key=lambda report: (report.detected_at, report.channel))
+        newly_fused: list[int] = []
+        index = 0
+        while index < len(new_reports):
+            at = new_reports[index].detected_at
+            while index < len(new_reports) and new_reports[index].detected_at == at:
+                self._pending.append(new_reports[index])
+                index += 1
+            fused = self._fuse(at=at)
+            if fused is not None:
+                newly_fused.append(int(fused))
+        return newly_fused
+
+    def _fuse(self, at: int | None = None) -> int | None:
+        """Resolve pending channel reports into at most one fused change point.
+
+        ``at`` is the stream position of the fusion decision (defaults to the
+        current position; the chunked path passes the detection time it is
+        replaying).
+        """
         if not self._pending:
             return None
+        if at is None:
+            at = self._n_seen
 
         # drop pending reports that can no longer be matched (too old) and
-        # that never reached the vote threshold
-        horizon = self._n_seen - 4 * self.fusion_tolerance
-        self._pending = [r for r in self._pending if r.change_point >= horizon or True]
+        # never reached the vote threshold
+        horizon = at - 4 * self.fusion_tolerance
+        self._pending = [r for r in self._pending if r.change_point >= horizon]
+        if not self._pending:
+            return None
 
         # group pending reports around the newest one
         newest = self._pending[-1]
@@ -205,7 +254,7 @@ class MultivariateClaSS:
 
         fused = FusedChangePoint(
             change_point=fused_location,
-            detected_at=self._n_seen,
+            detected_at=at,
             supporting_channels=sorted(votes_by_channel),
             channel_change_points=locations,
         )

@@ -10,6 +10,26 @@ to full w-length dot products with a single multiply-add per offset
 deviations derived from running sums (Eqns. 1-2, 4), and then shrunk back for
 the next iteration (Eqn. 5).
 
+Ingestion is *chunked*: the native entry point is :meth:`StreamingKNN.update_many`,
+which accepts a whole array of observations, hoists the per-point Python
+overhead (validation, mode dispatch, sliding-statistics bookkeeping) out of
+the loop, and lazily yields the table state after every observation.
+:meth:`StreamingKNN.update` is the thin single-element case of the same code
+path, so there is exactly one ingestion implementation and batched ingestion
+is bit-identical to point-wise ingestion.
+
+Two buffer-layout choices keep the amortized per-point cost free of hidden
+O(d) terms:
+
+* the sliding window lives in a 2x-capacity backing array and slides by
+  advancing a start offset; a full O(d) compaction copy happens only once
+  every ``d`` evictions, so appending is O(1) amortized instead of the
+  shift-the-whole-buffer O(d) of a naive implementation;
+* per-subsequence means, standard deviations and (for CID) complexities are
+  computed exactly once when a subsequence first appears and kept in backing
+  arrays aligned with the window, instead of being recomputed with O(d)
+  cumulative sums on every update.
+
 Three operation modes are provided so the ablation benchmarks can reproduce
 the runtime discussion of §4.4:
 
@@ -19,17 +39,21 @@ the runtime discussion of §4.4:
 * ``"fft"``       — recomputes them with an FFT correlation, O(d log d), the
   approach underlying FLOSS.
 
-All three produce identical correlations (up to floating point error), which
-the test-suite verifies.
+All three produce identical correlations (up to floating point error), and
+for each mode the chunked path produces bit-identical tables to the
+point-wise path, which the test-suite verifies.
 """
 
 from __future__ import annotations
+
+import collections
+import warnings
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.similarity import SIMILARITY_MEASURES, similarity_profile
 from repro.utils.exceptions import ConfigurationError, NotEnoughDataError
-from repro.utils.running_stats import sliding_complexity, sliding_mean_std
 
 #: Sentinel index used for padded / not-yet-available neighbours.  Negative
 #: offsets are treated as belonging to class 0 by the cross-validation, which
@@ -37,6 +61,10 @@ from repro.utils.running_stats import sliding_complexity, sliding_mean_std
 PADDING_INDEX = -(10**9)
 
 KNN_MODES = ("streaming", "recompute", "fft")
+
+#: Floor applied to subsequence standard deviations so constant subsequences
+#: do not divide by zero in the correlation computation.
+STD_FLOOR = 1e-8
 
 
 def exclusion_radius(window_size: int) -> int:
@@ -143,14 +171,37 @@ class StreamingKNN:
 
         d, w, k = self.window_size, self.subsequence_width, self.k_neighbours
         self._max_subsequences = d - w + 1
-        self._buffer = np.empty(d, dtype=np.float64)
+        # 2x-capacity backing array: the live window is buffer[start:start+length]
+        # and sliding advances `start`; a compaction copy back to offset 0 is
+        # needed only once every `d` evictions (O(1) amortized appends).
+        self._capacity = 2 * d
+        self._buffer = np.empty(self._capacity, dtype=np.float64)
+        self._start = 0
         self._length = 0
         self._evictions = 0
+        # per-subsequence statistics, aligned with the backing array: entry at
+        # backing position p describes the subsequence buffer[p:p+w].  Each is
+        # computed exactly once, when the subsequence first appears.
+        self._means = np.empty(self._capacity, dtype=np.float64)
+        self._stds = np.empty(self._capacity, dtype=np.float64)
+        self._comps = np.empty(self._capacity, dtype=np.float64) if similarity == "cid" else None
         # (w-1)-length partial dot products carried between updates (Eqn. 5)
         self._q_store = np.empty(self._max_subsequences, dtype=np.float64)
         self._q_valid = 0
-        self._knn_indices = np.full((self._max_subsequences, k), PADDING_INDEX, dtype=np.int64)
-        self._knn_sims = np.full((self._max_subsequences, k), -np.inf, dtype=np.float64)
+        # k-NN tables, also ring-buffered: live rows are
+        # backing[row_start:row_start+n_subsequences], and neighbour ids are
+        # stored in *global* subsequence coordinates (0, 1, 2, ... over the
+        # whole stream) so evicting the oldest subsequence is a row-start
+        # increment — no row shift, no per-point id decrement.  The public
+        # properties convert back to window-relative offsets on read.
+        self._row_capacity = 2 * self._max_subsequences
+        self._knn_idx = np.full((self._row_capacity, k), PADDING_INDEX, dtype=np.int64)
+        self._knn_sim = np.full((self._row_capacity, k), -np.inf, dtype=np.float64)
+        # contiguous copy of each row's worst similarity (column k-1), kept in
+        # sync so the per-point beats-the-worst scan reads sequential memory
+        self._worst_sim = np.full(self._row_capacity, -np.inf, dtype=np.float64)
+        self._row_start = 0
+        self._first_global = 0  # global id of the subsequence at live row 0
         self._n_subsequences = 0
         self._last_similarities: np.ndarray | None = None
 
@@ -169,6 +220,11 @@ class StreamingKNN:
         return self._length
 
     @property
+    def n_evicted(self) -> int:
+        """Number of observations that have slid out of the window so far."""
+        return self._evictions
+
+    @property
     def n_subsequences(self) -> int:
         """Number of subsequences currently represented in the k-NN tables."""
         return self._n_subsequences
@@ -176,17 +232,25 @@ class StreamingKNN:
     @property
     def window(self) -> np.ndarray:
         """Read-only view of the current sliding window contents."""
-        return self._buffer[: self._length]
+        return self._buffer[self._start : self._start + self._length]
 
     @property
     def knn_indices(self) -> np.ndarray:
-        """Current k-NN offsets, shape ``(n_subsequences, k)``."""
-        return self._knn_indices[: self._n_subsequences]
+        """Current k-NN offsets, shape ``(n_subsequences, k)``.
+
+        Materialised from the global-coordinate ring storage on read;
+        entries for neighbours that never existed stay :data:`PADDING_INDEX`,
+        evicted neighbours come out as negative offsets (class 0 by design).
+        """
+        rows = self._knn_idx[self._row_start : self._row_start + self._n_subsequences]
+        offsets = rows - self._first_global
+        offsets[rows == PADDING_INDEX] = PADDING_INDEX
+        return offsets
 
     @property
     def knn_similarities(self) -> np.ndarray:
         """Current k-NN similarities, shape ``(n_subsequences, k)``."""
-        return self._knn_sims[: self._n_subsequences]
+        return self._knn_sim[self._row_start : self._row_start + self._n_subsequences]
 
     @property
     def last_similarity_profile(self) -> np.ndarray | None:
@@ -200,71 +264,175 @@ class StreamingKNN:
     def update(self, value: float) -> bool:
         """Ingest one observation and refresh the k-NN tables.
 
+        The single-element case of :meth:`update_many` — both share one
+        ingestion implementation.
+
         Returns
         -------
         bool
             True once at least one subsequence exists (i.e. the tables carry
             information), False while the window is still shorter than ``w``.
         """
-        value = float(value)
-        if not np.isfinite(value):
+        ready = False
+        for ready in self.update_many(np.asarray([value], dtype=np.float64)):
+            pass
+        return ready
+
+    def update_many(self, values: np.ndarray) -> Iterator[bool]:
+        """Ingest a chunk of observations; lazily yield the table state per point.
+
+        The returned iterator yields once per observation, after the k-NN
+        tables have been refreshed for it: True once at least one subsequence
+        exists, False during warm-up (mirroring :meth:`update`).  Between
+        ``next()`` calls the live table views (:attr:`knn_indices`,
+        :attr:`knn_similarities`, :attr:`last_similarity_profile`) expose the
+        state after the most recent observation, so callers can step the
+        stream and inspect tables at any granularity.  Draining the iterator
+        without looking at intermediate states ingests the whole chunk with
+        all per-point Python overhead (validation, mode dispatch, statistics
+        recomputation) hoisted out of the loop.
+
+        Chunked ingestion is bit-identical to point-wise ingestion: feeding
+        the same values through any partition into chunks produces exactly
+        the same tables.
+        """
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ConfigurationError("update_many expects a 1-d array of values")
+        if values.shape[0] and not np.all(np.isfinite(values)):
             raise ConfigurationError("stream values must be finite")
-        evicted = self._push(value)
-        if self._length < self.subsequence_width:
-            return False
-        similarities = self._similarities_to_newest(evicted)
-        self._last_similarities = similarities
-        self._refresh_tables(similarities, evicted)
-        return True
+        return self._ingest_chunk(values)
 
     def extend(self, values: np.ndarray) -> None:
-        """Ingest a batch of observations one at a time (convenience helper)."""
-        for value in np.asarray(values, dtype=np.float64):
-            self.update(float(value))
+        """Deprecated alias for draining :meth:`update_many`."""
+        warnings.warn(
+            "StreamingKNN.extend is deprecated; use update_many (and drain the "
+            "iterator) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        collections.deque(self.update_many(values), maxlen=0)
 
     def reset(self) -> None:
         """Forget all state and start from an empty window."""
+        self._start = 0
         self._length = 0
         self._evictions = 0
         self._q_valid = 0
         self._n_subsequences = 0
-        self._knn_indices.fill(PADDING_INDEX)
-        self._knn_sims.fill(-np.inf)
+        self._row_start = 0
+        self._first_global = 0
+        self._knn_idx.fill(PADDING_INDEX)
+        self._knn_sim.fill(-np.inf)
+        self._worst_sim.fill(-np.inf)
         self._last_similarities = None
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
 
-    def _push(self, value: float) -> bool:
-        """Append ``value`` to the window buffer, evicting the oldest if full."""
+    def _ingest_chunk(self, values: np.ndarray) -> Iterator[bool]:
+        """Generator behind :meth:`update_many` (input already validated).
+
+        The chunk is bulk-copied into the backing array and the statistics of
+        every subsequence it completes are computed in one vectorised pass;
+        the remaining per-point work (the sequential dot-product recurrence
+        and the k-NN table refresh) runs in a tight loop over views.  The
+        chunk is split exactly at the positions where the point-wise path
+        would compact the backing array, so the buffer layout — and with it
+        every floating-point operation — is a pure function of the stream
+        position, never of the chunking.
+        """
+        w = self.subsequence_width
+        dot_update = {
+            "streaming": self._incremental_dot_products,
+            "recompute": self._recomputed_dot_products,
+            "fft": self._fft_dot_products,
+        }[self.mode]
+        n = values.shape[0]
+        position = 0
+        while position < n:
+            write = self._start + self._length
+            if write == self._capacity:
+                self._compact()
+                write = self._start + self._length
+            take = min(n - position, self._capacity - write)
+            self._buffer[write : write + take] = values[position : position + take]
+            # statistics for the subsequences completed by this sub-chunk
+            first = max(0, w - 1 - self._length)
+            if first < take:
+                self._compute_subsequence_stats(write + first - w + 1, take - first)
+            for _ in range(take):
+                yield self._step(dot_update)
+            position += take
+
+    def _step(self, dot_update) -> bool:
+        """Advance the window over one already-written observation."""
         if self._length < self.window_size:
-            self._buffer[self._length] = value
             self._length += 1
+            evicted = False
+        else:
+            self._start += 1
+            self._evictions += 1
+            evicted = True
+        if self._length < self.subsequence_width:
             return False
-        self._buffer[:-1] = self._buffer[1:]
-        self._buffer[-1] = value
-        self._evictions += 1
+        m = self._length - self.subsequence_width + 1
+        window = self._buffer[self._start : self._start + self._length]
+        dot_products = dot_update(window, m, evicted)
+        means = self._means[self._start : self._start + m]
+        stds = self._stds[self._start : self._start + m]
+        complexities = None
+        if self._comps is not None:
+            complexities = self._comps[self._start : self._start + m]
+        similarities = similarity_profile(
+            self.similarity, dot_products, means, stds, m - 1, self.subsequence_width, complexities
+        )
+        self._last_similarities = similarities
+        self._refresh_tables(similarities, evicted)
         return True
 
-    def _similarities_to_newest(self, evicted: bool) -> np.ndarray:
-        """Similarity of every subsequence to the newest one (Eqns. 1-5)."""
+    def _compact(self) -> None:
+        """Copy the live window (and its statistics) back to backing offset 0.
+
+        Costs O(d) but runs only once every ``d`` evictions; the k-NN tables
+        and partial dot products are window-relative and unaffected.
+        """
+        start, length = self._start, self._length
+        if start == 0:
+            return
+        self._buffer[:length] = self._buffer[start : start + length]
+        m = length - self.subsequence_width + 1
+        if m > 0:
+            self._means[:m] = self._means[start : start + m]
+            self._stds[:m] = self._stds[start : start + m]
+            if self._comps is not None:
+                self._comps[:m] = self._comps[start : start + m]
+        self._start = 0
+
+    def _compute_subsequence_stats(self, first: int, count: int) -> None:
+        """Vectorised mean/std (and CID complexity) for ``count`` new subsequences.
+
+        ``first`` is the backing position of the earliest new subsequence.
+        Row-wise numpy reductions are order-deterministic per row, so bulk
+        computation over a chunk is bit-identical to one-at-a-time
+        computation.
+        """
         w = self.subsequence_width
-        window = self._buffer[: self._length]
-        m = self._length - w + 1
-        if self.mode == "streaming":
-            dot_products = self._incremental_dot_products(window, m, evicted)
-        elif self.mode == "recompute":
-            dot_products = self._recomputed_dot_products(window, m)
-        else:  # fft
-            dot_products = self._fft_dot_products(window, m)
-        means, stds = sliding_mean_std(window, w)
-        complexities = None
-        if self.similarity == "cid":
-            complexities = sliding_complexity(window, w)
-        return similarity_profile(
-            self.similarity, dot_products, means, stds, m - 1, w, complexities
-        )
+        block = self._buffer[first : first + count + w - 1]
+        subs = np.lib.stride_tricks.sliding_window_view(block, w)
+        sums = subs.sum(axis=1)
+        squares = (subs * subs).sum(axis=1)
+        mean = sums / w
+        variance = np.maximum(squares / w - mean * mean, 0.0)
+        std = np.maximum(np.sqrt(variance), STD_FLOOR)
+        self._means[first : first + count] = mean
+        self._stds[first : first + count] = std
+        if self._comps is not None:
+            diffs = np.diff(block)
+            diff_subs = np.lib.stride_tricks.sliding_window_view(diffs, w - 1)
+            complexity = np.sqrt(np.maximum((diff_subs * diff_subs).sum(axis=1), 0.0))
+            self._comps[first : first + count] = complexity
 
     def _incremental_dot_products(self, window: np.ndarray, m: int, evicted: bool) -> np.ndarray:
         """The O(d) dot-product update of Algorithm 2 (Eqns. 3 and 5)."""
@@ -300,7 +468,7 @@ class StreamingKNN:
         self._q_valid = m
         return full
 
-    def _recomputed_dot_products(self, window: np.ndarray, m: int) -> np.ndarray:
+    def _recomputed_dot_products(self, window: np.ndarray, m: int, evicted: bool) -> np.ndarray:
         """O(d * w) recomputation of the dot products (ablation mode)."""
         w = self.subsequence_width
         subs = np.lib.stride_tricks.sliding_window_view(window, w)
@@ -310,7 +478,7 @@ class StreamingKNN:
         self._q_valid = m
         return full
 
-    def _fft_dot_products(self, window: np.ndarray, m: int) -> np.ndarray:
+    def _fft_dot_products(self, window: np.ndarray, m: int, evicted: bool) -> np.ndarray:
         """O(d log d) FFT-based dot products (FLOSS-style ablation mode)."""
         w = self.subsequence_width
         query = window[-w:]
@@ -324,62 +492,105 @@ class StreamingKNN:
         return full
 
     def _refresh_tables(self, similarities: np.ndarray, evicted: bool) -> None:
-        """Shift, append and update the k-NN tables (Algorithm 2, lines 15-24)."""
+        """Evict, append and update the k-NN tables (Algorithm 2, lines 15-24).
+
+        The oldest row is dropped by advancing the ring start (global
+        neighbour ids make the per-point offset decrement of a naive layout
+        unnecessary), the newest subsequence's neighbours are found with one
+        arg-k-max over the admissible prefix of the similarity profile, and
+        older rows the newest subsequence beats are patched in place.
+        """
         k = self.k_neighbours
-        m = similarities.shape[0]
-        newest = m - 1
+        newest = similarities.shape[0] - 1
 
         if evicted and self._n_subsequences == self._max_subsequences:
-            # k-NN shift: drop the oldest subsequence's row, decrement offsets
-            self._knn_indices[:-1] = self._knn_indices[1:]
-            self._knn_sims[:-1] = self._knn_sims[1:]
+            self._row_start += 1
+            self._first_global += 1
             self._n_subsequences -= 1
-            valid = self._knn_indices[: self._n_subsequences] > PADDING_INDEX
-            self._knn_indices[: self._n_subsequences][valid] -= 1
+            if self._row_start + self._max_subsequences > self._row_capacity:
+                self._compact_tables()
 
-        # k-NN for the newest subsequence (excluding trivial matches)
-        masked = similarities.copy()
+        # k-NN for the newest subsequence: the trivial-match exclusion zone
+        # covers the profile's tail, so the admissible candidates are exactly
+        # the prefix similarities[:low]
         low = max(0, newest - self.exclusion + 1)
-        masked[low : newest + 1] = -np.inf
-        row_idx = np.full(k, PADDING_INDEX, dtype=np.int64)
-        row_sim = np.full(k, -np.inf, dtype=np.float64)
-        n_candidates = low
-        if n_candidates > 0:
-            take = min(k, n_candidates)
-            if n_candidates > take:
-                top = np.argpartition(-masked[:n_candidates], take - 1)[:take]
+        row = self._row_start + self._n_subsequences
+        row_idx = self._knn_idx[row]
+        row_sim = self._knn_sim[row]
+        row_idx.fill(PADDING_INDEX)
+        row_sim.fill(-np.inf)
+        if low > 0:
+            take = min(k, low)
+            if low > take:
+                negated = -similarities[:low]
+                top = negated.argpartition(take - 1)[:take]
+                top = top[negated[top].argsort(kind="stable")]
             else:
-                top = np.arange(n_candidates)
-            top = top[np.argsort(-masked[top], kind="stable")]
-            row_idx[:take] = top
-            row_sim[:take] = masked[top]
-
-        pos = self._n_subsequences
-        self._knn_indices[pos] = row_idx
-        self._knn_sims[pos] = row_sim
+                top = np.arange(low)
+                top = top[(-similarities[top]).argsort(kind="stable")]
+            row_idx[:take] = top + self._first_global
+            row_sim[:take] = similarities[top]
+        self._worst_sim[row] = row_sim[k - 1]
         self._n_subsequences += 1
 
         # k-NN update: the newest subsequence may displace an existing neighbour
         if self._n_subsequences > 1:
             self._insert_newest_into_older_rows(similarities, newest)
 
+    def _compact_tables(self) -> None:
+        """Copy the live table rows back to backing row 0 (amortized O(k))."""
+        start, n = self._row_start, self._n_subsequences
+        self._knn_idx[:n] = self._knn_idx[start : start + n]
+        self._knn_sim[:n] = self._knn_sim[start : start + n]
+        self._worst_sim[:n] = self._worst_sim[start : start + n]
+        self._row_start = 0
+
     def _insert_newest_into_older_rows(self, similarities: np.ndarray, newest: int) -> None:
-        """Insert the newest subsequence into older rows it now beats (line 22-23)."""
+        """Insert the newest subsequence into older rows it now beats (line 22-23).
+
+        All beaten rows are patched in one vectorised sorted-insert: the
+        insertion position per row is the number of stored neighbours that
+        are strictly better, and the columns at and after it shift right by
+        one (the worst neighbour falls off).
+        """
         n_rows = self._n_subsequences - 1  # all but the newest row
-        indices = self._knn_indices[:n_rows]
-        sims = self._knn_sims[:n_rows]
+        start = self._row_start
         eligible_until = max(0, newest - self.exclusion + 1)
         if eligible_until == 0:
             return
+        indices = self._knn_idx[start : start + n_rows]
+        sims = self._knn_sim[start : start + n_rows]
+        worst = self._worst_sim[start : start + eligible_until]
         candidate_sims = similarities[:eligible_until]
-        worst = sims[:eligible_until, -1]
-        rows = np.nonzero(candidate_sims > worst)[0]
-        for row in rows:
-            sim_value = candidate_sims[row]
-            insert_at = int(np.searchsorted(-sims[row], -sim_value))
-            if insert_at >= self.k_neighbours:
-                continue
-            sims[row, insert_at + 1 :] = sims[row, insert_at:-1]
-            indices[row, insert_at + 1 :] = indices[row, insert_at:-1]
-            sims[row, insert_at] = sim_value
-            indices[row, insert_at] = newest
+        rows = (candidate_sims > worst).nonzero()[0]
+        if rows.shape[0] == 0:
+            return
+        newest_global = self._first_global + newest
+        if rows.shape[0] <= 2:
+            # scalar insert beats the vectorised one for a couple of rows
+            for row in rows:
+                sim_value = candidate_sims[row]
+                position = int((-sims[row]).searchsorted(-sim_value))
+                sims[row, position + 1 :] = sims[row, position:-1]
+                indices[row, position + 1 :] = indices[row, position:-1]
+                sims[row, position] = sim_value
+                indices[row, position] = newest_global
+                self._worst_sim[start + row] = sims[row, -1]
+            return
+        values = candidate_sims[rows]
+        beaten_sims = sims[rows]
+        beaten_idx = indices[rows]
+        insert_at = (beaten_sims > values[:, None]).sum(axis=1)
+        columns = np.arange(self.k_neighbours)
+        keep = columns[None, :] < insert_at[:, None]
+        at = columns[None, :] == insert_at[:, None]
+        shifted_sims = np.empty_like(beaten_sims)
+        shifted_idx = np.empty_like(beaten_idx)
+        shifted_sims[:, 0] = 0.0
+        shifted_idx[:, 0] = 0
+        shifted_sims[:, 1:] = beaten_sims[:, :-1]
+        shifted_idx[:, 1:] = beaten_idx[:, :-1]
+        patched = np.where(keep, beaten_sims, np.where(at, values[:, None], shifted_sims))
+        sims[rows] = patched
+        indices[rows] = np.where(keep, beaten_idx, np.where(at, newest_global, shifted_idx))
+        self._worst_sim[start + rows] = patched[:, -1]

@@ -47,6 +47,7 @@ from repro.evaluation.runner import (
 )
 from repro.evaluation.throughput import (
     ThroughputReport,
+    measure_batch_throughput,
     measure_throughput,
     measure_update_scaling,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "default_method_factories",
     "ThroughputReport",
     "measure_throughput",
+    "measure_batch_throughput",
     "measure_update_scaling",
     "format_table",
     "format_markdown_table",

@@ -154,28 +154,42 @@ class ExperimentResult:
 
 
 def stream_dataset(
-    segmenter: SupportsStreaming, dataset: TimeSeriesDataset
+    segmenter: SupportsStreaming,
+    dataset: TimeSeriesDataset,
+    chunk_size: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, float]:
-    """Replay ``dataset`` through ``segmenter`` one point at a time.
+    """Replay ``dataset`` through ``segmenter`` via the chunked ingestion path.
 
-    Returns the predicted change points, the detection times and the elapsed
-    wall-clock seconds.
+    Segmenters exposing the batch contract (``process(values, chunk_size=...)``,
+    i.e. ClaSS and every competitor) receive the series in chunks — which is
+    behaviour-identical to point-wise streaming but substantially faster;
+    anything else is fed one observation at a time.  Returns the predicted
+    change points, the detection times and the elapsed wall-clock seconds.
     """
+    values = dataset.values
     start = time.perf_counter()
-    detections: list[tuple[int, int]] = []
-    for index, value in enumerate(dataset.values):
-        change_point = segmenter.update(float(value))
-        if change_point is not None:
-            detections.append((int(change_point), index + 1))
+    if hasattr(segmenter, "process"):
+        if chunk_size is None:
+            segmenter.process(values)
+        else:
+            segmenter.process(values, chunk_size=chunk_size)
+    else:
+        for value in values:
+            segmenter.update(float(value))
     if hasattr(segmenter, "finalise"):
         segmenter.finalise()
     elapsed = time.perf_counter() - start
     change_points = np.asarray(segmenter.change_points, dtype=np.int64)
-    detection_times = np.asarray([t for _, t in detections], dtype=np.int64)
-    if detection_times.shape[0] != change_points.shape[0]:
+    if hasattr(segmenter, "detection_times"):
+        detection_times = np.asarray(segmenter.detection_times, dtype=np.int64)
+    elif hasattr(segmenter, "reports"):
         detection_times = np.asarray(
-            [t for _, t in detections][: change_points.shape[0]], dtype=np.int64
+            [report.detected_at for report in segmenter.reports], dtype=np.int64
         )
+    else:
+        detection_times = change_points.copy()
+    if detection_times.shape[0] != change_points.shape[0]:
+        detection_times = detection_times[: change_points.shape[0]]
     return change_points, detection_times, elapsed
 
 

@@ -13,14 +13,16 @@ from repro.streamengine.operators import (
     SlidingWindowOperator,
 )
 from repro.streamengine.pipeline import Pipeline, PipelineMetrics
-from repro.streamengine.records import ChangePointEvent, Record
+from repro.streamengine.records import ChangePointEvent, Record, RecordBatch
 from repro.streamengine.sinks import CallbackSink, ChangePointSink, CollectSink
-from repro.streamengine.sources import ArraySource, DatasetSource, PacedSource
+from repro.streamengine.sources import ArraySource, BatchingSource, DatasetSource, PacedSource
 
 __all__ = [
     "Record",
+    "RecordBatch",
     "ChangePointEvent",
     "ArraySource",
+    "BatchingSource",
     "DatasetSource",
     "PacedSource",
     "Operator",

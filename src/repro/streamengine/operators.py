@@ -1,12 +1,16 @@
 """Stream operators: the processing vertices of a pipeline.
 
-Operators receive one record at a time and emit zero or more records
-downstream — the "one-at-a-time" processing model of Flink that the paper's
-window operator targets.  Besides the generic map / filter / sliding-window
-operators, :class:`SegmentationOperator` wraps any object implementing the
-streaming segmentation protocol (ClaSS or any competitor) and turns its
-reported change points into :class:`~repro.streamengine.records.ChangePointEvent`
-records, which is precisely what the paper's ClaSS Flink window operator does.
+Operators receive records — one at a time, or as
+:class:`~repro.streamengine.records.RecordBatch` micro-batches — and emit
+zero or more records downstream.  The one-at-a-time model mirrors Flink's
+processing contract; the batch path is the engine's amortised fast lane:
+:meth:`Operator.process_batch` defaults to exploding the batch through
+:meth:`Operator.process`, and operators with a cheaper batch implementation
+override it.  :class:`SegmentationOperator` wraps any object implementing the
+streaming segmentation protocol (ClaSS or any competitor), forwards whole
+batches to the segmenter's chunked ingestion path, and turns its reported
+change points into :class:`~repro.streamengine.records.ChangePointEvent`
+records — precisely the role of the paper's ClaSS Flink window operator.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.streamengine.records import ChangePointEvent, Record
+from repro.streamengine.records import ChangePointEvent, Record, RecordBatch
 
 
 class Operator(abc.ABC):
@@ -29,6 +33,16 @@ class Operator(abc.ABC):
     @abc.abstractmethod
     def process(self, record: Record) -> Iterable[Record]:
         """Consume one record and yield downstream records."""
+
+    def process_batch(self, batch: RecordBatch) -> Iterable[Record | RecordBatch]:
+        """Consume one batch and yield downstream records and/or batches.
+
+        The default implementation explodes the batch through
+        :meth:`process`, which is correct for every operator; subclasses
+        override it when they can handle the batch wholesale.
+        """
+        for record in batch.records():
+            yield from self.process(record)
 
     def flush(self) -> Iterable[Record]:
         """Emit any pending records when the stream ends (default: nothing)."""
@@ -49,6 +63,17 @@ class MapOperator(Operator):
             value=self.function(record.value),
             stream=record.stream,
             metadata=record.metadata,
+        )
+
+    def process_batch(self, batch: RecordBatch) -> Iterable[RecordBatch]:
+        mapped = np.asarray(
+            [self.function(float(value)) for value in batch.values], dtype=np.float64
+        )
+        yield RecordBatch(
+            timestamps=batch.timestamps,
+            values=mapped,
+            stream=batch.stream,
+            metadata=batch.metadata,
         )
 
 
@@ -95,6 +120,8 @@ class SegmentationOperator(Operator):
 
     Incoming value records are fed to the segmenter; whenever it reports a
     change point, a :class:`ChangePointEvent` record is emitted downstream.
+    Batches are forwarded to the segmenter's chunked ``process`` path in one
+    call, so the operator adds only per-batch (not per-record) overhead.
     """
 
     name = "segmentation"
@@ -103,6 +130,7 @@ class SegmentationOperator(Operator):
         self.segmenter = segmenter
         self.forward_values = bool(forward_values)
         self.n_processed = 0
+        self._n_emitted = 0  # change points already turned into events (batch path)
 
     def process(self, record: Record) -> Iterable[Record]:
         self.n_processed += 1
@@ -117,6 +145,54 @@ class SegmentationOperator(Operator):
                 score=float(getattr(self.segmenter, "last_score", 0.0)),
             )
             yield Record(timestamp=record.timestamp, value=event, stream=record.stream)
+
+    def process_batch(self, batch: RecordBatch) -> Iterable[Record | RecordBatch]:
+        n = len(batch)
+        seen_before = int(getattr(self.segmenter, "n_seen", self.n_processed))
+        self.n_processed += n
+        if hasattr(self.segmenter, "process"):
+            self.segmenter.process(batch.values)
+        else:  # minimal protocol: per-point updates
+            for value in batch.values:
+                self.segmenter.update(float(value))
+        if self.forward_values:
+            yield batch
+        detections = self._new_detections(seen_before)
+        self._n_emitted += len(detections)
+        for change_point, detected_at, score in detections:
+            index = min(max(detected_at - seen_before - 1, 0), n - 1)
+            timestamp = int(batch.timestamps[index])
+            event = ChangePointEvent(
+                change_point=int(change_point),
+                detected_at=timestamp + 1,
+                stream=batch.stream,
+                score=score,
+            )
+            yield Record(timestamp=timestamp, value=event, stream=batch.stream)
+
+    def _new_detections(self, seen_before: int) -> list[tuple[int, int, float]]:
+        """(change_point, detected_at, score) for detections after ``seen_before``."""
+        segmenter = self.segmenter
+        if hasattr(segmenter, "reports"):  # ClaSS: detailed reports
+            return [
+                (r.change_point, r.detected_at, float(getattr(r, "score", 0.0)))
+                for r in segmenter.reports
+                if r.detected_at > seen_before
+            ]
+        change_points = np.asarray(segmenter.change_points, dtype=np.int64)
+        if hasattr(segmenter, "detection_times"):  # StreamSegmenter competitors
+            times = np.asarray(segmenter.detection_times, dtype=np.int64)
+            score = float(getattr(segmenter, "last_score", 0.0))
+            return [
+                (int(cp), int(t), score)
+                for cp, t in zip(change_points, times)
+                if int(t) > seen_before
+            ]
+        # minimal protocol (no detection times): emit every change point not
+        # yet turned into an event, stamped at the end of the batch
+        score = float(getattr(segmenter, "last_score", 0.0))
+        n_seen = int(getattr(segmenter, "n_seen", seen_before))
+        return [(int(cp), n_seen, score) for cp in change_points[self._n_emitted :]]
 
     def flush(self) -> Iterable[Record]:
         if hasattr(self.segmenter, "finalise"):

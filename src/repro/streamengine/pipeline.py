@@ -2,8 +2,13 @@
 
 A pipeline is a linear chain ``source -> operator* -> sink*`` executed with
 one-at-a-time delivery, mirroring the processing-time, sequential execution
-environment the paper uses for its Flink throughput measurement (§4.4).  The
-run returns a :class:`PipelineMetrics` object with the record counts and the
+environment the paper uses for its Flink throughput measurement (§4.4).
+Sources may emit individual :class:`~repro.streamengine.records.Record`
+elements or :class:`~repro.streamengine.records.RecordBatch` micro-batches;
+batches move through the chain wholesale via each operator's
+``process_batch`` and are exploded only at sinks that cannot consume them
+(a ``consume_batch`` method on a sink takes precedence).  The run returns a
+:class:`PipelineMetrics` object with record *and* batch counts and the
 achieved throughput, which is what the Flink-operator benchmark reports.
 """
 
@@ -11,11 +16,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Union
 
 from repro.streamengine.operators import Operator
-from repro.streamengine.records import Record
+from repro.streamengine.records import Record, RecordBatch
 from repro.utils.exceptions import ConfigurationError
+
+StreamItem = Union[Record, RecordBatch]
 
 
 @dataclass
@@ -23,9 +30,11 @@ class PipelineMetrics:
     """Execution statistics of one pipeline run."""
 
     n_source_records: int = 0
+    n_source_batches: int = 0
     n_sink_records: int = 0
     runtime_seconds: float = 0.0
     operator_counts: dict = field(default_factory=dict)
+    operator_batches: dict = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -34,11 +43,18 @@ class PipelineMetrics:
             return float("inf")
         return self.n_source_records / self.runtime_seconds
 
+    @property
+    def mean_batch_size(self) -> float:
+        """Average records per source batch (1.0 for a record-at-a-time run)."""
+        if self.n_source_batches == 0:
+            return 1.0
+        return self.n_source_records / self.n_source_batches
+
 
 class Pipeline:
     """A linear streaming job: one source, any number of operators and sinks."""
 
-    def __init__(self, source: Iterable[Record], name: str = "pipeline") -> None:
+    def __init__(self, source: Iterable[StreamItem], name: str = "pipeline") -> None:
         self.source = source
         self.name = name
         self._operators: list[Operator] = []
@@ -60,26 +76,52 @@ class Pipeline:
 
     # ------------------------------------------------------------------ #
 
-    def _propagate(self, records: Iterable[Record], operator_index: int, metrics: PipelineMetrics) -> None:
-        """Push records through operators starting at ``operator_index``."""
+    def _deliver(self, item: StreamItem, metrics: PipelineMetrics) -> None:
+        """Hand one item that cleared the whole operator chain to all sinks."""
+        if isinstance(item, RecordBatch):
+            metrics.n_sink_records += len(item)
+            for sink in self._sinks:
+                if hasattr(sink, "consume_batch"):
+                    sink.consume_batch(item)
+                else:
+                    for record in item.records():
+                        sink.consume(record)
+        else:
+            metrics.n_sink_records += 1
+            for sink in self._sinks:
+                sink.consume(item)
+
+    def _propagate(
+        self, items: Iterable[StreamItem], operator_index: int, metrics: PipelineMetrics
+    ) -> None:
+        """Push records/batches through operators starting at ``operator_index``."""
         if operator_index >= len(self._operators):
-            for record in records:
-                metrics.n_sink_records += 1
-                for sink in self._sinks:
-                    sink.consume(record)
+            for item in items:
+                self._deliver(item, metrics)
             return
         operator = self._operators[operator_index]
-        for record in records:
-            metrics.operator_counts[operator.name] = metrics.operator_counts.get(operator.name, 0) + 1
-            self._propagate(operator.process(record), operator_index + 1, metrics)
+        counts, batches = metrics.operator_counts, metrics.operator_batches
+        for item in items:
+            if isinstance(item, RecordBatch):
+                counts[operator.name] = counts.get(operator.name, 0) + len(item)
+                batches[operator.name] = batches.get(operator.name, 0) + 1
+                downstream = operator.process_batch(item)
+            else:
+                counts[operator.name] = counts.get(operator.name, 0) + 1
+                downstream = operator.process(item)
+            self._propagate(downstream, operator_index + 1, metrics)
 
     def run(self) -> PipelineMetrics:
         """Execute the pipeline to completion and return its metrics."""
         metrics = PipelineMetrics()
         start = time.perf_counter()
-        for record in self.source:
-            metrics.n_source_records += 1
-            self._propagate([record], 0, metrics)
+        for item in self.source:
+            if isinstance(item, RecordBatch):
+                metrics.n_source_records += len(item)
+                metrics.n_source_batches += 1
+            else:
+                metrics.n_source_records += 1
+            self._propagate([item], 0, metrics)
         # flush operators in order so pending state drains through the chain
         for index, operator in enumerate(self._operators):
             self._propagate(operator.flush(), index + 1, metrics)

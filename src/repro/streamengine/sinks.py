@@ -11,7 +11,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.streamengine.records import ChangePointEvent, Record
+from repro.streamengine.records import ChangePointEvent, Record, RecordBatch
 
 
 class CollectSink:
@@ -23,6 +23,10 @@ class CollectSink:
     def consume(self, record: Record) -> None:
         """Store one record."""
         self.records.append(record)
+
+    def consume_batch(self, batch: RecordBatch) -> None:
+        """Store every record of a batch (batches are exploded on arrival)."""
+        self.records.extend(batch.records())
 
     @property
     def values(self) -> list:
@@ -36,6 +40,10 @@ class ChangePointSink(CollectSink):
     def consume(self, record: Record) -> None:
         if isinstance(record.value, ChangePointEvent):
             self.records.append(record)
+
+    def consume_batch(self, batch: RecordBatch) -> None:
+        """Value batches never carry events; drop them without exploding."""
+        return
 
     @property
     def change_points(self) -> np.ndarray:

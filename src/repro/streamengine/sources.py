@@ -1,33 +1,67 @@
-"""Stream sources: adapters that turn finite data into one-at-a-time records.
+"""Stream sources: adapters that turn finite data into record streams.
 
-A source is any iterable of :class:`~repro.streamengine.records.Record`.  The
-paper's Flink evaluation loads each of the 592 series from RAM and replays it
-as an independent stream at maximum speed; :class:`ArraySource` and
-:class:`DatasetSource` replicate exactly that, while :class:`PacedSource`
-optionally throttles replay to a target rate for latency experiments.
+A source is any iterable of :class:`~repro.streamengine.records.Record` or
+:class:`~repro.streamengine.records.RecordBatch`.  The paper's Flink
+evaluation loads each of the 592 series from RAM and replays it as an
+independent stream at maximum speed; :class:`ArraySource` and
+:class:`DatasetSource` replicate exactly that.  Both replay one record at a
+time by default and emit :class:`RecordBatch` micro-batches when constructed
+with a ``batch_size``, which feeds the engine's amortised batch path.
+:class:`BatchingSource` coalesces any record stream into batches, and
+:class:`PacedSource` optionally throttles replay to a target rate for latency
+experiments.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Union
 
 import numpy as np
 
 from repro.datasets.dataset import TimeSeriesDataset
-from repro.streamengine.records import Record
+from repro.streamengine.records import Record, RecordBatch
+
+SourceItem = Union[Record, RecordBatch]
 
 
 class ArraySource:
-    """Replay a numpy array as a record stream."""
+    """Replay a numpy array as a record stream.
 
-    def __init__(self, values: np.ndarray, stream: str = "default") -> None:
+    With ``batch_size=None`` (default) one :class:`Record` is emitted per
+    observation; with a positive ``batch_size`` the array is replayed as
+    :class:`RecordBatch` runs of at most that many observations.
+    """
+
+    def __init__(
+        self, values: np.ndarray, stream: str = "default", batch_size: int | None = None
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be a positive integer")
         self.values = np.asarray(values, dtype=np.float64)
         self.stream = stream
+        self.batch_size = batch_size
 
-    def __iter__(self) -> Iterator[Record]:
+    def __iter__(self) -> Iterator[SourceItem]:
+        if self.batch_size is not None:
+            yield from self.batches(self.batch_size)
+            return
         for index, value in enumerate(self.values):
             yield Record(timestamp=index, value=float(value), stream=self.stream)
+
+    def batches(self, batch_size: int) -> Iterator[RecordBatch]:
+        """Replay the array as micro-batches of at most ``batch_size`` records."""
+        for start in range(0, self.values.shape[0], batch_size):
+            yield RecordBatch.from_values(
+                self.values[start : start + batch_size],
+                first_timestamp=start,
+                stream=self.stream,
+                metadata=self._batch_metadata(start, min(start + batch_size, len(self))),
+            )
+
+    def _batch_metadata(self, start: int, stop: int) -> dict:
+        """Metadata attached to the batch covering ``[start, stop)`` (hook)."""
+        return {}
 
     def __len__(self) -> int:
         return int(self.values.shape[0])
@@ -36,32 +70,80 @@ class ArraySource:
 class DatasetSource(ArraySource):
     """Replay an annotated dataset; annotations travel in the record metadata."""
 
-    def __init__(self, dataset: TimeSeriesDataset) -> None:
-        super().__init__(dataset.values, stream=dataset.name)
+    def __init__(self, dataset: TimeSeriesDataset, batch_size: int | None = None) -> None:
+        super().__init__(dataset.values, stream=dataset.name, batch_size=batch_size)
         self.dataset = dataset
 
-    def __iter__(self) -> Iterator[Record]:
+    def __iter__(self) -> Iterator[SourceItem]:
+        if self.batch_size is not None:
+            yield from self.batches(self.batch_size)
+            return
         change_points = set(self.dataset.change_points.tolist())
         for index, value in enumerate(self.values):
             metadata = {"is_annotated_cp": index in change_points}
             yield Record(timestamp=index, value=float(value), stream=self.stream, metadata=metadata)
 
+    def _batch_metadata(self, start: int, stop: int) -> dict:
+        change_points = self.dataset.change_points
+        inside = change_points[(change_points >= start) & (change_points < stop)]
+        return {"annotated_cps": inside.astype(np.int64)}
+
+
+class BatchingSource:
+    """Coalesce any record stream into :class:`RecordBatch` micro-batches.
+
+    Useful to feed the batch path of downstream operators from a source that
+    only produces individual records.  Records must carry numeric values;
+    metadata of individual records is dropped (batch metadata stays empty).
+    """
+
+    def __init__(self, source: Iterable[Record], batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be a positive integer")
+        self.source = source
+        self.batch_size = int(batch_size)
+
+    def __iter__(self) -> Iterator[RecordBatch]:
+        pending: list[Record] = []
+        stream = "default"
+        for record in self.source:
+            pending.append(record)
+            stream = record.stream
+            if len(pending) >= self.batch_size:
+                yield self._flush(pending, stream)
+                pending = []
+        if pending:
+            yield self._flush(pending, stream)
+
+    @staticmethod
+    def _flush(records: list[Record], stream: str) -> RecordBatch:
+        return RecordBatch(
+            timestamps=np.asarray([r.timestamp for r in records], dtype=np.int64),
+            values=np.asarray([float(r.value) for r in records], dtype=np.float64),
+            stream=stream,
+        )
+
 
 class PacedSource:
-    """Wrap another source and throttle it to ``rate`` records per second."""
+    """Wrap another source and throttle it to ``rate`` records per second.
 
-    def __init__(self, source: Iterable[Record], rate: float) -> None:
+    Batches count as ``len(batch)`` records, so the achieved record rate is
+    independent of the upstream batching.
+    """
+
+    def __init__(self, source: Iterable[SourceItem], rate: float) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
         self.source = source
         self.rate = float(rate)
 
-    def __iter__(self) -> Iterator[Record]:
+    def __iter__(self) -> Iterator[SourceItem]:
         interval = 1.0 / self.rate
         next_emit = time.perf_counter()
-        for record in self.source:
+        for item in self.source:
             now = time.perf_counter()
             if now < next_emit:
                 time.sleep(next_emit - now)
-            next_emit = max(next_emit + interval, time.perf_counter())
-            yield record
+            n_records = len(item) if isinstance(item, RecordBatch) else 1
+            next_emit = max(next_emit + interval * n_records, time.perf_counter())
+            yield item

@@ -16,6 +16,12 @@ from repro.core.streaming_knn import (
 from repro.utils.exceptions import ConfigurationError
 
 
+def ingest(knn: StreamingKNN, values) -> None:
+    """Drain the chunked ingestion iterator (the post-deprecation `extend`)."""
+    for _ in knn.update_many(values):
+        pass
+
+
 class TestConstruction:
     def test_rejects_small_window(self):
         with pytest.raises(ConfigurationError):
@@ -48,7 +54,7 @@ class TestAgainstBruteForce:
         values = rng.normal(size=260)
         w, k = 12, 3
         knn = StreamingKNN(window_size=values.shape[0], subsequence_width=w, k_neighbours=k)
-        knn.extend(values)
+        ingest(knn, values)
         _, brute_sims = exact_knn_bruteforce(values, w, k)
         stream_sims = knn.knn_similarities
         finite = np.isfinite(brute_sims) & np.isfinite(stream_sims)
@@ -59,7 +65,7 @@ class TestAgainstBruteForce:
         values = rng.normal(size=400)
         w = 10
         knn = StreamingKNN(window_size=150, subsequence_width=w, k_neighbours=3)
-        knn.extend(values)
+        ingest(knn, values)
         expected = pairwise_similarity_matrix(knn.window, w)[-1]
         np.testing.assert_allclose(knn.last_similarity_profile, expected, atol=1e-8)
 
@@ -73,7 +79,7 @@ class TestAgainstBruteForce:
         rng = np.random.default_rng(seed)
         values = rng.normal(size=40 + 10 * width)
         knn = StreamingKNN(window_size=values.shape[0], subsequence_width=width, k_neighbours=k)
-        knn.extend(values)
+        ingest(knn, values)
         _, brute_sims = exact_knn_bruteforce(values, width, k)
         stream_sims = knn.knn_similarities
         finite = np.isfinite(brute_sims) & np.isfinite(stream_sims)
@@ -86,7 +92,7 @@ class TestAgainstBruteForce:
         values = rng.normal(size=250)
         w = 8
         knn = StreamingKNN(window_size=90, subsequence_width=w, k_neighbours=2)
-        knn.extend(values)
+        ingest(knn, values)
         expected = pairwise_similarity_matrix(knn.window, w)[-1]
         np.testing.assert_allclose(knn.last_similarity_profile, expected, atol=1e-7)
 
@@ -110,7 +116,7 @@ class TestBookkeeping:
     def test_row_count_grows_then_saturates(self, rng):
         values = rng.normal(size=300)
         knn = StreamingKNN(window_size=100, subsequence_width=10, k_neighbours=3)
-        knn.extend(values)
+        ingest(knn, values)
         assert knn.n_subsequences == 100 - 10 + 1
         assert knn.n_buffered == 100
         assert knn.n_seen == 300
@@ -118,7 +124,7 @@ class TestBookkeeping:
     def test_indices_shift_negative_after_eviction(self, rng):
         values = rng.normal(size=400)
         knn = StreamingKNN(window_size=120, subsequence_width=10, k_neighbours=1)
-        knn.extend(values)
+        ingest(knn, values)
         indices = knn.knn_indices
         # stale neighbours may have negative offsets; none may point past the window
         assert indices.max() < knn.n_subsequences
@@ -128,7 +134,7 @@ class TestBookkeeping:
         values = rng.normal(size=220)
         w, k = 10, 2
         knn = StreamingKNN(window_size=values.shape[0], subsequence_width=w, k_neighbours=k)
-        knn.extend(values)
+        ingest(knn, values)
         excl = exclusion_radius(w)
         indices = knn.knn_indices
         rows = np.arange(indices.shape[0])
@@ -138,17 +144,17 @@ class TestBookkeeping:
 
     def test_reset_clears_state(self, rng):
         knn = StreamingKNN(window_size=100, subsequence_width=10)
-        knn.extend(rng.normal(size=150))
+        ingest(knn, rng.normal(size=150))
         knn.reset()
         assert knn.n_seen == 0
         assert knn.n_subsequences == 0
         assert knn.last_similarity_profile is None
-        knn.extend(rng.normal(size=150))
+        ingest(knn, rng.normal(size=150))
         assert knn.n_subsequences > 0
 
     def test_constant_stream_does_not_crash(self):
         knn = StreamingKNN(window_size=80, subsequence_width=8)
-        knn.extend(np.full(200, 5.0))
+        ingest(knn, np.full(200, 5.0))
         assert np.isfinite(knn.knn_similarities[np.isfinite(knn.knn_similarities)]).all()
 
     def test_euclidean_and_cid_similarities_are_nonpositive(self, rng):
@@ -157,6 +163,52 @@ class TestBookkeeping:
             knn = StreamingKNN(
                 window_size=100, subsequence_width=10, similarity=measure, k_neighbours=2
             )
-            knn.extend(values)
+            ingest(knn, values)
             sims = knn.knn_similarities
             assert np.all(sims[np.isfinite(sims)] <= 1e-9)
+
+
+class TestChunkedIngestion:
+    def test_update_many_yields_one_state_per_observation(self, rng):
+        values = rng.normal(size=50)
+        knn = StreamingKNN(window_size=40, subsequence_width=8)
+        states = list(knn.update_many(values))
+        assert len(states) == 50
+        # warm-up yields False until the first subsequence exists
+        assert states[:7] == [False] * 7
+        assert all(states[7:])
+
+    def test_update_many_validates_eagerly(self):
+        knn = StreamingKNN(window_size=40, subsequence_width=8)
+        with pytest.raises(ConfigurationError):
+            knn.update_many(np.array([1.0, np.nan]))
+        with pytest.raises(ConfigurationError):
+            knn.update_many(np.ones((4, 2)))
+
+    def test_intermediate_states_inspectable_between_yields(self, rng):
+        values = rng.normal(size=120)
+        knn = StreamingKNN(window_size=60, subsequence_width=6)
+        reference = StreamingKNN(window_size=60, subsequence_width=6)
+        iterator = knn.update_many(values)
+        for value in values:
+            next(iterator)
+            reference.update(float(value))
+            assert np.array_equal(knn.knn_indices, reference.knn_indices)
+
+    def test_extend_is_deprecated_but_equivalent(self, rng):
+        values = rng.normal(size=120)
+        legacy = StreamingKNN(window_size=60, subsequence_width=6)
+        with pytest.warns(DeprecationWarning):
+            legacy.extend(values)
+        current = StreamingKNN(window_size=60, subsequence_width=6)
+        ingest(current, values)
+        assert np.array_equal(legacy.knn_indices, current.knn_indices)
+        assert np.array_equal(legacy.knn_similarities, current.knn_similarities)
+
+    def test_ring_buffer_window_matches_stream_tail(self, rng):
+        # enough values to force several compactions of the backing array
+        values = rng.normal(size=1_000)
+        knn = StreamingKNN(window_size=90, subsequence_width=9)
+        ingest(knn, values)
+        np.testing.assert_array_equal(knn.window, values[-90:])
+        assert knn.n_evicted == 1_000 - 90
