@@ -15,7 +15,6 @@ from repro.evaluation import (
     critical_difference_analysis,
     format_ranking,
     format_table,
-    pairwise_wins,
     wins_and_ties_per_method,
 )
 

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.competitors import FLOSS
 from repro.core.class_segmenter import ClaSS
 from repro.datasets import SegmentSpec, compose_stream

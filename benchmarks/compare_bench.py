@@ -1,0 +1,92 @@
+"""Compare two pytest-benchmark JSON files and fail on throughput regression.
+
+Used by the CI quality gate: the previous run's ``bench-smoke.json`` artifact
+is compared against the freshly produced one, and the job fails when any
+benchmark shared by both files slowed down by more than ``--max-regression``
+(mean wall time per round; a 30% slowdown equals a ~23% throughput drop).
+
+Usage::
+
+    python benchmarks/compare_bench.py baseline.json current.json --max-regression 0.30
+
+Exit codes: 0 = no regression (or nothing comparable), 1 = regression found,
+2 = unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmark_means(path: Path) -> dict[str, float]:
+    """Map benchmark full names to their mean seconds-per-round."""
+    with path.open() as handle:
+        payload = json.load(handle)
+    return {
+        entry["fullname"]: float(entry["stats"]["mean"])
+        for entry in payload.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: dict[str, float], current: dict[str, float], max_regression: float
+) -> list[str]:
+    """Return a human-readable line per regressed benchmark (empty = pass)."""
+    failures = []
+    for name in sorted(set(baseline) & set(current)):
+        old_mean, new_mean = baseline[name], current[name]
+        if old_mean <= 0:
+            continue
+        slowdown = new_mean / old_mean - 1.0
+        status = "REGRESSION" if slowdown > max_regression else "ok"
+        print(
+            f"{status:10s} {name}: {old_mean:.4f}s -> {new_mean:.4f}s "
+            f"({slowdown:+.1%} wall time per round)"
+        )
+        if slowdown > max_regression:
+            failures.append(f"{name} slowed down by {slowdown:.1%} (limit {max_regression:.0%})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("baseline", type=Path, help="previous run's benchmark JSON")
+    parser.add_argument("current", type=Path, help="this run's benchmark JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated relative slowdown of the mean round time (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; skipping regression check")
+        return 0
+    try:
+        baseline = load_benchmark_means(args.baseline)
+        current = load_benchmark_means(args.current)
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: could not read benchmark files: {error}", file=sys.stderr)
+        return 2
+
+    shared = set(baseline) & set(current)
+    if not shared:
+        print("no benchmarks shared between baseline and current; nothing to compare")
+        return 0
+
+    failures = compare(baseline, current, args.max_regression)
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark regression gate passed ({len(shared)} benchmark(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

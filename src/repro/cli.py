@@ -16,6 +16,7 @@ Examples
     python -m repro.cli segment --demo --window-size 2000
     python -m repro.cli segment recording.csv --scoring-interval 5
     python -m repro.cli evaluate --collection TSSB --n-series 4 --methods ClaSS,Window,DDM
+    python -m repro.cli evaluate --collection TSSB --n-series 8 --workers 4
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.class_segmenter import ClaSS
+from repro.core.class_segmenter import ClaSS, capped_window_size
 from repro.datasets import COLLECTIONS, SegmentSpec, compose_stream, load_collection
 from repro.datasets.loaders import load_dataset_csv, load_dataset_npz
 from repro.evaluation import (
@@ -84,7 +85,7 @@ def cmd_segment(args: argparse.Namespace) -> int:
         print(f"loaded {values.shape[0]} observations from {args.input}")
 
     segmenter = ClaSS(
-        window_size=min(args.window_size, max(values.shape[0] // 2, 100)),
+        window_size=capped_window_size(args.window_size, values.shape[0]),
         subsequence_width=args.subsequence_width,
         scoring_interval=args.scoring_interval,
         significance_level=args.significance_level,
@@ -112,6 +113,9 @@ def cmd_segment(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Run a miniature version of the paper's comparison on one collection."""
+    if args.workers < 1:
+        print("error: --workers must be a positive integer", file=sys.stderr)
+        return 2
     datasets = load_collection(
         args.collection, n_series=args.n_series, length_scale=args.length_scale
     )
@@ -122,7 +126,15 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         floss_stride=args.scoring_interval,
         include=include,
     )
-    result = run_experiment(methods, datasets, verbose=not args.quiet)
+    result = run_experiment(
+        methods, datasets, verbose=not args.quiet and args.workers == 1, n_workers=args.workers
+    )
+    if result.grid_stats is not None and not args.quiet:
+        stats = result.grid_stats
+        print(
+            f"parallel grid: {stats.n_tasks} cells on {stats.n_workers} workers, "
+            f"{stats.wall_seconds:.2f}s wall, speedup {stats.speedup:.2f}x"
+        )
     print()
     print(format_summary(result.summary_by_method()))
     matrix, _, names = result.score_matrix()
@@ -163,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument("--window-size", type=int, default=3_000)
     evaluate_parser.add_argument("--scoring-interval", type=int, default=25)
     evaluate_parser.add_argument("--methods", default="ClaSS,Window,DDM,HDDM")
+    evaluate_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the method x dataset grid (results are identical)",
+    )
     evaluate_parser.add_argument("--quiet", action="store_true")
     evaluate_parser.set_defaults(handler=cmd_evaluate)
     return parser

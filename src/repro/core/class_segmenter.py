@@ -63,6 +63,17 @@ DEFAULT_WINDOW_SIZE = 10_000
 DEFAULT_CHUNK_SIZE = 1_024
 
 
+def capped_window_size(window_size: int, n_timepoints: int) -> int:
+    """Cap a configured sliding window for a series of known length.
+
+    The policy every per-dataset ClaSS configuration uses (evaluation
+    factories, the stream-engine pipelines, the CLI): at most half the series
+    length so the subsequence width can be learned before the stream ends,
+    and never below 100 observations.
+    """
+    return int(min(window_size, max(n_timepoints // 2, 100)))
+
+
 @dataclass
 class ChangePointReport:
     """One reported change point together with its detection context."""

@@ -22,10 +22,17 @@ sliding window size.  Like the univariate ClaSS, ingestion is chunked:
 per-channel segmenters' batch paths and replays the fusion decisions in
 detection-time order, producing exactly the row-at-a-time results at batch
 throughput.
+
+Because the per-channel segmenters share nothing until fusion, the fan-out
+also parallelises: ``process(values, n_workers=...)`` streams each channel's
+column in its own worker process and replays the identical fusion decisions
+on the collected reports, so the parallel path is bit-identical to the
+sequential one.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -151,7 +158,12 @@ class MultivariateClaSS:
         fused = self._process_chunk(values.reshape(1, -1), chunk_size=1)
         return fused[-1] if fused else None
 
-    def process(self, values: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+    def process(
+        self,
+        values: np.ndarray,
+        chunk_size: int | None = None,
+        n_workers: int | None = None,
+    ) -> np.ndarray:
         """Stream a (n_timepoints, n_channels) array; return fused change points.
 
         The stream is cut into chunks of ``chunk_size`` multivariate
@@ -159,6 +171,18 @@ class MultivariateClaSS:
         segmenters through their batched ``process`` path, and the channel
         reports are fused in detection-time order — exactly the fusion
         decisions the row-at-a-time path makes.
+
+        With ``n_workers`` greater than one, each active channel's whole
+        column is streamed in its own worker process instead (the channels
+        share nothing until fusion); the collected reports are replayed
+        through the identical fusion logic, so the results are bit-identical
+        to the sequential path for every chunk size and worker count.
+
+        Every parallel call pickles each channel's full segmenter state
+        (window buffer plus k-NN tables, O(window_size) floats) to its worker
+        and back, so the pool only pays off when ``values`` is long relative
+        to the window — roughly one window or more per call.  For short
+        chunks or frequent small calls, keep the default sequential path.
         """
         values = np.asarray(values, dtype=np.float64)
         if values.ndim != 2 or values.shape[1] != self.n_channels:
@@ -169,6 +193,11 @@ class MultivariateClaSS:
             chunk_size = DEFAULT_CHUNK_SIZE
         elif chunk_size < 1:
             raise ConfigurationError("chunk_size must be a positive integer")
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError("n_workers must be a positive integer")
+        if n_workers is not None and n_workers > 1 and self.n_channels > 1:
+            self._process_parallel(values, chunk_size, n_workers)
+            return self.change_points
         for start in range(0, values.shape[0], chunk_size):
             self._process_chunk(values[start : start + chunk_size], chunk_size)
         return self.change_points
@@ -177,26 +206,45 @@ class MultivariateClaSS:
 
     def _process_chunk(self, chunk: np.ndarray, chunk_size: int) -> list[int]:
         """Fan one chunk out to the channels and replay fusion in time order."""
-        n = chunk.shape[0]
+        new_reports = self._collect_channel_reports(chunk, chunk_size)
+        self._n_seen += chunk.shape[0]
+        return self._replay_fusion(new_reports)
+
+    def _collect_channel_reports(self, chunk: np.ndarray, chunk_size: int) -> list[ChannelReport]:
+        """Feed one chunk to every active channel and gather its new reports."""
         new_reports: list[ChannelReport] = []
         for channel, (segmenter, weight) in enumerate(zip(self.segmenters, self.channel_weights)):
             if weight <= 0:
                 continue
             seen_before = len(segmenter.reports)
             segmenter.process(np.ascontiguousarray(chunk[:, channel]), chunk_size=chunk_size)
-            for report in segmenter.reports[seen_before:]:
-                new_reports.append(
-                    ChannelReport(
-                        channel=channel,
-                        change_point=int(report.change_point),
-                        detected_at=int(report.detected_at),
-                        weight=weight,
-                    )
-                )
-        self._n_seen += n
+            new_reports.extend(
+                self._as_channel_reports(channel, weight, segmenter.reports[seen_before:])
+            )
+        return new_reports
 
-        # replay fusion at each detection time, channels in index order —
-        # the order in which the row-at-a-time path would have seen them
+    @staticmethod
+    def _as_channel_reports(channel: int, weight: float, reports) -> list[ChannelReport]:
+        """Wrap a channel segmenter's raw reports as weighted fusion votes."""
+        return [
+            ChannelReport(
+                channel=channel,
+                change_point=int(report.change_point),
+                detected_at=int(report.detected_at),
+                weight=weight,
+            )
+            for report in reports
+        ]
+
+    def _replay_fusion(self, new_reports: list[ChannelReport]) -> list[int]:
+        """Replay fusion at each detection time, channels in index order.
+
+        This is the order in which the row-at-a-time path would have seen the
+        reports: detection times increase monotonically per channel, so
+        sorting by ``(detected_at, channel)`` reproduces its decisions for
+        reports gathered chunk-wise *and* for reports gathered per whole
+        column by the parallel path.
+        """
         new_reports.sort(key=lambda report: (report.detected_at, report.channel))
         newly_fused: list[int] = []
         index = 0
@@ -209,6 +257,36 @@ class MultivariateClaSS:
             if fused is not None:
                 newly_fused.append(int(fused))
         return newly_fused
+
+    def _process_parallel(self, values: np.ndarray, chunk_size: int, n_workers: int) -> list[int]:
+        """Stream every active channel's column in its own worker process.
+
+        Chunked ingestion is behaviour-identical for any call split, so each
+        worker consumes its whole column in one ``process`` call (cut into
+        ``chunk_size`` chunks internally).  The updated segmenters are
+        shipped back and reattached, keeping the ensemble's streaming state
+        valid for subsequent ``update``/``process`` calls.
+        """
+        columns = {
+            channel: np.ascontiguousarray(values[:, channel])
+            for channel, weight in enumerate(self.channel_weights)
+            if weight > 0
+        }
+        tasks = [
+            (channel, self.segmenters[channel], column, chunk_size)
+            for channel, column in columns.items()
+        ]
+        new_reports: list[ChannelReport] = []
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
+            for channel, segmenter, seen_before in pool.map(_stream_channel, tasks):
+                self.segmenters[channel] = segmenter
+                new_reports.extend(
+                    self._as_channel_reports(
+                        channel, self.channel_weights[channel], segmenter.reports[seen_before:]
+                    )
+                )
+        self._n_seen += values.shape[0]
+        return self._replay_fusion(new_reports)
 
     def _fuse(self, at: int | None = None) -> int | None:
         """Resolve pending channel reports into at most one fused change point.
@@ -261,3 +339,16 @@ class MultivariateClaSS:
         self._fused.append(fused)
         self._pending = [r for r in self._pending if r not in group]
         return fused.change_point
+
+
+def _stream_channel(task: tuple[int, ClaSS, np.ndarray, int]) -> tuple[int, ClaSS, int]:
+    """Worker entry point: stream one channel's column through its segmenter.
+
+    Returns the channel index, the updated segmenter (shipped back to the
+    parent to keep the ensemble stateful) and the report count before this
+    call, so the parent can slice out exactly the new reports.
+    """
+    channel, segmenter, column, chunk_size = task
+    seen_before = len(segmenter.reports)
+    segmenter.process(column, chunk_size=chunk_size)
+    return channel, segmenter, seen_before

@@ -13,6 +13,11 @@ times that width), methods are supplied as *factories*: callables receiving
 the dataset and returning a ready-to-stream segmenter.
 :func:`default_method_factories` builds the paper-configured factories for
 ClaSS and all eight competitors.
+
+All built-in factories are plain picklable objects (not closures), so every
+method x dataset cell of the grid can be shipped to a worker process by the
+process-pool executor in :mod:`repro.evaluation.parallel`;
+:func:`run_experiment` accepts ``n_workers`` and delegates to it.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from repro.competitors import get_competitor
-from repro.core.class_segmenter import ClaSS
+from repro.core.class_segmenter import ClaSS, capped_window_size
 from repro.datasets.dataset import TimeSeriesDataset
 from repro.evaluation.covering import covering_score
 from repro.evaluation.metrics import change_point_f1
@@ -84,6 +89,9 @@ class ExperimentResult:
     """All records of one experiment, with aggregation helpers."""
 
     records: list[EvaluationRecord] = field(default_factory=list)
+    #: Per-worker accounting of a parallel grid run (None for sequential runs);
+    #: a :class:`repro.evaluation.parallel.GridExecutionStats` when set.
+    grid_stats: object | None = None
 
     @property
     def methods(self) -> list[str]:
@@ -224,10 +232,24 @@ def run_experiment(
     methods: dict[str, MethodFactory],
     datasets: Sequence[TimeSeriesDataset],
     verbose: bool = False,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
-    """Stream every dataset through every method and collect all records."""
+    """Stream every dataset through every method and collect all records.
+
+    With ``n_workers`` greater than one, the method x dataset grid is fanned
+    out over a shared-nothing process pool (see
+    :func:`repro.evaluation.parallel.evaluate_methods`); the records are
+    identical to the sequential path and arrive in the same order.
+    """
     if not methods:
         raise ConfigurationError("at least one method factory is required")
+    if n_workers is not None:
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be a positive integer")
+        if n_workers > 1:
+            from repro.evaluation.parallel import evaluate_methods
+
+            return evaluate_methods(methods, datasets, n_workers=n_workers, verbose=verbose)
     result = ExperimentResult()
     for dataset in datasets:
         for method_name, factory in methods.items():
@@ -254,6 +276,72 @@ def _dataset_width(dataset: TimeSeriesDataset, fallback: int = 50) -> int:
     return max(10, min(int(width), dataset.n_timepoints // 8))
 
 
+@dataclass(frozen=True)
+class ClaSSFactory:
+    """Picklable factory producing paper-configured ClaSS instances per dataset.
+
+    ``window_size`` is capped at half of the series length so the subsequence
+    width can always be learned before the stream ends; ``scoring_interval``
+    trades per-point scoring for throughput (see DESIGN.md).
+    """
+
+    window_size: int = 10_000
+    scoring_interval: int = 1
+    use_annotated_width: bool = False
+    class_kwargs: dict = field(default_factory=dict)
+
+    def __call__(self, dataset: TimeSeriesDataset) -> ClaSS:
+        capped_window = capped_window_size(self.window_size, dataset.n_timepoints)
+        width = _dataset_width(dataset) if self.use_annotated_width else None
+        if width is not None:
+            width = min(width, capped_window // 4)
+        return ClaSS(
+            window_size=capped_window,
+            subsequence_width=width,
+            scoring_interval=self.scoring_interval,
+            **self.class_kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class FLOSSFactory:
+    """Picklable factory producing paper-configured FLOSS instances per dataset."""
+
+    window_size: int = 10_000
+    stride: int = 1
+
+    def __call__(self, dataset: TimeSeriesDataset):
+        width = _dataset_width(dataset)
+        return get_competitor(
+            "FLOSS",
+            window_size=int(min(self.window_size, max(dataset.n_timepoints // 2, 4 * width + 10))),
+            subsequence_width=width,
+            stride=self.stride,
+        )
+
+
+@dataclass(frozen=True)
+class WindowFactory:
+    """Picklable factory producing Window segmenters sized from the annotation."""
+
+    def __call__(self, dataset: TimeSeriesDataset):
+        width = _dataset_width(dataset)
+        return get_competitor(
+            "Window", window_size=min(10 * width, max(dataset.n_timepoints // 4, 40))
+        )
+
+
+@dataclass(frozen=True)
+class CompetitorFactory:
+    """Picklable factory building one registered competitor with fixed kwargs."""
+
+    competitor: str
+    kwargs: dict = field(default_factory=dict)
+
+    def __call__(self, dataset: TimeSeriesDataset):
+        return get_competitor(self.competitor, **self.kwargs)
+
+
 def class_factory(
     window_size: int = 10_000,
     scoring_interval: int = 1,
@@ -262,24 +350,16 @@ def class_factory(
 ) -> MethodFactory:
     """Factory producing paper-configured ClaSS instances per dataset.
 
-    ``window_size`` is capped at half of the series length so the subsequence
-    width can always be learned before the stream ends; ``scoring_interval``
-    trades per-point scoring for throughput (see DESIGN.md).
+    Kept as the historical entry point; returns a picklable
+    :class:`ClaSSFactory` so the factory survives the trip to worker
+    processes.
     """
-
-    def build(dataset: TimeSeriesDataset) -> ClaSS:
-        capped_window = int(min(window_size, max(dataset.n_timepoints // 2, 100)))
-        width = _dataset_width(dataset) if use_annotated_width else None
-        if width is not None:
-            width = min(width, capped_window // 4)
-        return ClaSS(
-            window_size=capped_window,
-            subsequence_width=width,
-            scoring_interval=scoring_interval,
-            **kwargs,
-        )
-
-    return build
+    return ClaSSFactory(
+        window_size=window_size,
+        scoring_interval=scoring_interval,
+        use_annotated_width=use_annotated_width,
+        class_kwargs=dict(kwargs),
+    )
 
 
 def default_method_factories(
@@ -290,6 +370,9 @@ def default_method_factories(
     class_kwargs: dict | None = None,
 ) -> dict[str, MethodFactory]:
     """Paper-configured factories for ClaSS and the eight competitors.
+
+    Every returned factory is picklable, so the dictionary can be handed to
+    the parallel grid executor as-is.
 
     Parameters
     ----------
@@ -305,29 +388,16 @@ def default_method_factories(
     """
     class_kwargs = dict(class_kwargs or {})
 
-    def floss(dataset: TimeSeriesDataset):
-        width = _dataset_width(dataset)
-        return get_competitor(
-            "FLOSS",
-            window_size=int(min(window_size, max(dataset.n_timepoints // 2, 4 * width + 10))),
-            subsequence_width=width,
-            stride=floss_stride,
-        )
-
-    def window(dataset: TimeSeriesDataset):
-        width = _dataset_width(dataset)
-        return get_competitor("Window", window_size=min(10 * width, max(dataset.n_timepoints // 4, 40)))
-
     factories: dict[str, MethodFactory] = {
         "ClaSS": class_factory(window_size, scoring_interval, **class_kwargs),
-        "FLOSS": floss,
-        "Window": window,
-        "BOCD": lambda dataset: get_competitor("BOCD"),
-        "ChangeFinder": lambda dataset: get_competitor("ChangeFinder"),
-        "NEWMA": lambda dataset: get_competitor("NEWMA"),
-        "ADWIN": lambda dataset: get_competitor("ADWIN"),
-        "DDM": lambda dataset: get_competitor("DDM"),
-        "HDDM": lambda dataset: get_competitor("HDDM"),
+        "FLOSS": FLOSSFactory(window_size=window_size, stride=floss_stride),
+        "Window": WindowFactory(),
+        "BOCD": CompetitorFactory("BOCD"),
+        "ChangeFinder": CompetitorFactory("ChangeFinder"),
+        "NEWMA": CompetitorFactory("NEWMA"),
+        "ADWIN": CompetitorFactory("ADWIN"),
+        "DDM": CompetitorFactory("DDM"),
+        "HDDM": CompetitorFactory("HDDM"),
     }
     if include is not None:
         factories = {name: factories[name] for name in include}

@@ -1,9 +1,11 @@
 """Minimal push-based stream-processing engine (the Apache Flink substitute)."""
 
 from repro.streamengine.class_operator import (
+    ClaSSChainFactory,
     ClaSSPipelineResult,
     ClaSSWindowOperator,
     run_class_pipeline,
+    run_class_pipelines,
 )
 from repro.streamengine.operators import (
     FilterOperator,
@@ -14,6 +16,12 @@ from repro.streamengine.operators import (
 )
 from repro.streamengine.pipeline import Pipeline, PipelineMetrics
 from repro.streamengine.records import ChangePointEvent, Record, RecordBatch
+from repro.streamengine.sharded import (
+    KeyedStreamResult,
+    ShardedPipeline,
+    ShardedRunResult,
+    shard_for_key,
+)
 from repro.streamengine.sinks import CallbackSink, ChangePointSink, CollectSink
 from repro.streamengine.sources import ArraySource, BatchingSource, DatasetSource, PacedSource
 
@@ -37,5 +45,11 @@ __all__ = [
     "CallbackSink",
     "ClaSSWindowOperator",
     "ClaSSPipelineResult",
+    "ClaSSChainFactory",
     "run_class_pipeline",
+    "run_class_pipelines",
+    "ShardedPipeline",
+    "ShardedRunResult",
+    "KeyedStreamResult",
+    "shard_for_key",
 ]

@@ -112,15 +112,29 @@ class Pipeline:
             self._propagate(downstream, operator_index + 1, metrics)
 
     def run(self) -> PipelineMetrics:
-        """Execute the pipeline to completion and return its metrics."""
+        """Execute the pipeline to completion and return its metrics.
+
+        Raises
+        ------
+        ConfigurationError
+            If the source yields anything other than a :class:`Record` or a
+            :class:`RecordBatch` — surfaced immediately with the offending
+            type instead of failing obscurely deeper in the operator chain.
+        """
         metrics = PipelineMetrics()
         start = time.perf_counter()
         for item in self.source:
             if isinstance(item, RecordBatch):
                 metrics.n_source_records += len(item)
                 metrics.n_source_batches += 1
-            else:
+            elif isinstance(item, Record):
                 metrics.n_source_records += 1
+            else:
+                raise ConfigurationError(
+                    f"pipeline {self.name!r}: source yielded an unsupported item of "
+                    f"type {type(item).__name__!r}; sources must yield Record or "
+                    "RecordBatch elements"
+                )
             self._propagate([item], 0, metrics)
         # flush operators in order so pending state drains through the chain
         for index, operator in enumerate(self._operators):

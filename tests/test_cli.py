@@ -52,3 +52,22 @@ class TestEvaluate:
         output = capsys.readouterr().out
         assert "summary of covering" in output
         assert "mean rank" in output
+
+    def test_evaluate_with_workers(self, capsys):
+        exit_code = main([
+            "evaluate", "--collection", "TSSB", "--n-series", "2",
+            "--length-scale", "0.15", "--window-size", "500",
+            "--scoring-interval", "40", "--methods", "ClaSS,DDM", "--workers", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "parallel grid" in output
+        assert "summary of covering" in output
+
+    def test_evaluate_rejects_non_positive_workers(self, capsys):
+        exit_code = main([
+            "evaluate", "--collection", "TSSB", "--n-series", "2",
+            "--methods", "DDM", "--workers", "0",
+        ])
+        assert exit_code == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err

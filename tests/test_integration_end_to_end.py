@@ -1,7 +1,6 @@
 """End-to-end integration tests mirroring the paper's headline experiments
 at a miniature scale."""
 
-import numpy as np
 import pytest
 
 from repro.core.class_segmenter import ClaSS
