@@ -1,0 +1,142 @@
+"""Per-pass ClaSP scoring latency: incremental threshold cache vs recompute.
+
+The incremental scoring path keeps the prediction thresholds cached inside
+the streaming k-NN and consumes them zero-copy through the fused score
+kernel, so a scoring pass no longer pays the per-pass ``(m, k)`` table
+materialisations and the O(m k log k) sorts of the recompute path.  This
+benchmark measures three views of that claim:
+
+* the isolated per-pass scoring latency of every ``cross_val_implementation``
+  on identical streaming state (the cost a ``scoring_interval=1`` deployment
+  pays per observation on top of the k-NN update),
+* the end-to-end fig6-configuration ClaSS throughput at ``scoring_interval=1``
+  for the fast path vs the previous default (vectorised),
+* a change-point identity spot check across the implementations.
+
+Sizes are env-tunable so CI can smoke-run it (``REPRO_BENCH_REGION``,
+``REPRO_BENCH_POINTS``); the headline >= 1.5x speedup assertion only applies
+at full size (region >= 2000 subsequences), matching the paper-scale claim.
+Run with ``--benchmark-json`` for the machine-readable artifact; the
+per-implementation latencies and end-to-end rates travel in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.class_segmenter import ClaSS
+from repro.evaluation import (
+    format_table,
+    measure_batch_throughput,
+    measure_scoring_latency,
+)
+
+#: Scored-region size in subsequences; the acceptance claim is pinned at 2000+.
+REGION = int(os.environ.get("REPRO_BENCH_REGION", 2_500))
+#: Stream length for the end-to-end scoring_interval=1 run.
+N_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", 12_000))
+#: Width shrinks with the region on smoke runs so the split-exclusion border
+#: (excl_factor * w per side) still leaves admissible splits to score.
+SUBSEQUENCE_WIDTH = max(10, min(50, REGION // 12))
+WINDOW = REGION + SUBSEQUENCE_WIDTH - 1  # region fills the whole window
+SMOKE_RUN = REGION < 2_000
+
+#: The previous default scoring path, used as the "old" baseline throughout.
+BASELINE = "vectorised"
+IMPLEMENTATIONS = ("fast", "vectorised", "incremental", "naive")
+
+
+def _segmenter(implementation: str, scoring_interval: int = 1) -> ClaSS:
+    return ClaSS(
+        window_size=WINDOW,
+        subsequence_width=SUBSEQUENCE_WIDTH,
+        scoring_interval=scoring_interval,
+        cross_val_implementation=implementation,
+    )
+
+
+def test_scoring_pass_latency(benchmark):
+    """Isolated per-pass scoring latency per implementation on a full window."""
+    rng = np.random.default_rng(91)
+    # stationary noise: no change point fires, so the scored region stays the
+    # full window and every implementation scores identical state
+    values = rng.normal(size=WINDOW + 4 * SUBSEQUENCE_WIDTH)
+    implementations = IMPLEMENTATIONS if not SMOKE_RUN else ("fast", BASELINE)
+
+    def sweep():
+        latencies = {}
+        for implementation in implementations:
+            # naive is O(m^2): one pass is plenty to place it on the ladder
+            passes = 3 if implementation == "naive" else 30
+            latencies[implementation] = measure_scoring_latency(
+                _segmenter(implementation), values, n_passes=passes
+            )
+        return latencies
+
+    latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "implementation": name,
+            "per-pass ms": latency * 1e3,
+            "speedup vs vectorised": latencies[BASELINE] / latency,
+        }
+        for name, latency in latencies.items()
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Per-pass ClaSP scoring latency (region={REGION} subsequences)",
+            float_format="{:.3f}",
+        )
+    )
+
+    speedup = latencies[BASELINE] / latencies["fast"]
+    benchmark.extra_info["per_pass_latency_ms"] = {
+        name: round(latency * 1e3, 4) for name, latency in latencies.items()
+    }
+    benchmark.extra_info["fast_speedup_vs_vectorised"] = round(speedup, 2)
+    # the acceptance claim: >= 1.5x per-pass speedup at region >= 2000
+    if not SMOKE_RUN:
+        assert speedup >= 1.5, f"fast path only {speedup:.2f}x vs {BASELINE}"
+
+
+def test_end_to_end_interval_one(benchmark):
+    """fig6-style end-to-end ClaSS throughput at scoring_interval=1."""
+    rng = np.random.default_rng(92)
+    t = np.arange(N_POINTS // 2)
+    values = np.concatenate(
+        [np.sin(2 * np.pi * t / 40), 2.0 * np.sign(np.sin(2 * np.pi * t / 90))]
+    ) + rng.normal(0.0, 0.1, 2 * (N_POINTS // 2))
+
+    def run():
+        rates = {}
+        for implementation in ("fast", BASELINE):
+            rates[implementation] = measure_batch_throughput(
+                _segmenter(implementation), values
+            ).mean_points_per_second
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    improvement = rates["fast"] / rates[BASELINE]
+    print()
+    print(
+        f"end-to-end @ scoring_interval=1: fast {rates['fast']:.0f} obs/s vs "
+        f"{BASELINE} {rates[BASELINE]:.0f} obs/s ({improvement:.2f}x)"
+    )
+    benchmark.extra_info["end_to_end_obs_per_s"] = {
+        name: round(rate, 1) for name, rate in rates.items()
+    }
+    benchmark.extra_info["end_to_end_improvement"] = round(improvement, 2)
+
+    # identity spot check: the detected change points must match exactly
+    reference = _segmenter(BASELINE, scoring_interval=1)
+    reference.process(values)
+    fast = _segmenter("fast", scoring_interval=1)
+    fast.process(values)
+    assert np.array_equal(reference.change_points, fast.change_points)
+    if not SMOKE_RUN:
+        assert improvement > 1.0, f"end-to-end regressed: {improvement:.2f}x"

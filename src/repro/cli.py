@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.class_segmenter import ClaSS, capped_window_size
+from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS
 from repro.datasets import COLLECTIONS, SegmentSpec, compose_stream, load_collection
 from repro.datasets.loaders import load_dataset_csv, load_dataset_npz
 from repro.evaluation import (
@@ -89,6 +90,7 @@ def cmd_segment(args: argparse.Namespace) -> int:
         subsequence_width=args.subsequence_width,
         scoring_interval=args.scoring_interval,
         significance_level=args.significance_level,
+        cross_val_implementation=args.cross_val,
     )
     # chunked ingestion (behaviour-identical to point-wise, much faster);
     # change points are printed as soon as the chunk containing them is done
@@ -165,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1_024,
         help="observations per ingestion chunk (results are identical for any value)",
+    )
+    segment_parser.add_argument(
+        "--cross-val",
+        default="fast",
+        choices=sorted(CROSS_VAL_IMPLEMENTATIONS),
+        help="ClaSP scoring implementation (change points are identical for all; "
+        "'fast' consumes the incrementally cached thresholds)",
     )
     segment_parser.set_defaults(handler=cmd_segment)
 

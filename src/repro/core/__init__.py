@@ -6,6 +6,8 @@ from repro.core.multivariate import FusedChangePoint, MultivariateClaSS
 from repro.core.cross_val import (
     CROSS_VAL_IMPLEMENTATIONS,
     CrossValidationResult,
+    cross_val_scores_fast,
+    cross_val_scores_from_thresholds,
     cross_val_scores_incremental,
     cross_val_scores_naive,
     cross_val_scores_vectorised,
@@ -17,6 +19,7 @@ from repro.core.scoring import (
     SCORE_FUNCTIONS,
     accuracy_score,
     confusion_from_labels,
+    fused_split_scores,
     get_score_function,
     macro_f1_score,
 )
@@ -35,6 +38,7 @@ from repro.core.similarity import (
 from repro.core.streaming_knn import (
     KNN_MODES,
     PADDING_INDEX,
+    RegionView,
     StreamingKNN,
     exact_knn_bruteforce,
     exclusion_radius,
@@ -69,11 +73,15 @@ __all__ = [
     "KNN_MODES",
     "CROSS_VAL_IMPLEMENTATIONS",
     "PADDING_INDEX",
+    "cross_val_scores_fast",
+    "cross_val_scores_from_thresholds",
     "cross_val_scores_vectorised",
     "cross_val_scores_incremental",
     "cross_val_scores_naive",
     "prediction_thresholds",
     "predictions_for_split",
+    "fused_split_scores",
+    "RegionView",
     "macro_f1_score",
     "accuracy_score",
     "confusion_from_labels",

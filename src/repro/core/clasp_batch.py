@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.core.cross_val import (
     CROSS_VAL_IMPLEMENTATIONS,
+    cross_val_scores_from_thresholds,
+    prediction_thresholds,
     predictions_for_split,
 )
 from repro.core.profile import ClaSPProfile
@@ -71,6 +73,10 @@ class ClaSP:
         ``"streaming"`` (run the streaming k-NN over the full series, O(n^2)
         worst case but memory-light) or ``"bruteforce"`` (dense similarity
         matrix, O(n^2) memory — only for short series / tests).
+    cross_val_implementation:
+        ``"fast"`` (default, fused score kernel), ``"vectorised"``,
+        ``"incremental"`` or ``"naive"`` — all four produce identical
+        segmentations; the slower ones are kept as oracles / ablations.
     """
 
     def __init__(
@@ -85,7 +91,7 @@ class ClaSP:
         similarity: str = "pearson",
         score_threshold: float = 0.75,
         knn_backend: str = "streaming",
-        cross_val_implementation: str = "vectorised",
+        cross_val_implementation: str = "fast",
         random_state: int | None = 2357,
     ) -> None:
         if knn_backend not in ("streaming", "bruteforce"):
@@ -160,7 +166,13 @@ class ClaSP:
         scores: dict[int, float] = {}
         budget = self.n_change_points if self.n_change_points is not None else values.shape[0]
 
-        # recursive splitting on subsequence-index intervals
+        # recursive splitting on subsequence-index intervals.  The fast path
+        # sorts the k-NN table into prediction thresholds exactly once: a
+        # segment's thresholds are the full-table threshold slice shifted by
+        # the segment start (the per-row order statistic commutes with the
+        # offset subtraction), so every recursion level scores zero-copy.
+        fast_path = self.cross_val_implementation == "fast"
+        thresholds = prediction_thresholds(knn_indices) if fast_path else None
         segments = [(0, knn_indices.shape[0])]
         cross_val = CROSS_VAL_IMPLEMENTATIONS[self.cross_val_implementation]
         while segments and len(change_points) < budget:
@@ -168,14 +180,24 @@ class ClaSP:
             length = end - start
             if length < 4 * width:
                 continue
-            local_knn = knn_indices[start:end] - start
-            result = cross_val(local_knn, exclusion=width, score=self.score)
+            if fast_path:
+                result = cross_val_scores_from_thresholds(
+                    thresholds[start:end], exclusion=width, score=self.score, offset=start
+                )
+            else:
+                local_knn = knn_indices[start:end] - start
+                result = cross_val(local_knn, exclusion=width, score=self.score)
             if result.scores.size == 0:
                 continue
             split, score_value = result.best_split()
             if score_value < self.score_threshold:
                 continue
-            y_pred = predictions_for_split(local_knn, split)
+            if fast_path:
+                y_pred = predictions_for_split(
+                    None, split, thresholds=thresholds[start:end], offset=start
+                )
+            else:
+                y_pred = predictions_for_split(local_knn, split)
             outcome = self.significance.test(y_pred, split)
             if not outcome.significant:
                 continue

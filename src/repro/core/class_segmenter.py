@@ -42,7 +42,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS, predictions_for_split
+from repro.core.cross_val import (
+    CROSS_VAL_IMPLEMENTATIONS,
+    cross_val_scores_from_thresholds,
+    predictions_for_split,
+)
 from repro.core.profile import ClaSPProfile
 from repro.core.significance import (
     DEFAULT_SAMPLE_SIZE,
@@ -140,8 +144,12 @@ class ClaSS:
         after every reported change point (the optional concept-drift mode of
         §3.4).
     cross_val_implementation:
-        ``"vectorised"`` (default), ``"incremental"`` (the paper's sequential
-        Algorithm 3) or ``"naive"`` (O(d^2), for ablations).
+        ``"fast"`` (default) consumes the prediction thresholds maintained
+        incrementally by the streaming k-NN through the fused score kernel —
+        zero copies, no per-pass sort.  ``"vectorised"``, ``"incremental"``
+        (the paper's sequential Algorithm 3) and ``"naive"`` (O(d^2)) are
+        kept as oracles and for ablations; all four report bit-identical
+        change points.
     knn_mode:
         Dot-product strategy of the streaming k-NN: ``"streaming"``,
         ``"recompute"`` or ``"fft"`` (ablation modes of §4.4).
@@ -163,7 +171,7 @@ class ClaSS:
         excl_factor: int = 5,
         score_threshold: float = 0.75,
         relearn_width: bool = False,
-        cross_val_implementation: str = "vectorised",
+        cross_val_implementation: str = "fast",
         knn_mode: str = "streaming",
         random_state: int | None = 2357,
     ) -> None:
@@ -288,10 +296,17 @@ class ClaSS:
         position = 0
         while position < n:
             if self._knn is None:
-                # warm-up: buffer until the subsequence width can be learned
-                self._n_seen += 1
-                self._prefix.append(float(values[position]))
-                position += 1
+                # warm-up: buffer until the subsequence width can be learned.
+                # The whole remaining warm-up run is bulk-sliced in one go —
+                # no per-point Python loop — ending at exactly the position
+                # where the point-wise path would initialise.
+                if self._width is None:
+                    take = min(self.window_size - len(self._prefix), n - position)
+                else:
+                    take = 1  # width already configured: initialise immediately
+                self._prefix.extend(values[position : position + take].tolist())
+                self._n_seen += take
+                position += take
                 if self._width is None and len(self._prefix) < self.window_size:
                     continue
                 self._initialise_from_prefix()
@@ -388,9 +403,22 @@ class ClaSS:
         if region_length < 2 * exclusion + 2:
             return None
 
-        region_knn = self._knn.knn_indices[region_start:] - region_start
-        cross_val = CROSS_VAL_IMPLEMENTATIONS[self.cross_val_implementation]
-        result = cross_val(region_knn, exclusion=exclusion, score=self.score)
+        fast_path = self.cross_val_implementation == "fast"
+        if fast_path:
+            # zero-copy: the k-NN core maintains the prediction thresholds
+            # incrementally, so scoring reads views of live ring buffers and
+            # never materialises the (m, k) neighbour table.
+            region = self._knn.region_view(region_start)
+            result = cross_val_scores_from_thresholds(
+                region.thresholds,
+                exclusion=exclusion,
+                score=self.score,
+                offset=region.offset,
+            )
+        else:
+            region_knn = self._knn.knn_indices[region_start:] - region_start
+            cross_val = CROSS_VAL_IMPLEMENTATIONS[self.cross_val_implementation]
+            result = cross_val(region_knn, exclusion=exclusion, score=self.score)
         window_start_time = self._n_seen - self._knn.n_buffered
         profile = ClaSPProfile(
             scores=result.scores,
@@ -406,7 +434,14 @@ class ClaSS:
         split, score_value = profile.global_maximum()
         if score_value < self.score_threshold:
             return None
-        y_pred = predictions_for_split(region_knn, split)
+        if fast_path:
+            # reuse the cached thresholds: the significance gate's labels are
+            # one comparison, not a second sort over the region's k-NN table
+            y_pred = predictions_for_split(
+                None, split, thresholds=region.thresholds, offset=region.offset
+            )
+        else:
+            y_pred = predictions_for_split(region_knn, split)
         outcome = self.significance.test(y_pred, split)
         if not outcome.significant:
             return None

@@ -26,15 +26,25 @@ truth label.  This module contains:
 * :func:`cross_val_scores_naive` — recomputes labels and predictions from
   scratch for every split, O(d^2); the approach of the original batch ClaSP
   that the paper improves upon, kept for the ablation benchmarks.
+* :func:`cross_val_scores_fast` — the default hot path: the same closed form
+  as the vectorised variant, but consuming precomputed prediction thresholds
+  (either cached incrementally by the streaming k-NN or derived once from a
+  k-NN table) through the fused score kernel of
+  :func:`repro.core.scoring.fused_split_scores`, which skips the per-split
+  confusion-count arrays.  Scores are bit-identical to the other three; the
+  full :class:`CrossValidationResult` confusion counts remain available on
+  demand (computed lazily on first access).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.core.scoring import get_score_function
+from repro.core.scoring import (
+    confusion_prefix_counts,
+    fused_split_scores,
+    get_score_function,
+)
 from repro.utils.exceptions import ConfigurationError
 
 #: Both implementations treat any neighbour offset below zero (slid out of the
@@ -67,22 +77,95 @@ def prediction_thresholds(knn_indices: np.ndarray) -> np.ndarray:
     return sorted_nbrs[:, need - 1]
 
 
-def predictions_for_split(knn_indices: np.ndarray, split: int) -> np.ndarray:
-    """Predicted labels of every subsequence for one split (0 left / 1 right)."""
-    thresholds = prediction_thresholds(knn_indices)
-    return (thresholds >= split).astype(np.int64)
+def predictions_for_split(
+    knn_indices: np.ndarray | None,
+    split: int,
+    *,
+    thresholds: np.ndarray | None = None,
+    offset: int = 0,
+) -> np.ndarray:
+    """Predicted labels of every subsequence for one split (0 left / 1 right).
+
+    When ``thresholds`` is given (e.g. the cached thresholds of a
+    :meth:`~repro.core.streaming_knn.StreamingKNN.region_view`, expressed in
+    coordinates shifted by ``offset``), the per-row sort over ``knn_indices``
+    is skipped entirely and the labels come from one vectorised comparison.
+    """
+    if thresholds is None:
+        thresholds = prediction_thresholds(knn_indices)
+    return (thresholds >= split + offset).astype(np.int64)
 
 
-@dataclass
+def _breakpoints_from_thresholds(
+    thresholds: np.ndarray, m: int, offset: int = 0
+) -> np.ndarray:
+    """Clipped split values at which each subsequence's prediction becomes 0."""
+    return np.clip(thresholds - np.int64(offset) + 1, 0, m + 1)
+
+
 class CrossValidationResult:
-    """Profile of classification scores plus the per-split confusion counts."""
+    """Profile of classification scores plus the per-split confusion counts.
 
-    scores: np.ndarray
-    splits: np.ndarray
-    n00: np.ndarray
-    n01: np.ndarray
-    n10: np.ndarray
-    n11: np.ndarray
+    The three oracle implementations fill the confusion counts eagerly.  The
+    fast path stores only the per-subsequence prediction breakpoints and
+    materialises ``n00``/``n01``/``n10``/``n11`` lazily on first access, so
+    the hot scoring loop never allocates them while tests and
+    ``last_profile`` consumers still see the full result on demand.
+    """
+
+    def __init__(
+        self,
+        scores: np.ndarray,
+        splits: np.ndarray,
+        n00: np.ndarray | None = None,
+        n01: np.ndarray | None = None,
+        n10: np.ndarray | None = None,
+        n11: np.ndarray | None = None,
+        *,
+        pred_zero_from: np.ndarray | None = None,
+    ) -> None:
+        self.scores = scores
+        self.splits = splits
+        self._n00 = n00
+        self._n01 = n01
+        self._n10 = n10
+        self._n11 = n11
+        self._pred_zero_from = pred_zero_from
+
+    def _materialise_counts(self) -> None:
+        """Recompute the per-split confusion counts from the stored breakpoints."""
+        if self._pred_zero_from is None:
+            raise AttributeError("confusion counts unavailable: no breakpoints stored")
+        m = int(self._pred_zero_from.shape[0])
+        self._n00, pred0 = confusion_prefix_counts(self._pred_zero_from, self.splits, m)
+        true0 = self.splits.astype(np.float64)
+        self._n10 = pred0 - self._n00
+        self._n01 = true0 - self._n00
+        self._n11 = m - true0 - self._n10
+
+    @property
+    def n00(self) -> np.ndarray:
+        if self._n00 is None:
+            self._materialise_counts()
+        return self._n00
+
+    @property
+    def n01(self) -> np.ndarray:
+        if self._n01 is None:
+            self._materialise_counts()
+        return self._n01
+
+    @property
+    def n10(self) -> np.ndarray:
+        if self._n10 is None:
+            self._materialise_counts()
+        return self._n10
+
+    @property
+    def n11(self) -> np.ndarray:
+        if self._n11 is None:
+            self._materialise_counts()
+        return self._n11
 
     def best_split(self) -> tuple[int, float]:
         """Return the (split, score) pair of the global maximum of the profile."""
@@ -126,21 +209,11 @@ def cross_val_scores_vectorised(
         empty = np.empty(0, dtype=np.float64)
         return CrossValidationResult(empty, splits, empty, empty, empty, empty)
 
-    thresholds = prediction_thresholds(knn)
-    offsets = np.arange(m, dtype=np.int64)
-
     # Predicted label of subsequence i is 0 iff split > thresholds[i];
     # true label is 0 iff split > i.  Each confusion cell as a function of the
     # split is therefore a cumulative count over per-subsequence breakpoints.
-    pred_zero_from = np.clip(thresholds + 1, 0, m + 1)  # split value where pred becomes 0
-    true_zero_from = offsets + 1                         # split value where truth becomes 0
-
-    both_zero_from = np.maximum(pred_zero_from, true_zero_from)
-    n00_cum = np.cumsum(np.bincount(both_zero_from, minlength=m + 2))
-    pred_zero_cum = np.cumsum(np.bincount(pred_zero_from, minlength=m + 2))
-
-    n00 = n00_cum[splits].astype(np.float64)
-    pred0 = pred_zero_cum[splits].astype(np.float64)
+    pred_zero_from = _breakpoints_from_thresholds(prediction_thresholds(knn), m)
+    n00, pred0 = confusion_prefix_counts(pred_zero_from, splits, m)
     true0 = splits.astype(np.float64)
     n10 = pred0 - n00              # true 1, predicted 0
     n01 = true0 - n00              # true 0, predicted 1
@@ -148,6 +221,68 @@ def cross_val_scores_vectorised(
 
     scores = score_fn(n00, n01, n10, n11)
     return CrossValidationResult(scores, splits, n00, n01, n10, n11)
+
+
+def cross_val_scores_from_thresholds(
+    thresholds: np.ndarray,
+    exclusion: int,
+    score: str = "macro_f1",
+    offset: int = 0,
+) -> CrossValidationResult:
+    """All-splits scores from precomputed prediction thresholds (zero-copy path).
+
+    Parameters
+    ----------
+    thresholds:
+        Per-subsequence prediction thresholds (the ⌈k/2⌉-th smallest
+        neighbour offset), e.g. the incrementally maintained cache of
+        :meth:`repro.core.streaming_knn.StreamingKNN.region_view`.  The array
+        is only read, never copied or modified, so views into live ring
+        buffers are fine.
+    exclusion:
+        Minimum number of subsequences kept on each side of a split.
+    score:
+        ``"macro_f1"`` (default) or ``"accuracy"``.
+    offset:
+        Coordinate shift of ``thresholds``: a threshold ``t`` corresponds to
+        the region-relative threshold ``t - offset``.  Lets callers pass
+        global-coordinate caches without materialising a shifted copy.
+
+    Scores are bit-identical to :func:`cross_val_scores_vectorised` on the
+    equivalent (region-relative) k-NN table; the confusion counts of the
+    returned result are materialised lazily on first access.
+    """
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    if thresholds.ndim != 1:
+        raise ConfigurationError("thresholds must be a 1-d array of shape (m,)")
+    m = thresholds.shape[0]
+    if m < 2:
+        raise ConfigurationError("thresholds needs at least two subsequences")
+    splits = _valid_splits(m, exclusion)
+    if splits.size == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return CrossValidationResult(empty, splits, empty, empty, empty, empty)
+    pred_zero_from = _breakpoints_from_thresholds(thresholds, m, offset)
+    scores = fused_split_scores(pred_zero_from, splits, m, score)
+    return CrossValidationResult(scores, splits, pred_zero_from=pred_zero_from)
+
+
+def cross_val_scores_fast(
+    knn_indices: np.ndarray,
+    exclusion: int,
+    score: str = "macro_f1",
+) -> CrossValidationResult:
+    """Drop-in fast implementation over a plain k-NN table (default path).
+
+    Sorts each row once to obtain the prediction thresholds and feeds them to
+    the fused score kernel.  Streaming callers that already maintain the
+    thresholds incrementally should call
+    :func:`cross_val_scores_from_thresholds` directly and skip the sort.
+    """
+    knn = _validate_knn(knn_indices)
+    return cross_val_scores_from_thresholds(
+        prediction_thresholds(knn), exclusion=exclusion, score=score
+    )
 
 
 def cross_val_scores_incremental(
@@ -283,8 +418,11 @@ def cross_val_scores_naive(
 
 
 #: Implementations selectable through the ``cross_val_implementation`` option
-#: of :class:`repro.core.class_segmenter.ClaSS`.
+#: of :class:`repro.core.class_segmenter.ClaSS`.  ``"fast"`` (the default) is
+#: the fused-kernel path; the other three are kept as oracles and for the
+#: runtime ablations, and all four report bit-identical change points.
 CROSS_VAL_IMPLEMENTATIONS = {
+    "fast": cross_val_scores_fast,
     "vectorised": cross_val_scores_vectorised,
     "incremental": cross_val_scores_incremental,
     "naive": cross_val_scores_naive,

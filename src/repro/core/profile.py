@@ -69,12 +69,10 @@ class ClaSPProfile:
         if self.is_empty or self.scores.shape[0] < 2 * order + 1:
             return np.empty(0, dtype=np.int64)
         scores = self.scores
-        candidates = []
-        for i in range(order, scores.shape[0] - order):
-            window = scores[i - order : i + order + 1]
-            if scores[i] >= window.max():
-                candidates.append(int(self.splits[i]))
-        return np.asarray(candidates, dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(scores, 2 * order + 1)
+        centre = slice(order, scores.shape[0] - order)  # explicit end: order may be 0
+        is_maximum = scores[centre] >= windows.max(axis=1)
+        return self.splits[centre][is_maximum].astype(np.int64)
 
     def to_absolute(self, split: int) -> int:
         """Translate a region-relative split offset into an absolute time point."""

@@ -71,6 +71,80 @@ def accuracy_score(
     return 0.5 * (recall0 + recall1)
 
 
+def confusion_prefix_counts(
+    pred_zero_from: np.ndarray,
+    splits: np.ndarray,
+    n_subsequences: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-split ``(n00, pred0)`` counts via cumulative breakpoint histograms.
+
+    ``pred_zero_from[i]`` is the split value from which subsequence ``i``'s
+    predicted label becomes 0 (clipped to ``[0, m + 1]``); the true label's
+    breakpoint is ``i + 1`` by construction.  ``n00`` counts subsequences
+    whose true and predicted labels are both 0 at a split, ``pred0`` those
+    predicted 0; the remaining confusion cells follow by exact integer
+    algebra (``n10 = pred0 - n00``, ``n01 = split - n00``, ...).  Shared by
+    the vectorised oracle, the fused score kernel and the lazy count
+    materialisation so the breakpoint bookkeeping exists exactly once.
+    """
+    m = int(n_subsequences)
+    true_zero_from = np.arange(1, m + 1, dtype=np.int64)
+    both_zero_from = np.maximum(pred_zero_from, true_zero_from)
+    n00_cum = np.cumsum(np.bincount(both_zero_from, minlength=m + 2))
+    pred_zero_cum = np.cumsum(np.bincount(pred_zero_from, minlength=m + 2))
+    return n00_cum[splits].astype(np.float64), pred_zero_cum[splits].astype(np.float64)
+
+
+def fused_split_scores(
+    pred_zero_from: np.ndarray,
+    splits: np.ndarray,
+    n_subsequences: int,
+    score: str = "macro_f1",
+) -> np.ndarray:
+    """Profile scores straight from per-subsequence prediction breakpoints.
+
+    Fuses the cumulative-histogram → confusion-counts → score computation of
+    the vectorised cross-validation into one kernel that never materialises
+    the per-split ``n00/n01/n10/n11`` arrays.  ``pred_zero_from[i]`` is the
+    split value from which subsequence ``i``'s predicted label becomes 0
+    (already clipped to ``[0, m + 1]``); the true label's breakpoint is
+    ``i + 1`` by construction.  All confusion counts are integer-valued and
+    therefore exact in float64, so algebraically rewriting them (e.g.
+    ``n00 + n10 == pred0``) keeps every division bit-identical to the
+    unfused :func:`macro_f1_score` / :func:`accuracy_score` path.
+    """
+    # explicit literal gate (not SCORE_FUNCTIONS membership), so a future
+    # score added to the registry fails loudly here until a fused formula
+    # for it is written, instead of silently reusing the wrong branch
+    if score not in ("macro_f1", "accuracy"):
+        raise ConfigurationError(
+            f"no fused kernel for score {score!r}; expected one of {SCORE_FUNCTIONS}"
+        )
+    m = int(n_subsequences)
+    if splits.size == 0:
+        return np.empty(0, dtype=np.float64)
+    n00, pred0 = confusion_prefix_counts(pred_zero_from, splits, m)
+    true0 = splits.astype(np.float64)
+    # exact integer identities: n00 + n10 = pred0, n00 + n01 = true0,
+    # n11 + n01 = m - pred0, n11 + n10 = m - true0 — every operand below is
+    # bit-equal to the one the unfused score functions would see, and the
+    # division/eps-guard order matches them exactly (the equivalence is
+    # pinned against all three oracles by tests/test_scoring_path.py)
+    true1 = m - true0
+    n11 = true1 - (pred0 - n00)
+    if score == "macro_f1":
+        precision0 = n00 / np.maximum(pred0, _EPS)
+        recall0 = n00 / np.maximum(true0, _EPS)
+        f1_class0 = 2.0 * precision0 * recall0 / np.maximum(precision0 + recall0, _EPS)
+        precision1 = n11 / np.maximum(m - pred0, _EPS)
+        recall1 = n11 / np.maximum(true1, _EPS)
+        f1_class1 = 2.0 * precision1 * recall1 / np.maximum(precision1 + recall1, _EPS)
+        return 0.5 * (f1_class0 + f1_class1)
+    recall0 = n00 / np.maximum(true0, _EPS)
+    recall1 = n11 / np.maximum(true1, _EPS)
+    return 0.5 * (recall0 + recall1)
+
+
 def get_score_function(name: str) -> Callable[..., np.ndarray]:
     """Look up a confusion-matrix score function by name."""
     if name == "macro_f1":

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import collections
 import warnings
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 import numpy as np
 
@@ -70,6 +70,22 @@ STD_FLOOR = 1e-8
 def exclusion_radius(window_size: int) -> int:
     """Trivial-match exclusion radius: the last ``3/2 * w`` observations."""
     return int(np.ceil(1.5 * window_size))
+
+
+class RegionView(NamedTuple):
+    """Zero-copy view of the scoring inputs for a suffix region of the tables.
+
+    Returned by :meth:`StreamingKNN.region_view`.  Both arrays are views into
+    the ring-buffered backing storage (no copies) and use *global* subsequence
+    coordinates; ``offset`` is the global id of the region's first subsequence,
+    so ``thresholds - offset`` / ``knn_indices - offset`` recover the
+    region-relative coordinates the cross-validation scores are defined over.
+    The views alias live state: they are invalidated by the next update.
+    """
+
+    thresholds: np.ndarray
+    knn_indices: np.ndarray
+    offset: int
 
 
 def exact_knn_bruteforce(
@@ -200,6 +216,12 @@ class StreamingKNN:
         # contiguous copy of each row's worst similarity (column k-1), kept in
         # sync so the per-point beats-the-worst scan reads sequential memory
         self._worst_sim = np.full(self._row_capacity, -np.inf, dtype=np.float64)
+        # cached prediction threshold per row: the ceil(k/2)-th smallest
+        # neighbour id (global coordinates, PADDING_INDEX counts as smallest).
+        # Kept in sync by the table mutations so the ClaSP scoring pass reads
+        # it directly instead of re-sorting every row's neighbour set.
+        self._threshold_rank = int(np.ceil(k / 2.0)) - 1
+        self._thresholds = np.full(self._row_capacity, PADDING_INDEX, dtype=np.int64)
         self._row_start = 0
         self._first_global = 0  # global id of the subsequence at live row 0
         self._n_subsequences = 0
@@ -325,7 +347,30 @@ class StreamingKNN:
         self._knn_idx.fill(PADDING_INDEX)
         self._knn_sim.fill(-np.inf)
         self._worst_sim.fill(-np.inf)
+        self._thresholds.fill(PADDING_INDEX)
         self._last_similarities = None
+
+    def region_view(self, region_start: int = 0) -> RegionView:
+        """Zero-copy scoring inputs for the table suffix from ``region_start`` on.
+
+        Returns views of the cached prediction thresholds and the k-NN rows of
+        the subsequences at window offsets ``region_start, ..., m - 1`` (both
+        in global coordinates) plus the global id of the region's first
+        subsequence.  The thresholds are maintained incrementally — only rows
+        whose neighbour set changed are touched per update — so consuming them
+        replaces the per-pass sort over the whole region's k-NN table.
+        """
+        if not 0 <= region_start <= self._n_subsequences:
+            raise ConfigurationError(
+                f"region_start must lie in [0, {self._n_subsequences}], got {region_start}"
+            )
+        low = self._row_start + region_start
+        high = self._row_start + self._n_subsequences
+        return RegionView(
+            thresholds=self._thresholds[low:high],
+            knn_indices=self._knn_idx[low:high],
+            offset=self._first_global + region_start,
+        )
 
     # ------------------------------------------------------------------ #
     # internals
@@ -531,6 +576,8 @@ class StreamingKNN:
             row_idx[:take] = top + self._first_global
             row_sim[:take] = similarities[top]
         self._worst_sim[row] = row_sim[k - 1]
+        rank = self._threshold_rank
+        self._thresholds[row] = np.partition(row_idx, rank)[rank]
         self._n_subsequences += 1
 
         # k-NN update: the newest subsequence may displace an existing neighbour
@@ -543,6 +590,7 @@ class StreamingKNN:
         self._knn_idx[:n] = self._knn_idx[start : start + n]
         self._knn_sim[:n] = self._knn_sim[start : start + n]
         self._worst_sim[:n] = self._worst_sim[start : start + n]
+        self._thresholds[:n] = self._thresholds[start : start + n]
         self._row_start = 0
 
     def _insert_newest_into_older_rows(self, similarities: np.ndarray, newest: int) -> None:
@@ -566,6 +614,7 @@ class StreamingKNN:
         if rows.shape[0] == 0:
             return
         newest_global = self._first_global + newest
+        rank = self._threshold_rank
         if rows.shape[0] <= 2:
             # scalar insert beats the vectorised one for a couple of rows
             for row in rows:
@@ -576,6 +625,7 @@ class StreamingKNN:
                 sims[row, position] = sim_value
                 indices[row, position] = newest_global
                 self._worst_sim[start + row] = sims[row, -1]
+                self._thresholds[start + row] = np.partition(indices[row], rank)[rank]
             return
         values = candidate_sims[rows]
         beaten_sims = sims[rows]
@@ -591,6 +641,8 @@ class StreamingKNN:
         shifted_sims[:, 1:] = beaten_sims[:, :-1]
         shifted_idx[:, 1:] = beaten_idx[:, :-1]
         patched = np.where(keep, beaten_sims, np.where(at, values[:, None], shifted_sims))
+        patched_idx = np.where(keep, beaten_idx, np.where(at, newest_global, shifted_idx))
         sims[rows] = patched
-        indices[rows] = np.where(keep, beaten_idx, np.where(at, newest_global, shifted_idx))
+        indices[rows] = patched_idx
         self._worst_sim[start + rows] = patched[:, -1]
+        self._thresholds[start + rows] = np.partition(patched_idx, rank, axis=1)[:, rank]

@@ -12,6 +12,7 @@ protocol, independent of the evaluation runner.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -128,6 +129,47 @@ def measure_batch_throughput(
         mean_update_latency=float(latencies.mean()) if n else 0.0,
         p95_update_latency=float(np.percentile(latencies, 95)) if n else 0.0,
     )
+
+
+def measure_scoring_latency(
+    segmenter,
+    values: np.ndarray,
+    n_passes: int = 30,
+    chunk_size: int = 1_024,
+) -> float:
+    """Mean seconds per forced ClaSP scoring pass after streaming ``values`` in.
+
+    Streams ``values`` through ``segmenter.process`` (filling the sliding
+    window and the k-NN tables), then times ``n_passes`` calls of
+    ``segmenter.score_now()`` — the pure per-pass scoring cost a
+    ``scoring_interval=1`` deployment pays on every observation, isolated
+    from the k-NN update.  Used by ``benchmarks/bench_scoring_path.py`` to
+    compare the ``cross_val_implementation`` scoring paths on identical
+    streaming state.
+
+    The timed passes mutate the segmenter: a pass that reports a change
+    point shrinks the scored region, so later passes would measure a smaller
+    problem (and the segmenter keeps the forced detections).  Pass
+    change-free data — e.g. stationary noise — to measure a fixed region
+    size; a warning is emitted if a change point fires mid-measurement.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    segmenter.process(values, chunk_size=chunk_size)
+    reports_before = len(segmenter.reports)
+    segmenter.score_now()  # warm the pass (lazy allocations, caches)
+    start = time.perf_counter()
+    for _ in range(n_passes):
+        segmenter.score_now()
+    elapsed = time.perf_counter() - start
+    if len(segmenter.reports) != reports_before:
+        warnings.warn(
+            "a change point fired during the timed scoring passes; the scored "
+            "region shrank mid-measurement, so the mean latency does not "
+            "reflect a fixed region size (use change-free data)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return elapsed / n_passes
 
 
 def measure_update_scaling(

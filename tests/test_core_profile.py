@@ -48,6 +48,10 @@ class TestClaSPProfile:
         profile = ClaSPProfile(scores=np.array([0.5]), splits=np.array([3]))
         assert profile.local_maxima().size == 0
 
+    def test_local_maxima_order_zero_returns_all_splits(self):
+        profile = _profile()
+        np.testing.assert_array_equal(profile.local_maxima(order=0), profile.splits)
+
     def test_dense_representation(self):
         profile = _profile()
         dense = profile.dense(length=20)

@@ -1,0 +1,247 @@
+"""Tests for the incremental ClaSP scoring path.
+
+Three pillars, mirroring the contract of the fast path:
+
+* the threshold cache maintained inside :class:`StreamingKNN` always equals a
+  fresh ``prediction_thresholds`` computation over the current k-NN table —
+  through evictions, backing-array and table compactions, resets, change
+  point region shifts and ``relearn_width`` rebuilds;
+* the fused score kernel is bit-identical to every oracle implementation on
+  randomized k-NN tables (including the lazily materialised confusion
+  counts);
+* ClaSS reports bit-identical change points for every
+  ``cross_val_implementation`` across k-NN modes and scoring intervals.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core.class_segmenter import ClaSS
+from repro.core.cross_val import (
+    CROSS_VAL_IMPLEMENTATIONS,
+    cross_val_scores_fast,
+    cross_val_scores_from_thresholds,
+    cross_val_scores_incremental,
+    cross_val_scores_naive,
+    cross_val_scores_vectorised,
+    prediction_thresholds,
+    predictions_for_split,
+)
+from repro.core.scoring import fused_split_scores
+from repro.core.streaming_knn import PADDING_INDEX, StreamingKNN
+from repro.utils.exceptions import ConfigurationError
+
+
+def cached_thresholds_window(knn: StreamingKNN) -> np.ndarray:
+    """The cached thresholds converted to window-relative coordinates."""
+    view = knn.region_view(0)
+    cached = view.thresholds.copy()
+    return np.where(cached == PADDING_INDEX, PADDING_INDEX, cached - view.offset)
+
+
+def assert_cache_consistent(knn: StreamingKNN) -> None:
+    """Cached thresholds must equal a fresh computation over the live table."""
+    if knn.n_subsequences < 2:
+        return
+    fresh = prediction_thresholds(knn.knn_indices)
+    np.testing.assert_array_equal(cached_thresholds_window(knn), fresh)
+
+
+class TestThresholdCacheConsistency:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    @pytest.mark.parametrize("mode", ["streaming", "recompute"])
+    def test_cache_through_evictions_and_compactions(self, rng, k, mode):
+        # stream length covers several window turnovers: the backing array
+        # compacts every d evictions and the k-NN tables every m evictions
+        knn = StreamingKNN(window_size=180, subsequence_width=12, k_neighbours=k, mode=mode)
+        values = rng.normal(size=800)
+        for position, _ in enumerate(knn.update_many(values)):
+            if position % 29 == 0:
+                assert_cache_consistent(knn)
+        assert_cache_consistent(knn)
+
+    def test_cache_after_reset_and_reingest(self, rng):
+        knn = StreamingKNN(window_size=150, subsequence_width=10)
+        collections.deque(knn.update_many(rng.normal(size=400)), maxlen=0)
+        knn.reset()
+        assert np.all(knn.region_view(0).thresholds.shape == (0,))
+        collections.deque(knn.update_many(rng.normal(size=260)), maxlen=0)
+        assert_cache_consistent(knn)
+
+    def test_cache_after_change_point_region_shift(self, sine_square_stream):
+        values, _ = sine_square_stream
+        segmenter = ClaSS(window_size=1_500, subsequence_width=25, scoring_interval=10)
+        segmenter.process(values)
+        assert segmenter.change_points.size >= 1
+        assert_cache_consistent(segmenter._knn)
+        # the scored-region view must agree with the fresh region table
+        region_start = segmenter._state.last_change_point_offset
+        view = segmenter._knn.region_view(region_start)
+        region_knn = segmenter._knn.knn_indices[region_start:] - region_start
+        if region_knn.shape[0] >= 2:
+            fresh = prediction_thresholds(region_knn)
+            cached = np.where(
+                view.thresholds == PADDING_INDEX,
+                PADDING_INDEX - region_start,
+                view.thresholds - view.offset,
+            )
+            np.testing.assert_array_equal(cached, fresh)
+
+    def test_cache_after_relearn_width_rebuild(self, sine_square_stream):
+        values, _ = sine_square_stream
+        segmenter = ClaSS(
+            window_size=1_500, subsequence_width=25, scoring_interval=10, relearn_width=True
+        )
+        segmenter.process(values)
+        assert_cache_consistent(segmenter._knn)
+
+    def test_region_view_rejects_out_of_range_start(self, rng):
+        knn = StreamingKNN(window_size=120, subsequence_width=10)
+        collections.deque(knn.update_many(rng.normal(size=120)), maxlen=0)
+        with pytest.raises(ConfigurationError):
+            knn.region_view(knn.n_subsequences + 1)
+        with pytest.raises(ConfigurationError):
+            knn.region_view(-1)
+
+    def test_region_view_returns_views_not_copies(self, rng):
+        knn = StreamingKNN(window_size=120, subsequence_width=10)
+        collections.deque(knn.update_many(rng.normal(size=120)), maxlen=0)
+        view = knn.region_view(0)
+        assert view.thresholds.base is not None
+        assert view.knn_indices.base is not None
+        assert view.thresholds.shape[0] == knn.n_subsequences
+        assert view.knn_indices.shape[0] == knn.n_subsequences
+
+
+class TestFusedKernelEquivalence:
+    @pytest.mark.parametrize("score", ["macro_f1", "accuracy"])
+    def test_fused_scores_bit_identical_to_all_oracles(self, rng, score):
+        for _ in range(25):
+            m = int(rng.integers(12, 180))
+            k = int(rng.integers(1, 6))
+            exclusion = int(rng.integers(1, 10))
+            knn = rng.integers(-8, m, size=(m, k))
+            fast = cross_val_scores_fast(knn, exclusion, score)
+            for oracle in (
+                cross_val_scores_vectorised,
+                cross_val_scores_incremental,
+                cross_val_scores_naive,
+            ):
+                reference = oracle(knn, exclusion, score)
+                np.testing.assert_array_equal(fast.splits, reference.splits)
+                np.testing.assert_array_equal(fast.scores, reference.scores)
+
+    def test_lazy_confusion_counts_match_vectorised(self, rng):
+        knn = rng.integers(-5, 90, size=(90, 3))
+        fast = cross_val_scores_fast(knn, exclusion=6)
+        reference = cross_val_scores_vectorised(knn, exclusion=6)
+        np.testing.assert_array_equal(fast.n00, reference.n00)
+        np.testing.assert_array_equal(fast.n01, reference.n01)
+        np.testing.assert_array_equal(fast.n10, reference.n10)
+        np.testing.assert_array_equal(fast.n11, reference.n11)
+
+    def test_offset_thresholds_equal_shifted_table(self, rng):
+        # consuming global-coordinate thresholds with an offset must equal
+        # scoring the materialised region-relative table
+        m, offset = 120, 37
+        knn = rng.integers(-5, m, size=(m, 4))
+        thresholds = prediction_thresholds(knn)
+        shifted = cross_val_scores_from_thresholds(
+            thresholds + offset, exclusion=8, offset=offset
+        )
+        reference = cross_val_scores_vectorised(knn, exclusion=8)
+        np.testing.assert_array_equal(shifted.scores, reference.scores)
+
+    def test_predictions_for_split_reuses_thresholds(self, rng):
+        knn = rng.integers(-5, 80, size=(80, 3))
+        thresholds = prediction_thresholds(knn)
+        for split in (10, 40, 70):
+            expected = predictions_for_split(knn, split)
+            reused = predictions_for_split(None, split, thresholds=thresholds)
+            shifted = predictions_for_split(None, split, thresholds=thresholds + 11, offset=11)
+            np.testing.assert_array_equal(reused, expected)
+            np.testing.assert_array_equal(shifted, expected)
+
+    def test_fused_kernel_rejects_unknown_score(self):
+        with pytest.raises(ConfigurationError):
+            fused_split_scores(np.zeros(5, dtype=np.int64), np.arange(1, 3), 5, score="roc")
+
+    def test_from_thresholds_validates_input(self):
+        with pytest.raises(ConfigurationError):
+            cross_val_scores_from_thresholds(np.zeros((3, 2), dtype=np.int64), exclusion=1)
+        with pytest.raises(ConfigurationError):
+            cross_val_scores_from_thresholds(np.zeros(1, dtype=np.int64), exclusion=1)
+
+    def test_empty_result_when_exclusion_too_large(self):
+        result = cross_val_scores_from_thresholds(np.arange(10, dtype=np.int64), exclusion=9)
+        assert result.scores.size == 0
+        assert result.n00.size == 0  # eager empties, no lazy materialisation
+
+
+def two_regime_stream(rng, half=650):
+    t = np.arange(half)
+    values = np.concatenate(
+        [np.sin(2 * np.pi * t / 22), 2.0 * np.sign(np.sin(2 * np.pi * t / 55))]
+    )
+    return values + rng.normal(0.0, 0.1, 2 * half)
+
+
+class TestChangePointIdentity:
+    """Pinned: all implementations report bit-identical change points."""
+
+    @pytest.mark.parametrize("knn_mode", ["streaming", "recompute", "fft"])
+    @pytest.mark.parametrize("scoring_interval", [1, 7])
+    def test_fast_matches_vectorised_and_incremental(self, rng, knn_mode, scoring_interval):
+        values = two_regime_stream(rng)
+        outcomes = {}
+        for implementation in ("fast", "vectorised", "incremental"):
+            segmenter = ClaSS(
+                window_size=650,
+                subsequence_width=20,
+                scoring_interval=scoring_interval,
+                cross_val_implementation=implementation,
+                knn_mode=knn_mode,
+            )
+            segmenter.process(values)
+            outcomes[implementation] = (
+                segmenter.change_points.tolist(),
+                [(r.detected_at, r.score, r.p_value) for r in segmenter.reports],
+            )
+        assert outcomes["fast"] == outcomes["vectorised"] == outcomes["incremental"]
+        assert len(outcomes["fast"][0]) >= 1  # the grid must actually detect
+
+    def test_fast_matches_naive(self, rng):
+        values = two_regime_stream(rng, half=500)
+        outcomes = {}
+        for implementation in ("fast", "naive"):
+            segmenter = ClaSS(
+                window_size=500,
+                subsequence_width=18,
+                scoring_interval=25,
+                cross_val_implementation=implementation,
+            )
+            segmenter.process(values)
+            outcomes[implementation] = segmenter.change_points.tolist()
+        assert outcomes["fast"] == outcomes["naive"]
+        assert len(outcomes["fast"]) >= 1
+
+    def test_fast_is_default_and_registered(self):
+        assert ClaSS().cross_val_implementation == "fast"
+        assert "fast" in CROSS_VAL_IMPLEMENTATIONS
+
+    def test_warmup_bulk_slice_matches_pointwise(self, rng):
+        # the vectorised warm-up buffering must be behaviour-identical to the
+        # per-point path, including a width learned mid-chunk
+        values = two_regime_stream(rng, half=600)
+        bulk = ClaSS(window_size=600, scoring_interval=5)
+        bulk.process(values)
+        pointwise = ClaSS(window_size=600, scoring_interval=5)
+        for value in values:
+            pointwise.update(float(value))
+        assert bulk.n_seen == pointwise.n_seen
+        assert bulk.subsequence_width_ == pointwise.subsequence_width_
+        np.testing.assert_array_equal(bulk.change_points, pointwise.change_points)
