@@ -41,7 +41,11 @@ def test_fig1_fibrillation_detection_latency(benchmark):
     print()
     print(f"fibrillation onset annotated at t={onset} "
           f"({onset / SAMPLE_RATE:.1f} s); segments: {dataset.segment_labels}")
-    print(format_table(rows, title="Figure 1: ClaSS reports on the VE recording", float_format="{:.2f}"))
+    print(
+        format_table(
+            rows, title="Figure 1: ClaSS reports on the VE recording", float_format="{:.2f}"
+        )
+    )
 
     assert matches, "the fibrillation onset must be detected"
     report = matches[0]

@@ -49,7 +49,9 @@ def _report(result, title):
             }
         )
     quartiles.sort(key=lambda row: -row["median %"])
-    print(format_table(quartiles, title="box plot quartiles (Figure 5 bottom)", float_format="{:.1f}"))
+    print(
+        format_table(quartiles, title="box plot quartiles (Figure 5 bottom)", float_format="{:.1f}")
+    )
     return analysis
 
 

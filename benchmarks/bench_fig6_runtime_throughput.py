@@ -13,7 +13,9 @@ from __future__ import annotations
 from repro.evaluation import format_table
 
 
-def test_fig6_runtime_vs_quality_and_throughput(benchmark, benchmark_experiment, archive_experiment):
+def test_fig6_runtime_vs_quality_and_throughput(
+    benchmark, benchmark_experiment, archive_experiment
+):
     def aggregate():
         records = benchmark_experiment.records + archive_experiment.records
         from repro.evaluation.runner import ExperimentResult

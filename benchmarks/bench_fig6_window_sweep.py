@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.datasets import SegmentSpec, compose_stream
 from repro.evaluation import format_table
-from repro.evaluation.runner import class_factory, run_experiment
+from repro.evaluation.runner import ClaSSFactory, run_experiment
 
 WINDOW_SIZES = [500, 1_000, 2_000, 4_000]
 
@@ -35,7 +35,7 @@ def test_fig6_window_size_sweep(benchmark):
     def sweep():
         results = {}
         for window_size in WINDOW_SIZES:
-            factories = {"ClaSS": class_factory(window_size=window_size, scoring_interval=25)}
+            factories = {"ClaSS": ClaSSFactory(window_size=window_size, scoring_interval=25)}
             experiment = run_experiment(factories, datasets)
             coverings = [r.covering for r in experiment.records]
             throughputs = [r.throughput for r in experiment.records]
@@ -53,7 +53,9 @@ def test_fig6_window_size_sweep(benchmark):
         for window_size, (covering, throughput) in results.items()
     ]
     print()
-    print(format_table(rows, title="Figure 6 (right): ClaSS window size sweep", float_format="{:.1f}"))
+    print(
+        format_table(rows, title="Figure 6 (right): ClaSS window size sweep", float_format="{:.1f}")
+    )
 
     coverings = {w: c for w, (c, _) in results.items()}
     throughputs = {w: t for w, (_, t) in results.items()}

@@ -43,8 +43,10 @@ def test_fig8_activity_recognition_profiles(benchmark):
         rows.append(
             {
                 "method": name,
-                "covering %": 100 * covering_score(dataset.change_points, predicted, dataset.n_timepoints),
-                "cp-f1 %": 100 * change_point_f1(dataset.change_points, predicted, dataset.n_timepoints, 0.02),
+                "covering %": 100
+                * covering_score(dataset.change_points, predicted, dataset.n_timepoints),
+                "cp-f1 %": 100
+                * change_point_f1(dataset.change_points, predicted, dataset.n_timepoints, 0.02),
                 "#predictions": len(predicted),
                 "false positives": match.false_positives,
                 "missed": match.false_negatives,

@@ -49,7 +49,8 @@ def test_fig9_early_detection_delay(benchmark):
         rows.append(
             {
                 "method": name,
-                "covering %": 100 * covering_score(dataset.change_points, reported, dataset.n_timepoints),
+                "covering %": 100
+                * covering_score(dataset.change_points, reported, dataset.n_timepoints),
                 "transitions detected": f"{len(delays)}/{len(dataset.change_points)}",
                 "mean delay (obs)": float(np.mean(delays)) if delays else float("nan"),
                 "mean delay (s @250Hz)": float(np.mean(delays)) / 250.0 if delays else float("nan"),
@@ -57,13 +58,19 @@ def test_fig9_early_detection_delay(benchmark):
         )
     print()
     print(f"annotated rhythm changes: {dataset.change_points.tolist()} ({dataset.segment_labels})")
-    print(format_table(rows, title="Figure 9: early detection of ECG rhythm changes", float_format="{:.1f}"))
+    print(
+        format_table(
+            rows, title="Figure 9: early detection of ECG rhythm changes", float_format="{:.1f}"
+        )
+    )
 
     by_method = {row["method"]: row for row in rows}
     class_detected = int(by_method["ClaSS"]["transitions detected"].split("/")[0])
     window_detected = int(by_method["Window"]["transitions detected"].split("/")[0])
     assert class_detected >= 1, "ClaSS must detect at least one rhythm transition"
-    assert class_detected >= window_detected, "ClaSS should not detect fewer transitions than Window"
+    assert class_detected >= window_detected, (
+        "ClaSS should not detect fewer transitions than Window"
+    )
     if class_detected:
         assert by_method["ClaSS"]["mean delay (obs)"] < dataset.n_timepoints / len(dataset.segments)
     benchmark.extra_info["class_mean_delay"] = by_method["ClaSS"]["mean delay (obs)"]

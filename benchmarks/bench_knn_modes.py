@@ -45,7 +45,9 @@ def test_knn_update_modes(benchmark):
         return latencies
 
     latencies = benchmark.pedantic(measure, rounds=1, iterations=1)
-    rows = [{"k-NN mode": mode, "per-update latency ms": lat * 1e3} for mode, lat in latencies.items()]
+    rows = [
+        {"k-NN mode": mode, "per-update latency ms": lat * 1e3} for mode, lat in latencies.items()
+    ]
     print()
     print(format_table(rows, title="streaming k-NN dot-product strategies (d=2000, w=50)",
                        float_format="{:.4f}"))
@@ -72,9 +74,15 @@ def test_cross_validation_implementations(benchmark):
         return timings
 
     timings = benchmark.pedantic(measure, rounds=1, iterations=1)
-    rows = [{"implementation": name, "runtime ms": seconds * 1e3} for name, seconds in timings.items()]
+    rows = [
+        {"implementation": name, "runtime ms": seconds * 1e3} for name, seconds in timings.items()
+    ]
     print()
-    print(format_table(rows, title="cross-validation of all splits (m=1951, k=3)", float_format="{:.2f}"))
+    print(
+        format_table(
+            rows, title="cross-validation of all splits (m=1951, k=3)", float_format="{:.2f}"
+        )
+    )
 
     # the vectorised O(d) path must clearly beat the naive O(d^2) recomputation
     assert timings["vectorised O(d)"] < timings["naive O(d^2)"]

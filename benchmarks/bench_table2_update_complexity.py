@@ -73,4 +73,7 @@ def test_table2_per_update_latency(benchmark, rng=np.random.default_rng(5)):
     assert latencies["HDDM (O(1))"][largest] < latencies["ClaSS (O(d))"][largest]
     assert latencies["ClaSS (O(d))"][largest] <= latencies["FLOSS (O(d log d))"][largest] * 10
     # ClaSS cost grows with d (linear complexity in the window size)
-    assert latencies["ClaSS (O(d))"][WINDOW_SIZES[-1]] > latencies["ClaSS (O(d))"][WINDOW_SIZES[0]] * 1.2
+    assert (
+        latencies["ClaSS (O(d))"][WINDOW_SIZES[-1]]
+        > latencies["ClaSS (O(d))"][WINDOW_SIZES[0]] * 1.2
+    )

@@ -16,7 +16,9 @@ def _summary_rows(benchmark_summary, archive_summary):
     rows = []
     for method in benchmark_summary:
         bench = benchmark_summary[method]
-        arch = archive_summary.get(method, {"mean": float("nan"), "median": float("nan"), "std": float("nan")})
+        arch = archive_summary.get(
+            method, {"mean": float("nan"), "median": float("nan"), "std": float("nan")}
+        )
         rows.append(
             {
                 "method": method,

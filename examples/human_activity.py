@@ -23,7 +23,9 @@ def run_method(name: str, segmenter, dataset) -> None:
     """Stream the dataset through one method and report its segmentation."""
     predicted = segmenter.process(dataset.values)
     covering = covering_score(dataset.change_points, predicted, dataset.n_timepoints)
-    f1 = change_point_f1(dataset.change_points, predicted, dataset.n_timepoints, margin_fraction=0.02)
+    f1 = change_point_f1(
+        dataset.change_points, predicted, dataset.n_timepoints, margin_fraction=0.02
+    )
     print(f"--- {name}")
     print(f"    predicted boundaries: {predicted.tolist()}")
     print(f"    Covering {covering:.3f}   CP-F1 {f1:.3f}   ({len(predicted)} predictions)")
@@ -51,8 +53,11 @@ def main() -> None:
         print("ClaSS score profile of the final window region "
               "(what a dashboard would plot under the raw signal):")
         print(f"    scored splits: {len(profile)}")
-        print(f"    max score {np.nanmax(dense):.3f} at region offset {profile.global_maximum()[0]}")
-        print(f"    local maxima (candidate boundaries): {profile.local_maxima(order=3).tolist()[:10]}")
+        print(
+            f"    max score {np.nanmax(dense):.3f} at region offset {profile.global_maximum()[0]}"
+        )
+        candidates = profile.local_maxima(order=3).tolist()[:10]
+        print(f"    local maxima (candidate boundaries): {candidates}")
 
 
 if __name__ == "__main__":

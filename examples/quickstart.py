@@ -22,6 +22,10 @@ README-style quickstart::
     # the single-observation API is the same implementation, one value at a time
     change_point = segmenter.update(next_value)  # None or an absolute position
 
+For the unified detector API — registry construction from typed configs,
+typed event streams and checkpoint/resume — see
+``examples/checkpoint_resume.py``.
+
 Run with:  python examples/quickstart.py
 """
 

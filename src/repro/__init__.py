@@ -12,7 +12,10 @@ The package provides:
 * :mod:`repro.evaluation` — the Covering metric, rank statistics, and the
   streaming experiment runner,
 * :mod:`repro.streamengine` — a minimal stream-processing engine with a ClaSS
-  window operator (the Apache Flink substitute).
+  window operator (the Apache Flink substitute),
+* :mod:`repro.api` — the unified detector API: typed configs, a string-keyed
+  registry (``api.create("class", config)``), typed event streams and
+  checkpoint/resume for every segmenter.
 """
 
 from repro.core import (
@@ -25,7 +28,11 @@ from repro.core import (
 )
 from repro.version import __version__
 
+# imported last: the registry builds on the fully initialised core package
+from repro import api  # noqa: E402  (deliberate import order)
+
 __all__ = [
+    "api",
     "ClaSS",
     "ClaSP",
     "MultivariateClaSS",

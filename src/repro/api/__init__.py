@@ -1,0 +1,116 @@
+"""repro.api — the unified detector API.
+
+One protocol, typed configs, a string-keyed registry, typed event streams
+and durable checkpoints for every segmenter in the library::
+
+    from repro import api
+
+    config = api.ClaSSConfig(window_size=4_000, scoring_interval=5)
+    segmenter = api.create("class", config)
+
+    for event in api.stream(segmenter, values, chunk_size=512):
+        print(event.to_dict())
+
+    api.save_checkpoint(segmenter, "state.ckpt")     # durable mid-stream state
+    resumed = api.load_checkpoint("state.ckpt")      # bit-identical resume
+
+The registry keys (``api.available()``) cover ClaSS, MultivariateClaSS, the
+batch-ClaSP adapter and all competitors of the paper's evaluation; the
+evaluation grid, the sharded stream engine and the CLI construct their
+detectors exclusively through :func:`create`.
+
+This surface is covered by the CI api-surface gate
+(``scripts/check_api_surface.py`` against ``api_surface.txt``): additions
+are deliberate, silent removals fail the build.
+"""
+
+from repro.api.adapters import BatchClaSPSegmenter
+from repro.api.checkpoint import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+)
+from repro.api.config import (
+    ADWINConfig,
+    BOCDConfig,
+    ChangeFinderConfig,
+    ClaSPConfig,
+    ClaSSConfig,
+    CompetitorConfig,
+    DDMConfig,
+    FLOSSConfig,
+    HDDMConfig,
+    HDDMWConfig,
+    MultivariateClaSSConfig,
+    NEWMAConfig,
+    PageHinkleyConfig,
+    SegmenterConfig,
+    WindowConfig,
+)
+from repro.api.events import (
+    EVENT_KINDS,
+    ChangePointEvent,
+    ScoreEvent,
+    SegmenterEvent,
+    WarmupEvent,
+    event_from_dict,
+)
+from repro.api.protocol import Segmenter, ensure_segmenter
+from repro.api.registry import (
+    DetectorSpec,
+    available,
+    config_class,
+    create,
+    key_for_config,
+    normalise_key,
+    register,
+    spec,
+)
+from repro.api.stream import stream
+
+__all__ = [
+    # protocol
+    "Segmenter",
+    "ensure_segmenter",
+    # events
+    "SegmenterEvent",
+    "WarmupEvent",
+    "ScoreEvent",
+    "ChangePointEvent",
+    "EVENT_KINDS",
+    "event_from_dict",
+    "stream",
+    # configs
+    "SegmenterConfig",
+    "ClaSSConfig",
+    "MultivariateClaSSConfig",
+    "ClaSPConfig",
+    "CompetitorConfig",
+    "FLOSSConfig",
+    "WindowConfig",
+    "BOCDConfig",
+    "ChangeFinderConfig",
+    "NEWMAConfig",
+    "ADWINConfig",
+    "DDMConfig",
+    "HDDMConfig",
+    "HDDMWConfig",
+    "PageHinkleyConfig",
+    # registry
+    "DetectorSpec",
+    "register",
+    "create",
+    "available",
+    "spec",
+    "config_class",
+    "key_for_config",
+    "normalise_key",
+    # adapters
+    "BatchClaSPSegmenter",
+    # checkpointing
+    "CHECKPOINT_FORMAT",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore",
+]

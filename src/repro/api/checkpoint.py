@@ -1,0 +1,115 @@
+"""Durable detector checkpoints with a bit-identical resume guarantee.
+
+Every segmenter behind :mod:`repro.api` serialises its full runtime state —
+for ClaSS that is the :class:`~repro.core.streaming_knn.StreamingKNN` ring
+buffers and threshold caches, the warm-up prefix, the report history and the
+significance-test RNG; for the multivariate ensemble additionally the fusion
+state — into a plain picklable payload:
+
+* ``segmenter.save_state()`` returns the payload,
+* ``segmenter.load_state(payload)`` restores it into a compatible instance,
+* :func:`restore` rebuilds a detector from a payload alone (via the
+  registry), and :func:`save_checkpoint` / :func:`load_checkpoint` are the
+  on-disk convenience pair used by the CLI's ``--checkpoint`` / ``--resume``.
+
+The contract, pinned by the test-suite for ClaSS, MultivariateClaSS and all
+eight competitors: checkpoint mid-stream, restore (in the same or another
+process), feed the remaining observations — the resumed run reports exactly
+the change points, scores and p-values of the uninterrupted run.
+
+Checkpoints are pickle files: load them only from trusted locations (the
+standard pickle caveat applies).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.api.config import SegmenterConfig
+from repro.api.registry import create, key_for_config, normalise_key
+from repro.utils.exceptions import ConfigurationError
+
+#: Format marker embedded in every checkpoint payload.
+CHECKPOINT_FORMAT = "repro.checkpoint/1"
+
+
+def detector_key_for(segmenter) -> str:
+    """Registry key of a live segmenter instance.
+
+    Detectors constructed from a typed config expose it as ``config``;
+    competitor wrappers are resolved through their paper ``name`` (the
+    registry accepts those spellings as aliases).
+    """
+    config = getattr(segmenter, "config", None)
+    if isinstance(config, SegmenterConfig):
+        return key_for_config(config)
+    name = getattr(type(segmenter), "name", None)
+    if isinstance(name, str) and name:
+        return normalise_key(name)
+    raise ConfigurationError(
+        f"cannot determine the registry key of {type(segmenter).__name__!r}"
+    )
+
+
+def state_payload(segmenter, state: dict, config: dict | None = None) -> dict[str, Any]:
+    """Wrap a segmenter's serialised state in the versioned checkpoint envelope."""
+    payload: dict[str, Any] = {
+        "format": CHECKPOINT_FORMAT,
+        "detector": detector_key_for(segmenter),
+        "state": state,
+    }
+    if config is not None:
+        payload["config"] = config
+    return payload
+
+
+def checked_state(segmenter, payload: dict) -> dict:
+    """Validate a checkpoint payload against the receiving segmenter; return its state."""
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise ConfigurationError("checkpoint payload must be a mapping with a 'state' entry")
+    fmt = payload.get("format")
+    if fmt != CHECKPOINT_FORMAT:
+        raise ConfigurationError(
+            f"unsupported checkpoint format {fmt!r}; expected {CHECKPOINT_FORMAT!r}"
+        )
+    expected = detector_key_for(segmenter)
+    actual = payload.get("detector")
+    if actual != expected:
+        raise ConfigurationError(
+            f"checkpoint belongs to detector {actual!r}, cannot restore into {expected!r}"
+        )
+    return payload["state"]
+
+
+def restore(payload: dict):
+    """Rebuild a ready-to-resume detector from a checkpoint payload alone.
+
+    The detector class is resolved through the registry (``payload["detector"]``),
+    constructed, and handed the payload via ``load_state`` — detectors that
+    embed their config rebuild themselves from it, so the restored instance
+    is configured exactly like the checkpointed one.
+    """
+    if not isinstance(payload, dict) or "detector" not in payload:
+        raise ConfigurationError("checkpoint payload must be a mapping with a 'detector' entry")
+    segmenter = create(payload["detector"])
+    segmenter.load_state(payload)
+    return segmenter
+
+
+def save_checkpoint(segmenter, path: str | Path) -> Path:
+    """Write ``segmenter.save_state()`` to ``path`` (pickle); return the path."""
+    path = Path(path)
+    payload = segmenter.save_state()
+    with path.open("wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_checkpoint(path: str | Path):
+    """Rebuild a detector from a checkpoint file written by :func:`save_checkpoint`."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        payload = pickle.load(handle)
+    return restore(payload)

@@ -1,0 +1,545 @@
+"""Frozen, declarative detector configurations (the "typed config" layer).
+
+Every detector the registry can build is described by a frozen dataclass:
+
+* construction parameters live in one hashable, picklable value object that
+  can be logged, diffed, shipped to worker processes and embedded in
+  checkpoints,
+* validation lives in :meth:`SegmenterConfig.validate` — *not* in detector
+  ``__init__`` bodies — so a config can be rejected before any detector
+  state is allocated (e.g. when a shard spec arrives over the wire),
+* :meth:`SegmenterConfig.to_dict` / :meth:`SegmenterConfig.from_dict` (and
+  the ``to_json`` / ``from_json`` convenience pair) round-trip losslessly,
+  which is what lets shards be constructed from JSON job specs and detectors
+  be rebuilt from checkpoint payloads,
+* :meth:`SegmenterConfig.build` constructs the ready-to-stream detector —
+  the single construction path used by :func:`repro.api.create`.
+
+The config classes deliberately mirror the keyword arguments of the
+underlying detector constructors one-to-one, so ``SomeDetector(**config.as_kwargs())``
+and ``config.build()`` are equivalent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS
+from repro.core.scoring import SCORE_FUNCTIONS
+from repro.core.significance import DEFAULT_SAMPLE_SIZE, DEFAULT_SIGNIFICANCE_LEVEL
+from repro.core.similarity import SIMILARITY_MEASURES
+from repro.core.streaming_knn import KNN_MODES
+from repro.core.window_size import WSS_METHODS
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def _check_unit_interval(value: float, name: str) -> None:
+    """Reject a score/threshold outside ``[0, 1]``.
+
+    Deliberately not :func:`~repro.utils.validation.check_probability`: the
+    historical detector ``__init__`` contract raises ConfigurationError with
+    this exact message for ``score_threshold`` (pinned by the test-suite),
+    while check_probability raises ValidationError.
+    """
+    if not 0.0 <= float(value) <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1]")
+
+
+def _check_significance(significance_level: float, sample_size: int | None) -> None:
+    """Shared checks of the significance-test parameters (moved out of __init__)."""
+    if not 0.0 < float(significance_level) < 1.0:
+        raise ConfigurationError("significance_level must lie strictly between 0 and 1")
+    if sample_size is not None and int(sample_size) < 10:
+        raise ConfigurationError("sample_size must be at least 10 (or None for variable)")
+
+
+@dataclass(frozen=True)
+class SegmenterConfig:
+    """Base class of all detector configurations.
+
+    Subclasses are frozen dataclasses whose fields mirror the keyword
+    arguments of the detector they describe; ``detector`` is the registry key
+    the config belongs to.
+    """
+
+    #: Registry key of the detector this config describes.
+    detector: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dictionary of every field (nested configs become dicts)."""
+        payload: dict[str, Any] = {}
+        for config_field in dataclasses.fields(self):
+            value = getattr(self, config_field.name)
+            if isinstance(value, SegmenterConfig):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[config_field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SegmenterConfig":
+        """Rebuild a config from :meth:`to_dict` output; unknown keys are rejected."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"{cls.__name__}.from_dict expects a mapping")
+        fields_by_name = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - set(fields_by_name))
+        if unknown:
+            raise ConfigurationError(f"unknown {cls.__name__} fields: {unknown}")
+        kwargs: dict[str, Any] = {}
+        for name, value in payload.items():
+            if name == "class_config" and isinstance(value, dict):
+                value = ClaSSConfig.from_dict(value)
+            elif isinstance(value, list):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise the config as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "SegmenterConfig":
+        """Rebuild a config from its :meth:`to_json` document."""
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"invalid {cls.__name__} JSON: {error}") from error
+        return cls.from_dict(payload)
+
+    def replace(self, **overrides: Any) -> "SegmenterConfig":
+        """A copy of the config with the given fields replaced."""
+        unknown = sorted(set(overrides) - {f.name for f in dataclasses.fields(self)})
+        if unknown:
+            raise ConfigurationError(f"unknown {type(self).__name__} fields: {unknown}")
+        return dataclasses.replace(self, **overrides)
+
+    def as_kwargs(self) -> dict[str, Any]:
+        """Constructor keyword arguments of the underlying detector."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> "SegmenterConfig":
+        """Check the configuration; return self so calls chain."""
+        return self
+
+    def build(self):
+        """Construct the ready-to-stream detector this config describes."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass(frozen=True)
+class ClaSSConfig(SegmenterConfig):
+    """Configuration of :class:`repro.ClaSS` (paper §3; one field per argument)."""
+
+    detector: ClassVar[str] = "class"
+
+    window_size: int = 10_000
+    subsequence_width: int | None = None
+    k_neighbours: int = 3
+    score: str = "macro_f1"
+    similarity: str = "pearson"
+    significance_level: float = DEFAULT_SIGNIFICANCE_LEVEL
+    sample_size: int | None = DEFAULT_SAMPLE_SIZE
+    wss_method: str = "suss"
+    scoring_interval: int = 1
+    excl_factor: int = 5
+    score_threshold: float = 0.75
+    relearn_width: bool = False
+    cross_val_implementation: str = "fast"
+    knn_mode: str = "streaming"
+    random_state: int | None = 2357
+
+    def validate(self) -> "ClaSSConfig":
+        check_positive_int(self.window_size, "window_size", minimum=20)
+        if self.subsequence_width is not None:
+            check_positive_int(self.subsequence_width, "subsequence_width", minimum=3)
+            if self.subsequence_width > self.window_size // 4:
+                raise ConfigurationError(
+                    "subsequence_width must be at most a quarter of the window size"
+                )
+        check_positive_int(self.k_neighbours, "k_neighbours")
+        if self.score not in SCORE_FUNCTIONS:
+            raise ConfigurationError(
+                f"unknown score {self.score!r}; expected one of {sorted(SCORE_FUNCTIONS)}"
+            )
+        if self.similarity not in SIMILARITY_MEASURES:
+            raise ConfigurationError(
+                f"unknown similarity {self.similarity!r}; expected one of {SIMILARITY_MEASURES}"
+            )
+        if self.wss_method not in WSS_METHODS:
+            raise ConfigurationError(
+                f"unknown wss_method {self.wss_method!r}; expected one of {sorted(WSS_METHODS)}"
+            )
+        check_positive_int(self.scoring_interval, "scoring_interval")
+        check_positive_int(self.excl_factor, "excl_factor")
+        _check_unit_interval(self.score_threshold, "score_threshold")
+        if self.cross_val_implementation not in CROSS_VAL_IMPLEMENTATIONS:
+            raise ConfigurationError(
+                f"unknown cross_val_implementation {self.cross_val_implementation!r}"
+            )
+        if self.knn_mode not in KNN_MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.knn_mode!r}; expected one of {KNN_MODES}"
+            )
+        _check_significance(self.significance_level, self.sample_size)
+        return self
+
+    def build(self):
+        from repro.core.class_segmenter import ClaSS
+
+        return ClaSS(**self.as_kwargs())
+
+
+@dataclass(frozen=True)
+class MultivariateClaSSConfig(SegmenterConfig):
+    """Configuration of :class:`repro.MultivariateClaSS` (per-channel ensemble)."""
+
+    detector: ClassVar[str] = "multivariate-class"
+
+    n_channels: int = 2
+    min_votes: float = 2
+    fusion_tolerance: int = 500
+    channel_weights: tuple[float, ...] | None = None
+    class_config: ClaSSConfig = field(default_factory=ClaSSConfig)
+
+    def __post_init__(self) -> None:
+        if self.channel_weights is not None and not isinstance(self.channel_weights, tuple):
+            object.__setattr__(self, "channel_weights", tuple(self.channel_weights))
+
+    def validate(self) -> "MultivariateClaSSConfig":
+        if int(self.n_channels) < 1:
+            raise ConfigurationError("n_channels must be at least 1")
+        if self.fusion_tolerance < 0:
+            raise ConfigurationError("fusion_tolerance must be non-negative")
+        weights = self.channel_weights
+        if weights is not None:
+            if len(weights) != self.n_channels:
+                raise ConfigurationError("channel_weights must have one entry per channel")
+            if any(w < 0 for w in weights):
+                raise ConfigurationError("channel_weights must be non-negative")
+        else:
+            weights = (1.0,) * self.n_channels
+        active_weight = sum(w for w in weights if w > 0)
+        if not 0 < float(self.min_votes) <= max(active_weight, 1e-12):
+            raise ConfigurationError(
+                f"min_votes={self.min_votes} cannot be satisfied by the active channel weights"
+            )
+        self.class_config.validate()
+        return self
+
+    def build(self):
+        from repro.core.multivariate import MultivariateClaSS
+
+        return MultivariateClaSS(
+            n_channels=self.n_channels,
+            min_votes=self.min_votes,
+            fusion_tolerance=self.fusion_tolerance,
+            channel_weights=None if self.channel_weights is None else list(self.channel_weights),
+            **self.class_config.as_kwargs(),
+        )
+
+
+@dataclass(frozen=True)
+class ClaSPConfig(SegmenterConfig):
+    """Configuration of the batch-ClaSP streaming adapter (paper §2.2).
+
+    The adapter buffers the stream and runs the batch segmentation on
+    :meth:`~repro.api.adapters.BatchClaSPSegmenter.finalize`; the fields
+    mirror :class:`repro.ClaSP`.
+    """
+
+    detector: ClassVar[str] = "clasp"
+
+    subsequence_width: int | None = None
+    k_neighbours: int = 3
+    score: str = "macro_f1"
+    n_change_points: int | None = None
+    significance_level: float = 1e-15
+    sample_size: int | None = 1_000
+    wss_method: str = "suss"
+    similarity: str = "pearson"
+    score_threshold: float = 0.75
+    knn_backend: str = "streaming"
+    cross_val_implementation: str = "fast"
+    random_state: int | None = 2357
+
+    def validate(self) -> "ClaSPConfig":
+        if self.subsequence_width is not None:
+            check_positive_int(self.subsequence_width, "subsequence_width", minimum=3)
+        check_positive_int(self.k_neighbours, "k_neighbours")
+        if self.score not in SCORE_FUNCTIONS:
+            raise ConfigurationError(
+                f"unknown score {self.score!r}; expected one of {sorted(SCORE_FUNCTIONS)}"
+            )
+        if self.n_change_points is not None:
+            check_positive_int(self.n_change_points, "n_change_points")
+        if self.similarity not in SIMILARITY_MEASURES:
+            raise ConfigurationError(
+                f"unknown similarity {self.similarity!r}; expected one of {SIMILARITY_MEASURES}"
+            )
+        if self.wss_method not in WSS_METHODS:
+            raise ConfigurationError(
+                f"unknown wss_method {self.wss_method!r}; expected one of {sorted(WSS_METHODS)}"
+            )
+        _check_unit_interval(self.score_threshold, "score_threshold")
+        if self.knn_backend not in ("streaming", "bruteforce"):
+            raise ConfigurationError("knn_backend must be 'streaming' or 'bruteforce'")
+        if self.cross_val_implementation not in CROSS_VAL_IMPLEMENTATIONS:
+            raise ConfigurationError(
+                f"unknown cross_val_implementation {self.cross_val_implementation!r}"
+            )
+        _check_significance(self.significance_level, self.sample_size)
+        return self
+
+    def build(self):
+        from repro.api.adapters import BatchClaSPSegmenter
+
+        return BatchClaSPSegmenter(config=self)
+
+
+@dataclass(frozen=True)
+class CompetitorConfig(SegmenterConfig):
+    """Base class of the eight competitor configurations (paper Table 2).
+
+    ``competitor`` is the :data:`repro.competitors.COMPETITOR_REGISTRY` name
+    the fields are forwarded to.
+    """
+
+    #: Name in the competitor registry (paper spelling).
+    competitor: ClassVar[str] = ""
+
+    def build(self):
+        from repro.competitors import get_competitor
+
+        return get_competitor(self.competitor, **self.as_kwargs())
+
+
+@dataclass(frozen=True)
+class FLOSSConfig(CompetitorConfig):
+    """Configuration of FLOSS (corrected arc curve over a streaming 1-NN)."""
+
+    detector: ClassVar[str] = "floss"
+    competitor: ClassVar[str] = "FLOSS"
+
+    window_size: int = 10_000
+    subsequence_width: int = 100
+    threshold: float = 0.45
+    exclusion_zone: int | None = None
+    stride: int = 1
+
+    def validate(self) -> "FLOSSConfig":
+        check_positive_int(self.window_size, "window_size", minimum=20)
+        check_positive_int(self.subsequence_width, "subsequence_width", minimum=3)
+        check_positive_int(self.stride, "stride")
+        if self.exclusion_zone is not None and int(self.exclusion_zone) < 0:
+            raise ConfigurationError("exclusion_zone must be non-negative")
+        return self
+
+
+@dataclass(frozen=True)
+class WindowConfig(CompetitorConfig):
+    """Configuration of the Window segmenter (sliding two-window discrepancy)."""
+
+    detector: ClassVar[str] = "window"
+    competitor: ClassVar[str] = "Window"
+
+    window_size: int = 500
+    cost: str = "ar"
+    threshold: float = 0.2
+    exclusion_zone: int | None = None
+    stride: int = 1
+
+    def validate(self) -> "WindowConfig":
+        check_positive_int(self.window_size, "window_size", minimum=8)
+        check_positive_int(self.stride, "stride")
+        from repro.competitors.costs import COST_FUNCTIONS
+
+        if self.cost not in COST_FUNCTIONS:
+            raise ConfigurationError(
+                f"unknown cost {self.cost!r}; expected one of {sorted(COST_FUNCTIONS)}"
+            )
+        if self.exclusion_zone is not None and int(self.exclusion_zone) < 0:
+            raise ConfigurationError("exclusion_zone must be non-negative")
+        return self
+
+
+@dataclass(frozen=True)
+class BOCDConfig(CompetitorConfig):
+    """Configuration of Bayesian Online Change Point Detection."""
+
+    detector: ClassVar[str] = "bocd"
+    competitor: ClassVar[str] = "BOCD"
+
+    hazard: float = 1.0 / 250.0
+    run_length_drop: int = 150
+    max_run_length: int = 2_000
+    mu0: float = 0.0
+    kappa0: float = 1.0
+    alpha0: float = 1.0
+    beta0: float = 1.0
+
+    def validate(self) -> "BOCDConfig":
+        if not 0.0 < self.hazard < 1.0:
+            raise ConfigurationError("hazard must lie in (0, 1)")
+        check_positive_int(self.run_length_drop, "run_length_drop")
+        check_positive_int(self.max_run_length, "max_run_length", minimum=10)
+        return self
+
+
+@dataclass(frozen=True)
+class ChangeFinderConfig(CompetitorConfig):
+    """Configuration of ChangeFinder (two-stage SDAR outlier scoring)."""
+
+    detector: ClassVar[str] = "change-finder"
+    competitor: ClassVar[str] = "ChangeFinder"
+
+    order: int = 5
+    discount: float = 0.01
+    smoothing: int = 7
+    threshold: float = 5.0
+    exclusion_zone: int = 200
+
+    def validate(self) -> "ChangeFinderConfig":
+        check_positive_int(self.order, "order")
+        if not 0.0 < self.discount < 1.0:
+            raise ConfigurationError("discount must lie in (0, 1)")
+        check_positive_int(self.smoothing, "smoothing")
+        if int(self.exclusion_zone) < 0:
+            raise ConfigurationError("exclusion_zone must be non-negative")
+        return self
+
+
+@dataclass(frozen=True)
+class NEWMAConfig(CompetitorConfig):
+    """Configuration of NEWMA (no-prior-knowledge EWMA with random features)."""
+
+    detector: ClassVar[str] = "newma"
+    competitor: ClassVar[str] = "NEWMA"
+
+    fast_forgetting: float = 0.05
+    slow_forgetting: float = 0.01
+    embedding_size: int = 20
+    n_features: int = 50
+    quantile: float = 1.0
+    threshold_window: int = 500
+    exclusion_zone: int = 200
+    random_state: int | None = 42
+
+    def validate(self) -> "NEWMAConfig":
+        if not 0.0 < self.slow_forgetting < self.fast_forgetting <= 1.0:
+            raise ConfigurationError("require 0 < slow_forgetting < fast_forgetting <= 1")
+        check_positive_int(self.embedding_size, "embedding_size")
+        check_positive_int(self.n_features, "n_features")
+        check_probability(self.quantile, "quantile")
+        check_positive_int(self.threshold_window, "threshold_window")
+        if int(self.exclusion_zone) < 0:
+            raise ConfigurationError("exclusion_zone must be non-negative")
+        return self
+
+
+@dataclass(frozen=True)
+class ADWINConfig(CompetitorConfig):
+    """Configuration of ADWIN (adaptive windowing drift detection)."""
+
+    detector: ClassVar[str] = "adwin"
+    competitor: ClassVar[str] = "ADWIN"
+
+    delta: float = 0.01
+    max_buckets_per_level: int = 5
+    check_interval: int = 32
+    min_window: int = 300
+
+    def validate(self) -> "ADWINConfig":
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigurationError("delta must lie in (0, 1)")
+        check_positive_int(self.max_buckets_per_level, "max_buckets_per_level", minimum=2)
+        check_positive_int(self.check_interval, "check_interval")
+        check_positive_int(self.min_window, "min_window", minimum=4)
+        return self
+
+
+@dataclass(frozen=True)
+class DDMConfig(CompetitorConfig):
+    """Configuration of DDM (drift detection over a binarised error stream)."""
+
+    detector: ClassVar[str] = "ddm"
+    competitor: ClassVar[str] = "DDM"
+
+    warning_factor: float = 2.0
+    drift_factor: float = 20.0
+    min_observations: int = 30
+    predictor_order: int = 10
+
+    def validate(self) -> "DDMConfig":
+        if self.drift_factor <= self.warning_factor:
+            raise ConfigurationError("drift_factor must exceed warning_factor")
+        check_positive_int(self.min_observations, "min_observations")
+        check_positive_int(self.predictor_order, "predictor_order")
+        return self
+
+
+@dataclass(frozen=True)
+class HDDMConfig(CompetitorConfig):
+    """Configuration of HDDM-A (Hoeffding-bound drift detection, averages)."""
+
+    detector: ClassVar[str] = "hddm"
+    competitor: ClassVar[str] = "HDDM"
+
+    drift_confidence: float = 1e-6
+    warning_confidence: float = 1e-3
+    predictor_order: int = 10
+    value_range: float = 6.0
+
+    def validate(self) -> "HDDMConfig":
+        if not 0.0 < self.drift_confidence < self.warning_confidence < 1.0:
+            raise ConfigurationError("require 0 < drift_confidence < warning_confidence < 1")
+        check_positive_int(self.predictor_order, "predictor_order")
+        return self
+
+
+@dataclass(frozen=True)
+class HDDMWConfig(HDDMConfig):
+    """Configuration of HDDM-W (the EWMA-weighted variant)."""
+
+    detector: ClassVar[str] = "hddm-w"
+    competitor: ClassVar[str] = "HDDM-W"
+
+    lambda_: float = 0.05
+
+    def validate(self) -> "HDDMWConfig":
+        super().validate()
+        if not 0.0 < self.lambda_ < 1.0:
+            raise ConfigurationError("lambda_ must lie in (0, 1)")
+        return self
+
+
+@dataclass(frozen=True)
+class PageHinkleyConfig(CompetitorConfig):
+    """Configuration of the Page-Hinkley cumulative-deviation test."""
+
+    detector: ClassVar[str] = "page-hinkley"
+    competitor: ClassVar[str] = "PageHinkley"
+
+    delta: float = 0.005
+    threshold: float = 50.0
+    min_observations: int = 30
+    two_sided: bool = True
+
+    def validate(self) -> "PageHinkleyConfig":
+        if self.threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+        check_positive_int(self.min_observations, "min_observations")
+        return self

@@ -1,0 +1,124 @@
+"""Typed events emitted by the unified detector API.
+
+Every detector behind :mod:`repro.api` reports its lifecycle through three
+event types instead of (or alongside) the historical ``int | None``
+return-code path:
+
+* :class:`WarmupEvent` — the detector finished warming up (for ClaSS: the
+  subsequence width has been learned and the streaming k-NN is live) and can
+  report change points from here on,
+* :class:`ScoreEvent` — a periodic observation of the detector's current
+  detection score (the best split score of the latest ClaSP, or a
+  competitor's ``last_score``),
+* :class:`ChangePointEvent` — one confirmed change point, together with the
+  position at which it was detected and, where the method provides them, the
+  classification score and significance p-value.
+
+Events are frozen dataclasses with a stable ``kind`` discriminator and a
+lossless JSON mapping (:meth:`SegmenterEvent.to_dict` /
+:func:`event_from_dict`), so an event stream can be shipped across process
+boundaries, written as JSON lines by the CLI, or replayed for audit.
+
+The stream-engine's record-level :class:`repro.streamengine.records.ChangePointEvent`
+predates this module and stays unchanged; the two types serve different
+layers (engine records vs. public API events).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SegmenterEvent:
+    """Base class of all detector events.
+
+    Attributes
+    ----------
+    at:
+        Absolute stream position (number of observations seen) at which the
+        event was emitted.
+    """
+
+    #: Discriminator used by the JSON mapping; unique per event class.
+    kind: ClassVar[str] = "event"
+
+    at: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-safe dictionary, including the ``kind`` discriminator."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+
+@dataclass(frozen=True)
+class WarmupEvent(SegmenterEvent):
+    """The detector finished warming up and can report change points.
+
+    ``subsequence_width`` carries the learned width for ClaSS-family
+    detectors and stays None for methods without a width concept.
+    """
+
+    kind: ClassVar[str] = "warmup"
+
+    subsequence_width: int | None = None
+
+
+@dataclass(frozen=True)
+class ScoreEvent(SegmenterEvent):
+    """Periodic observation of the detector's current detection score."""
+
+    kind: ClassVar[str] = "score"
+
+    score: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChangePointEvent(SegmenterEvent):
+    """One confirmed change point.
+
+    ``at`` is the detection position; ``change_point`` the (earlier) stream
+    position of the state change itself.  ``score`` and ``p_value`` are None
+    for methods that do not produce them.
+    """
+
+    kind: ClassVar[str] = "change_point"
+
+    change_point: int = 0
+    score: float | None = None
+    p_value: float | None = None
+
+    @property
+    def detection_delay(self) -> int:
+        """Observations that elapsed between the change point and its report."""
+        return int(self.at - self.change_point)
+
+
+#: Event classes by their ``kind`` discriminator (the JSON dispatch table).
+EVENT_KINDS: dict[str, type[SegmenterEvent]] = {
+    cls.kind: cls for cls in (WarmupEvent, ScoreEvent, ChangePointEvent)
+}
+
+
+def event_from_dict(payload: dict[str, Any]) -> SegmenterEvent:
+    """Rebuild a typed event from its :meth:`SegmenterEvent.to_dict` mapping."""
+    try:
+        kind = payload["kind"]
+    except (TypeError, KeyError) as error:
+        raise ConfigurationError("event payload must be a mapping with a 'kind' entry") from error
+    if kind not in EVENT_KINDS:
+        raise ConfigurationError(
+            f"unknown event kind {kind!r}; expected one of {sorted(EVENT_KINDS)}"
+        )
+    cls = EVENT_KINDS[kind]
+    names = {field.name for field in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names - {"kind"})
+    if unknown:
+        raise ConfigurationError(f"unknown {kind} event fields: {unknown}")
+    return cls(**{name: value for name, value in payload.items() if name in names})

@@ -1,0 +1,94 @@
+"""The unified detector protocol every segmenter implements.
+
+:class:`Segmenter` is the structural contract shared by ClaSS,
+MultivariateClaSS, the batch-ClaSP adapter and all competitor wrappers.  It
+extends the minimal streaming surface the evaluation runner always relied on
+(``update`` / ``process`` / ``change_points``) with the three capabilities a
+long-lived stream deployment needs:
+
+* ``events()`` — the typed event history (:mod:`repro.api.events`)
+  alongside the historical return-code path,
+* ``finalize()`` — flush end-of-stream state (e.g. a ClaSS stream shorter
+  than its warm-up window, or the batch-ClaSP adapter's deferred
+  segmentation),
+* ``save_state()`` / ``load_state()`` — durable checkpointing with a
+  bit-identical resume guarantee (see :mod:`repro.api.checkpoint`).
+
+The protocol is ``runtime_checkable``, so ``isinstance(obj, Segmenter)``
+verifies that an object offers the full surface (method presence, not
+signatures — the usual protocol caveat).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api.events import SegmenterEvent
+
+
+@runtime_checkable
+class Segmenter(Protocol):
+    """Structural type of every detector constructed by :func:`repro.api.create`."""
+
+    @property
+    def n_seen(self) -> int:
+        """Total number of stream observations processed."""
+        ...
+
+    @property
+    def change_points(self) -> np.ndarray:
+        """Absolute time points of every reported change point so far."""
+        ...
+
+    def update(self, value) -> int | None:
+        """Ingest one observation; return a change point if one is reported."""
+        ...
+
+    def process(self, values: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """Stream a finite batch of values through the chunked ingestion path."""
+        ...
+
+    def events(self) -> list[SegmenterEvent]:
+        """Typed event history (warm-up and change points), ordered by position."""
+        ...
+
+    def finalize(self) -> np.ndarray:
+        """Flush end-of-stream state; return all change points."""
+        ...
+
+    def save_state(self) -> dict:
+        """Serialise the full runtime state as a picklable checkpoint payload."""
+        ...
+
+    def load_state(self, payload: dict) -> None:
+        """Restore a :meth:`save_state` payload; resuming is bit-identical."""
+        ...
+
+
+def ensure_segmenter(obj, context: str = "detector") -> "Segmenter":
+    """Assert that ``obj`` satisfies the protocol; return it for chaining."""
+    if not isinstance(obj, Segmenter):
+        missing = [
+            name
+            for name in (
+                "update",
+                "process",
+                "events",
+                "finalize",
+                "save_state",
+                "load_state",
+                "change_points",
+                "n_seen",
+            )
+            if not hasattr(obj, name)
+        ]
+        raise TypeError(f"{context} {type(obj).__name__!r} misses protocol members: {missing}")
+    return obj
+
+
+def iter_chunks(values: np.ndarray, chunk_size: int) -> Iterable[np.ndarray]:
+    """Cut an array into contiguous runs of at most ``chunk_size`` rows."""
+    for start in range(0, values.shape[0], chunk_size):
+        yield values[start : start + chunk_size]

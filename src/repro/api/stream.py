@@ -1,0 +1,81 @@
+"""Event-stream driver: feed a detector and yield typed events as they happen.
+
+:func:`stream` is the generator counterpart of the historical
+``update() -> int | None`` return-code path: it pushes a finite array of
+observations through any :class:`~repro.api.protocol.Segmenter` in chunks
+and yields :mod:`repro.api.events` objects the moment the detector's state
+produces them — a :class:`~repro.api.events.WarmupEvent` when the detector
+becomes ready, one :class:`~repro.api.events.ChangePointEvent` per confirmed
+detection, and (opt-in) a :class:`~repro.api.events.ScoreEvent` per chunk
+with the current detection score.
+
+The generator only *observes* the detector through the protocol's
+``events()`` history, so chunked delivery is behaviour-identical to the
+detector's own ingestion contract and the caller keeps full access to the
+live segmenter between events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.api.events import ScoreEvent, SegmenterEvent
+from repro.api.protocol import iter_chunks
+from repro.utils.exceptions import ConfigurationError
+
+#: Default observations per ``process`` call (matches the ingestion default).
+DEFAULT_STREAM_CHUNK_SIZE = 1_024
+
+
+def stream(
+    segmenter,
+    values: np.ndarray,
+    chunk_size: int | None = None,
+    include_scores: bool = False,
+    finalize: bool = False,
+) -> Iterator[SegmenterEvent]:
+    """Feed ``values`` to ``segmenter`` chunk-wise; yield typed events in order.
+
+    Parameters
+    ----------
+    segmenter:
+        Any detector implementing the :class:`~repro.api.protocol.Segmenter`
+        protocol (the registry only builds such detectors).
+    values:
+        1-d array of observations, or a ``(n, channels)`` array for
+        multivariate detectors.
+    chunk_size:
+        Observations handed to ``process`` per call (default 1024).  Events
+        are yielded after the chunk containing them — detection results are
+        identical for every chunk size.
+    include_scores:
+        Also yield one :class:`~repro.api.events.ScoreEvent` after every
+        chunk once the detector exposes a current score.
+    finalize:
+        Call ``finalize()`` after the last chunk and yield any events it
+        produces (e.g. the batch-ClaSP adapter segments only on finalize).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim not in (1, 2):
+        raise ConfigurationError(f"stream expects a 1-d or 2-d array, got shape {values.shape}")
+    if chunk_size is None:
+        chunk_size = DEFAULT_STREAM_CHUNK_SIZE
+    elif chunk_size < 1:
+        raise ConfigurationError("chunk_size must be a positive integer")
+
+    n_emitted = len(segmenter.events())
+    for chunk in iter_chunks(values, chunk_size):
+        segmenter.process(chunk)
+        history = segmenter.events()
+        yield from history[n_emitted:]
+        n_emitted = len(history)
+        if include_scores:
+            score = getattr(segmenter, "current_score", None)
+            if score is not None:
+                yield ScoreEvent(at=int(segmenter.n_seen), score=float(score))
+    if finalize:
+        segmenter.finalize()
+        history = segmenter.events()
+        yield from history[n_emitted:]

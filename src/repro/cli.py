@@ -3,10 +3,16 @@
 Three sub-commands cover the common workflows without writing Python:
 
 * ``segment``   — stream a CSV/NPZ file (or a generated demo stream) through
-  ClaSS and print the detected change points.
+  ClaSS and print the detected change points, as human-readable text or as
+  one JSON event per line; ``--checkpoint`` / ``--resume`` persist and
+  restore the full segmenter state between invocations.
 * ``evaluate``  — run ClaSS and selected competitors over a simulated
   collection and print the Covering summary and ranking.
 * ``datasets``  — list the available dataset collections (Table 1).
+
+Detectors are constructed exclusively through the :mod:`repro.api` registry:
+the ``segment`` flags populate a :class:`~repro.api.ClaSSConfig`, and a
+resumed checkpoint rebuilds whatever detector it was written from.
 
 Examples
 --------
@@ -14,7 +20,9 @@ Examples
 
     python -m repro.cli datasets
     python -m repro.cli segment --demo --window-size 2000
-    python -m repro.cli segment recording.csv --scoring-interval 5
+    python -m repro.cli segment recording.csv --scoring-interval 5 --output json
+    python -m repro.cli segment part1.csv --checkpoint state.ckpt
+    python -m repro.cli segment part2.csv --resume state.ckpt
     python -m repro.cli evaluate --collection TSSB --n-series 4 --methods ClaSS,Window,DDM
     python -m repro.cli evaluate --collection TSSB --n-series 8 --workers 4
 """
@@ -22,12 +30,21 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.class_segmenter import ClaSS, capped_window_size
+from repro.api import (
+    ChangePointEvent,
+    ClaSSConfig,
+    create,
+    load_checkpoint,
+    save_checkpoint,
+    stream,
+)
+from repro.core.class_segmenter import capped_window_size
 from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS
 from repro.datasets import COLLECTIONS, SegmentSpec, compose_stream, load_collection
 from repro.datasets.loaders import load_dataset_csv, load_dataset_npz
@@ -73,43 +90,78 @@ def cmd_datasets(_: argparse.Namespace) -> int:
 
 
 def cmd_segment(args: argparse.Namespace) -> int:
-    """Stream one series through ClaSS and print the detected change points."""
+    """Stream one series through a registry-built detector; print its events."""
     if args.chunk_size < 1:
         print("error: --chunk-size must be a positive integer", file=sys.stderr)
         return 2
+    emit_json = args.output == "json"
+    # in JSON mode stdout carries events only; progress goes to stderr
+    info = sys.stderr if emit_json else sys.stdout
     if args.demo or args.input is None:
         dataset = _demo_dataset()
         values, annotation = dataset.values, dataset.change_points
-        print(f"using built-in demo stream ({values.shape[0]} observations)")
+        print(f"using built-in demo stream ({values.shape[0]} observations)", file=info)
     else:
         values, annotation = _load_values(args.input)
-        print(f"loaded {values.shape[0]} observations from {args.input}")
+        print(f"loaded {values.shape[0]} observations from {args.input}", file=info)
 
-    segmenter = ClaSS(
-        window_size=capped_window_size(args.window_size, values.shape[0]),
-        subsequence_width=args.subsequence_width,
-        scoring_interval=args.scoring_interval,
-        significance_level=args.significance_level,
-        cross_val_implementation=args.cross_val,
-    )
+    if args.resume:
+        try:
+            segmenter = load_checkpoint(args.resume)
+        except Exception as error:  # surface any load failure as a CLI error
+            print(f"error: cannot resume from {args.resume}: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"resumed from {args.resume} ({segmenter.n_seen} observations already seen)",
+            file=info,
+        )
+    else:
+        config = ClaSSConfig(
+            window_size=capped_window_size(args.window_size, values.shape[0]),
+            subsequence_width=args.subsequence_width,
+            scoring_interval=args.scoring_interval,
+            significance_level=args.significance_level,
+            cross_val_implementation=args.cross_val,
+        )
+        segmenter = create("class", config)
+
     # chunked ingestion (behaviour-identical to point-wise, much faster);
-    # change points are printed as soon as the chunk containing them is done
-    reported = 0
-    for start in range(0, values.shape[0], args.chunk_size):
-        segmenter.process(values[start : start + args.chunk_size], chunk_size=args.chunk_size)
-        for report in segmenter.reports[reported:]:
-            print(
-                f"change point at t={report.change_point} "
-                f"(reported at t={report.detected_at})"
-            )
-            reported += 1
-    segmenter.finalise()
+    # events are emitted as soon as the chunk containing them is done.  With
+    # --checkpoint the stream is left un-finalised so it can be resumed.
+    finalize = args.checkpoint is None
+    for event in stream(segmenter, values, chunk_size=args.chunk_size, finalize=finalize):
+        if emit_json:
+            print(json.dumps(event.to_dict()))
+        elif isinstance(event, ChangePointEvent):
+            print(f"change point at t={event.change_point} (reported at t={event.at})")
 
-    print(f"learned subsequence width: {segmenter.subsequence_width_}")
-    print(f"change points: {segmenter.change_points.tolist()}")
-    if annotation is not None and annotation.size:
-        score = covering_score(annotation, segmenter.change_points, values.shape[0])
-        print(f"covering vs annotation: {score:.3f}")
+    if args.checkpoint:
+        save_checkpoint(segmenter, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}", file=info)
+
+    width = getattr(segmenter, "subsequence_width_", None)
+    change_points = segmenter.change_points
+    score = None
+    # on a resumed run the change points are absolute positions over the whole
+    # (multi-invocation) stream while the annotation covers only this file, so
+    # a covering score would be silently wrong — skip it
+    if annotation is not None and annotation.size and not args.resume:
+        score = covering_score(annotation, change_points, values.shape[0])
+    if emit_json:
+        summary = {
+            "kind": "summary",
+            "n_seen": int(segmenter.n_seen),
+            "subsequence_width": width,
+            "change_points": change_points.tolist(),
+        }
+        if score is not None:
+            summary["covering"] = round(score, 6)
+        print(json.dumps(summary))
+    else:
+        print(f"learned subsequence width: {width}")
+        print(f"change points: {change_points.tolist()}")
+        if score is not None:
+            print(f"covering vs annotation: {score:.3f}")
     return 0
 
 
@@ -156,7 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     datasets_parser.set_defaults(handler=cmd_datasets)
 
     segment_parser = subparsers.add_parser("segment", help="segment a stream with ClaSS")
-    segment_parser.add_argument("input", nargs="?", help="CSV/NPZ/plain-text file with one value per row")
+    segment_parser.add_argument(
+        "input", nargs="?", help="CSV/NPZ/plain-text file with one value per row"
+    )
     segment_parser.add_argument("--demo", action="store_true", help="use the built-in demo stream")
     segment_parser.add_argument("--window-size", type=int, default=10_000)
     segment_parser.add_argument("--subsequence-width", type=int, default=None)
@@ -174,6 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(CROSS_VAL_IMPLEMENTATIONS),
         help="ClaSP scoring implementation (change points are identical for all; "
         "'fast' consumes the incrementally cached thresholds)",
+    )
+    segment_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write the full segmenter state to PATH after streaming (the stream is "
+        "left un-finalised so a later --resume continues bit-identically)",
+    )
+    segment_parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="restore the segmenter from a --checkpoint file instead of constructing "
+        "a new one (detector construction flags are ignored)",
+    )
+    segment_parser.add_argument(
+        "--output",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text, or one JSON event object per line "
+        "(warmup / change_point events plus a final summary)",
     )
     segment_parser.set_defaults(handler=cmd_segment)
 

@@ -40,6 +40,7 @@ class StreamSegmenter(abc.ABC):
         self._n_seen = 0
         self._change_points: list[int] = []
         self._detection_times: list[int] = []
+        self._detection_scores: list[float] = []
         self.last_score: float = 0.0
 
     # ------------------------------------------------------------------ #
@@ -115,7 +116,81 @@ class StreamSegmenter(abc.ABC):
         self._n_seen = 0
         self._change_points = []
         self._detection_times = []
+        self._detection_scores = []
         self.last_score = 0.0
+
+    def finalize(self) -> np.ndarray:
+        """Flush end-of-stream state (competitors have none); return all CPs."""
+        return self.change_points
+
+    #: British-spelling alias, matching ClaSS.
+    finalise = finalize
+
+    @property
+    def warmup_end(self) -> int | None:
+        """Competitors are ready from the first observation on (None before it)."""
+        return 0 if self._n_seen > 0 else None
+
+    @property
+    def current_score(self) -> float | None:
+        """The method's most recent detection score (``last_score``)."""
+        return float(self.last_score) if self._n_seen > 0 else None
+
+    def events(self) -> list:
+        """Typed event history: readiness plus one event per recorded detection.
+
+        Ordered by stream position and append-only over time, which is the
+        contract :func:`repro.api.stream` relies on.  Scores are the
+        method's ``last_score`` at detection time; competitors have no
+        p-value concept, so ``p_value`` stays None.
+        """
+        from repro.api.events import ChangePointEvent, WarmupEvent
+
+        events: list = []
+        warmup = self.warmup_end
+        if warmup is not None:
+            events.append(WarmupEvent(at=int(warmup)))
+        for index, (change_point, detected_at) in enumerate(
+            zip(self._change_points, self._detection_times)
+        ):
+            score = (
+                self._detection_scores[index] if index < len(self._detection_scores) else None
+            )
+            events.append(
+                ChangePointEvent(
+                    at=int(detected_at), change_point=int(change_point), score=score
+                )
+            )
+        return events
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def save_state(self) -> dict:
+        """Serialise the competitor's full runtime state.
+
+        Every wrapper keeps its state in plain Python/numpy attributes (ring
+        deques, bucket lists, model coefficients, an embedded
+        :class:`~repro.core.streaming_knn.StreamingKNN` for FLOSS), so a deep
+        copy of ``__dict__`` is a complete, picklable checkpoint and
+        restoring it resumes bit-identically.
+        """
+        import copy
+
+        from repro.api.checkpoint import state_payload
+
+        return state_payload(self, copy.deepcopy(self.__dict__))
+
+    def load_state(self, payload: dict) -> None:
+        """Restore a :meth:`save_state` payload into this instance."""
+        import copy
+
+        from repro.api.checkpoint import checked_state
+
+        state = checked_state(self, payload)
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state))
 
     # ------------------------------------------------------------------ #
 
@@ -130,6 +205,7 @@ class StreamSegmenter(abc.ABC):
             return None
         self._change_points.append(change_point)
         self._detection_times.append(self._n_seen)
+        self._detection_scores.append(float(self.last_score))
         return change_point
 
     @abc.abstractmethod

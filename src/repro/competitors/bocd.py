@@ -106,7 +106,10 @@ class BOCD(StreamSegmenter):
         new_kappa = np.concatenate(([kappa0], self._kappa + 1.0))
         new_alpha = np.concatenate(([alpha0], self._alpha + 0.5))
         new_beta = np.concatenate(
-            ([beta0], self._beta + 0.5 * self._kappa * (value - self._mu) ** 2 / (self._kappa + 1.0))
+            (
+                [beta0],
+                self._beta + 0.5 * self._kappa * (value - self._mu) ** 2 / (self._kappa + 1.0),
+            )
         )
 
         if new_probs.shape[0] > self.max_run_length:

@@ -101,7 +101,9 @@ class FLOSS(StreamSegmenter):
     ) -> None:
         super().__init__()
         self.window_size = check_positive_int(window_size, "window_size", minimum=20)
-        self.subsequence_width = check_positive_int(subsequence_width, "subsequence_width", minimum=3)
+        self.subsequence_width = check_positive_int(
+            subsequence_width, "subsequence_width", minimum=3
+        )
         self.threshold = float(threshold)
         self.stride = check_positive_int(stride, "stride")
         self.exclusion_zone = (

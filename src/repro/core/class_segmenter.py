@@ -38,7 +38,7 @@ Typical use::
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -175,42 +175,67 @@ class ClaSS:
         knn_mode: str = "streaming",
         random_state: int | None = 2357,
     ) -> None:
-        self.window_size = check_positive_int(window_size, "window_size", minimum=20)
-        if subsequence_width is not None:
-            subsequence_width = check_positive_int(subsequence_width, "subsequence_width", minimum=3)
-            if subsequence_width > self.window_size // 4:
-                raise ConfigurationError(
-                    "subsequence_width must be at most a quarter of the window size"
-                )
-        self.subsequence_width = subsequence_width
-        self.k_neighbours = check_positive_int(k_neighbours, "k_neighbours")
-        self.score = score
-        self.similarity = similarity
-        self.wss_method = wss_method
-        self.scoring_interval = check_positive_int(scoring_interval, "scoring_interval")
-        self.excl_factor = check_positive_int(excl_factor, "excl_factor")
-        self.score_threshold = float(score_threshold)
-        if not 0.0 <= self.score_threshold <= 1.0:
-            raise ConfigurationError("score_threshold must lie in [0, 1]")
-        self.relearn_width = bool(relearn_width)
-        if cross_val_implementation not in CROSS_VAL_IMPLEMENTATIONS:
-            raise ConfigurationError(
-                f"unknown cross_val_implementation {cross_val_implementation!r}"
+        from repro.api.config import ClaSSConfig
+
+        self._configure(
+            ClaSSConfig(
+                window_size=window_size,
+                subsequence_width=subsequence_width,
+                k_neighbours=k_neighbours,
+                score=score,
+                similarity=similarity,
+                significance_level=significance_level,
+                sample_size=sample_size,
+                wss_method=wss_method,
+                scoring_interval=scoring_interval,
+                excl_factor=excl_factor,
+                score_threshold=score_threshold,
+                relearn_width=relearn_width,
+                cross_val_implementation=cross_val_implementation,
+                knn_mode=knn_mode,
+                random_state=random_state,
             )
-        self.cross_val_implementation = cross_val_implementation
-        self.knn_mode = knn_mode
+        )
+        self._reset_runtime_state()
+
+    @classmethod
+    def from_config(cls, config) -> "ClaSS":
+        """Build a ClaSS instance from a :class:`repro.api.ClaSSConfig`."""
+        return cls(**config.as_kwargs())
+
+    def _configure(self, config) -> None:
+        """Adopt a validated config (all parameter validation lives there)."""
+        config = config.validate()
+        self.config = config
+        self.window_size = int(config.window_size)
+        self.subsequence_width = (
+            None if config.subsequence_width is None else int(config.subsequence_width)
+        )
+        self.k_neighbours = int(config.k_neighbours)
+        self.score = config.score
+        self.similarity = config.similarity
+        self.wss_method = config.wss_method
+        self.scoring_interval = int(config.scoring_interval)
+        self.excl_factor = int(config.excl_factor)
+        self.score_threshold = float(config.score_threshold)
+        self.relearn_width = bool(config.relearn_width)
+        self.cross_val_implementation = config.cross_val_implementation
+        self.knn_mode = config.knn_mode
         self.significance = ChangePointSignificanceTest(
-            significance_level=significance_level,
-            sample_size=sample_size,
-            random_state=random_state,
+            significance_level=config.significance_level,
+            sample_size=config.sample_size,
+            random_state=config.random_state,
         )
 
+    def _reset_runtime_state(self) -> None:
+        """(Re-)initialise all mutable streaming state for a fresh stream."""
         self._prefix: list[float] = []
         self._knn: StreamingKNN | None = None
-        self._width: int | None = subsequence_width
+        self._width: int | None = self.subsequence_width
         self._n_seen = 0
         self._state = SegmentationState()
         self._last_profile: ClaSPProfile | None = None
+        self._warmup_end: int | None = None
 
     # ------------------------------------------------------------------ #
     # properties
@@ -349,6 +374,105 @@ class ClaSS:
         self._maybe_score(force=True)
         return self._last_profile
 
+    def finalize(self) -> np.ndarray:
+        """Protocol spelling of :meth:`finalise`."""
+        return self.finalise()
+
+    @property
+    def warmup_end(self) -> int | None:
+        """Stream position at which the k-NN went live (None while warming up)."""
+        return self._warmup_end
+
+    @property
+    def current_score(self) -> float | None:
+        """Best split score of the most recent ClaSP (None before the first scoring)."""
+        profile = self._last_profile
+        if profile is None or profile.is_empty:
+            return None
+        return float(profile.global_maximum()[1])
+
+    def events(self) -> list:
+        """Typed event history: warm-up completion plus one event per report.
+
+        Events are ordered by stream position and the list is append-only
+        over time, which is what lets :func:`repro.api.stream` emit exactly
+        the new events after each chunk.
+        """
+        from repro.api.events import ChangePointEvent, WarmupEvent
+
+        events: list = []
+        if self._warmup_end is not None:
+            width = None if self._width is None else int(self._width)
+            events.append(WarmupEvent(at=int(self._warmup_end), subsequence_width=width))
+        for report in self._state.reports:
+            events.append(
+                ChangePointEvent(
+                    at=int(report.detected_at),
+                    change_point=int(report.change_point),
+                    score=float(report.score),
+                    p_value=float(report.p_value),
+                )
+            )
+        return events
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def save_state(self) -> dict:
+        """Serialise the full streaming state as a picklable checkpoint payload.
+
+        The payload embeds the config plus every piece of mutable state: the
+        warm-up prefix, the learned width, the report history, the
+        significance-test RNG, and the streaming k-NN's complete ring-buffer
+        state (:meth:`~repro.core.streaming_knn.StreamingKNN.state_dict`).
+        Restoring it (:meth:`load_state`) and finishing the stream is
+        bit-identical to never having checkpointed.
+        """
+        from repro.api.checkpoint import state_payload
+
+        state = {
+            "n_seen": self._n_seen,
+            "prefix": list(self._prefix),
+            "width": None if self._width is None else int(self._width),
+            "warmup_end": self._warmup_end,
+            "last_change_point_offset": self._state.last_change_point_offset,
+            "reports": [asdict(report) for report in self._state.reports],
+            "rng_state": self.significance.rng_state(),
+            "knn": None if self._knn is None else self._knn.state_dict(),
+        }
+        return state_payload(self, state, config=self.config.to_dict())
+
+    def load_state(self, payload: dict) -> None:
+        """Restore a :meth:`save_state` payload (the config travels with it)."""
+        from repro.api.checkpoint import checked_state
+        from repro.api.config import ClaSSConfig
+
+        # validate everything BEFORE mutating: a rejected payload must leave
+        # the live segmenter untouched
+        state = checked_state(self, payload)
+        config = ClaSSConfig.from_dict(payload.get("config", {})).validate()
+        self._configure(config)
+        self._reset_runtime_state()
+        self._prefix = list(state["prefix"])
+        self._width = state["width"]
+        self._n_seen = int(state["n_seen"])
+        self._warmup_end = state["warmup_end"]
+        self._state = SegmentationState(
+            last_change_point_offset=int(state["last_change_point_offset"]),
+            reports=[ChangePointReport(**report) for report in state["reports"]],
+        )
+        self.significance.set_rng_state(state["rng_state"])
+        if state["knn"] is not None:
+            self._knn = StreamingKNN(
+                window_size=self.window_size,
+                subsequence_width=int(self._width),
+                k_neighbours=self.k_neighbours,
+                similarity=self.similarity,
+                mode=self.knn_mode,
+            )
+            self._knn.load_state_dict(state["knn"])
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
@@ -375,6 +499,7 @@ class ClaSS:
         )
         self._ingest_many(prefix)
         self._prefix = []
+        self._warmup_end = self._n_seen
 
     def _ingest_many(self, values: np.ndarray) -> None:
         """Feed a chunk to the k-NN and keep the last-CP offset aligned."""

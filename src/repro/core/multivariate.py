@@ -20,7 +20,8 @@ per-point cost is the sum of the per-channel costs, i.e. still linear in the
 sliding window size.  Each per-channel segmenter defaults to the fast
 incremental scoring path (cached prediction thresholds consumed zero-copy by
 the fused score kernel); pass ``cross_val_implementation`` through
-``class_kwargs`` to pin a specific oracle implementation per channel.  Like the univariate ClaSS, ingestion is chunked:
+``class_kwargs`` to pin a specific oracle implementation per channel.  Like
+the univariate ClaSS, ingestion is chunked:
 :meth:`MultivariateClaSS.process` fans each chunk out column-wise to the
 per-channel segmenters' batch paths and replays the fusion decisions in
 detection-time order, producing exactly the row-at-a-time results at batch
@@ -36,7 +37,7 @@ sequential one.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -99,26 +100,39 @@ class MultivariateClaSS:
         channel_weights: list[float] | None = None,
         **class_kwargs,
     ) -> None:
-        if n_channels < 1:
-            raise ConfigurationError("n_channels must be at least 1")
-        if fusion_tolerance < 0:
-            raise ConfigurationError("fusion_tolerance must be non-negative")
-        self.n_channels = int(n_channels)
-        self.fusion_tolerance = int(fusion_tolerance)
-        if channel_weights is None:
-            channel_weights = [1.0] * self.n_channels
-        if len(channel_weights) != self.n_channels:
-            raise ConfigurationError("channel_weights must have one entry per channel")
-        if any(w < 0 for w in channel_weights):
-            raise ConfigurationError("channel_weights must be non-negative")
-        self.channel_weights = [float(w) for w in channel_weights]
-        active_weight = sum(w for w in self.channel_weights if w > 0)
-        self.min_votes = float(min_votes)
-        if not 0 < self.min_votes <= max(active_weight, 1e-12):
-            raise ConfigurationError(
-                f"min_votes={min_votes} cannot be satisfied by the active channel weights"
+        from repro.api.config import ClaSSConfig, MultivariateClaSSConfig
+
+        self._configure(
+            MultivariateClaSSConfig(
+                n_channels=n_channels,
+                min_votes=min_votes,
+                fusion_tolerance=fusion_tolerance,
+                channel_weights=None if channel_weights is None else tuple(channel_weights),
+                class_config=ClaSSConfig(**class_kwargs),
             )
-        self.segmenters = [ClaSS(**class_kwargs) for _ in range(self.n_channels)]
+        )
+
+    @classmethod
+    def from_config(cls, config) -> "MultivariateClaSS":
+        """Build an ensemble from a :class:`repro.api.MultivariateClaSSConfig`."""
+        instance = cls.__new__(cls)
+        instance._configure(config)
+        return instance
+
+    def _configure(self, config) -> None:
+        """Adopt a validated config and build fresh per-channel segmenters."""
+        config = config.validate()
+        self.config = config
+        self.n_channels = int(config.n_channels)
+        self.fusion_tolerance = int(config.fusion_tolerance)
+        weights = config.channel_weights
+        if weights is None:
+            weights = (1.0,) * self.n_channels
+        self.channel_weights = [float(w) for w in weights]
+        self.min_votes = float(config.min_votes)
+        self.segmenters = [
+            ClaSS(**config.class_config.as_kwargs()) for _ in range(self.n_channels)
+        ]
         self._n_seen = 0
         self._pending: list[ChannelReport] = []
         self._fused: list[FusedChangePoint] = []
@@ -144,6 +158,79 @@ class MultivariateClaSS:
     def channel_change_points(self) -> list[np.ndarray]:
         """Raw (unfused) change points of every channel."""
         return [segmenter.change_points for segmenter in self.segmenters]
+
+    @property
+    def warmup_end(self) -> int | None:
+        """Position at which every active channel finished warming up (or None)."""
+        ends = [
+            segmenter.warmup_end
+            for segmenter, weight in zip(self.segmenters, self.channel_weights)
+            if weight > 0
+        ]
+        if not ends or any(end is None for end in ends):
+            return None
+        return int(max(ends))
+
+    def finalize(self) -> np.ndarray:
+        """Flush every channel's end-of-stream state and fuse any late reports."""
+        new_reports: list[ChannelReport] = []
+        for channel, (segmenter, weight) in enumerate(zip(self.segmenters, self.channel_weights)):
+            if weight <= 0:
+                continue
+            seen_before = len(segmenter.reports)
+            segmenter.finalise()
+            new_reports.extend(
+                self._as_channel_reports(channel, weight, segmenter.reports[seen_before:])
+            )
+        self._replay_fusion(new_reports)
+        return self.change_points
+
+    #: British-spelling alias, matching ClaSS.
+    finalise = finalize
+
+    def events(self) -> list:
+        """Typed event history: ensemble warm-up plus one event per fused report."""
+        from repro.api.events import ChangePointEvent, WarmupEvent
+
+        events: list = []
+        warmup = self.warmup_end
+        if warmup is not None:
+            events.append(WarmupEvent(at=warmup))
+        for fused in self._fused:
+            events.append(
+                ChangePointEvent(
+                    at=int(fused.detected_at), change_point=int(fused.change_point)
+                )
+            )
+        return events
+
+    def save_state(self) -> dict:
+        """Serialise the fusion state plus every channel's full checkpoint."""
+        from repro.api.checkpoint import state_payload
+
+        state = {
+            "n_seen": self._n_seen,
+            "pending": [asdict(report) for report in self._pending],
+            "fused": [asdict(fused) for fused in self._fused],
+            "channels": [segmenter.save_state() for segmenter in self.segmenters],
+        }
+        return state_payload(self, state, config=self.config.to_dict())
+
+    def load_state(self, payload: dict) -> None:
+        """Restore a :meth:`save_state` payload; resuming is bit-identical."""
+        from repro.api.checkpoint import checked_state
+        from repro.api.config import MultivariateClaSSConfig
+
+        # validate everything BEFORE mutating: a rejected payload must leave
+        # the live ensemble untouched
+        state = checked_state(self, payload)
+        config = MultivariateClaSSConfig.from_dict(payload.get("config", {})).validate()
+        self._configure(config)
+        self._n_seen = int(state["n_seen"])
+        self._pending = [ChannelReport(**report) for report in state["pending"]]
+        self._fused = [FusedChangePoint(**fused) for fused in state["fused"]]
+        for segmenter, channel_payload in zip(self.segmenters, state["channels"]):
+            segmenter.load_state(channel_payload)
 
     # ------------------------------------------------------------------ #
 

@@ -94,7 +94,9 @@ class ClaSPProfile:
         return dense
 
     @classmethod
-    def empty(cls, region_start: int = 0, window_start_time: int = 0, width: int = 0) -> "ClaSPProfile":
+    def empty(
+        cls, region_start: int = 0, window_start_time: int = 0, width: int = 0
+    ) -> "ClaSPProfile":
         """Construct an empty profile (no admissible splits)."""
         return cls(
             scores=np.empty(0, dtype=np.float64),

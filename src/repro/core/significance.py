@@ -51,7 +51,11 @@ def rank_sum_p_value(left: np.ndarray, right: np.ndarray) -> tuple[float, float]
     right = np.asarray(right, dtype=np.float64)
     if left.size == 0 or right.size == 0:
         return 0.0, 1.0
-    if np.allclose(left, left[0]) and np.allclose(right, right[0]) and np.isclose(left[0], right[0]):
+    if (
+        np.allclose(left, left[0])
+        and np.allclose(right, right[0])
+        and np.isclose(left[0], right[0])
+    ):
         return 0.0, 1.0
     statistic, p_value = stats.ranksums(left, right)
     if not np.isfinite(p_value):
@@ -87,6 +91,14 @@ class ChangePointSignificanceTest:
         self.significance_level = float(significance_level)
         self.sample_size = None if sample_size is None else int(sample_size)
         self._rng = np.random.default_rng(random_state)
+
+    def rng_state(self) -> dict:
+        """Serialisable state of the resampling RNG (for checkpointing)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore an :meth:`rng_state` payload; resampling resumes bit-identically."""
+        self._rng.bit_generator.state = state
 
     def _resample(self, left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Resample labels with replacement, preserving the left/right ratio."""

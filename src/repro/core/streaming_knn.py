@@ -350,6 +350,84 @@ class StreamingKNN:
         self._thresholds.fill(PADDING_INDEX)
         self._last_similarities = None
 
+    def state_dict(self) -> dict:
+        """Serialise the full k-NN state (backing arrays, offsets, counters).
+
+        The exact buffer layout is preserved — backing arrays are copied
+        as-is together with the ring offsets — so a restored instance
+        performs byte-for-byte the same operations as the original on every
+        subsequent update (the checkpoint/resume bit-identity guarantee of
+        :mod:`repro.api.checkpoint` rests on this).  All arrays are copies;
+        the returned payload shares no memory with the live tables.
+        """
+        return {
+            "config": {
+                "window_size": self.window_size,
+                "subsequence_width": self.subsequence_width,
+                "k_neighbours": self.k_neighbours,
+                "similarity": self.similarity,
+                "mode": self.mode,
+            },
+            "buffer": self._buffer.copy(),
+            "start": self._start,
+            "length": self._length,
+            "evictions": self._evictions,
+            "means": self._means.copy(),
+            "stds": self._stds.copy(),
+            "comps": None if self._comps is None else self._comps.copy(),
+            "q_store": self._q_store.copy(),
+            "q_valid": self._q_valid,
+            "knn_idx": self._knn_idx.copy(),
+            "knn_sim": self._knn_sim.copy(),
+            "worst_sim": self._worst_sim.copy(),
+            "thresholds": self._thresholds.copy(),
+            "row_start": self._row_start,
+            "first_global": self._first_global,
+            "n_subsequences": self._n_subsequences,
+            "last_similarities": (
+                None if self._last_similarities is None else self._last_similarities.copy()
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` payload into this instance.
+
+        The receiving instance must be configured identically (window size,
+        subsequence width, neighbours, similarity, mode) — a mismatch is a
+        configuration error, not a silent re-interpretation of the buffers.
+        """
+        config = state.get("config", {})
+        expected = {
+            "window_size": self.window_size,
+            "subsequence_width": self.subsequence_width,
+            "k_neighbours": self.k_neighbours,
+            "similarity": self.similarity,
+            "mode": self.mode,
+        }
+        if config != expected:
+            raise ConfigurationError(
+                f"k-NN state was saved for configuration {config}, "
+                f"cannot restore into {expected}"
+            )
+        self._buffer = np.array(state["buffer"], dtype=np.float64)
+        self._start = int(state["start"])
+        self._length = int(state["length"])
+        self._evictions = int(state["evictions"])
+        self._means = np.array(state["means"], dtype=np.float64)
+        self._stds = np.array(state["stds"], dtype=np.float64)
+        self._comps = None if state["comps"] is None else np.array(state["comps"], dtype=np.float64)
+        self._q_store = np.array(state["q_store"], dtype=np.float64)
+        self._q_valid = int(state["q_valid"])
+        self._knn_idx = np.array(state["knn_idx"], dtype=np.int64)
+        self._knn_sim = np.array(state["knn_sim"], dtype=np.float64)
+        self._worst_sim = np.array(state["worst_sim"], dtype=np.float64)
+        self._thresholds = np.array(state["thresholds"], dtype=np.int64)
+        self._row_start = int(state["row_start"])
+        self._first_global = int(state["first_global"])
+        self._n_subsequences = int(state["n_subsequences"])
+        last = state["last_similarities"]
+        self._last_similarities = None if last is None else np.array(last, dtype=np.float64)
+
     def region_view(self, region_start: int = 0) -> RegionView:
         """Zero-copy scoring inputs for the table suffix from ``region_start`` on.
 

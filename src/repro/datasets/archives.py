@@ -26,23 +26,52 @@ from repro.datasets.dataset import TimeSeriesDataset
 from repro.datasets.synthetic import SegmentSpec, compose_stream
 
 
-def _activity_specs(rng: np.random.Generator, n_activities: int, segment_length: tuple[int, int]) -> list[SegmentSpec]:
+def _activity_specs(
+    rng: np.random.Generator, n_activities: int, segment_length: tuple[int, int]
+) -> list[SegmentSpec]:
     """Draw a sequence of distinct activity bouts (IMU-style archives)."""
     activities = {
         "lying": {"generator": "noise", "params": {"mean": 0.0, "std": 0.05}},
         "sitting": {"generator": "noise", "params": {"mean": 0.1, "std": 0.08}},
         "standing": {"generator": "random_walk", "params": {"step_std": 0.02}},
-        "walking": {"generator": "activity", "params": {"base_period": 55, "amplitude": 1.0, "noise": 0.1}},
-        "nordic_walking": {"generator": "activity", "params": {"base_period": 48, "amplitude": 1.3, "noise": 0.12}},
-        "running": {"generator": "activity", "params": {"base_period": 28, "amplitude": 2.2, "noise": 0.15}},
-        "cycling": {"generator": "activity", "params": {"base_period": 70, "amplitude": 0.8, "noise": 0.1}},
-        "ascending_stairs": {"generator": "activity", "params": {"base_period": 62, "amplitude": 1.4, "noise": 0.2, "burstiness": 0.2}},
-        "descending_stairs": {"generator": "activity", "params": {"base_period": 50, "amplitude": 1.5, "noise": 0.2, "burstiness": 0.2}},
+        "walking": {
+            "generator": "activity",
+            "params": {"base_period": 55, "amplitude": 1.0, "noise": 0.1},
+        },
+        "nordic_walking": {
+            "generator": "activity",
+            "params": {"base_period": 48, "amplitude": 1.3, "noise": 0.12},
+        },
+        "running": {
+            "generator": "activity",
+            "params": {"base_period": 28, "amplitude": 2.2, "noise": 0.15},
+        },
+        "cycling": {
+            "generator": "activity",
+            "params": {"base_period": 70, "amplitude": 0.8, "noise": 0.1},
+        },
+        "ascending_stairs": {
+            "generator": "activity",
+            "params": {"base_period": 62, "amplitude": 1.4, "noise": 0.2, "burstiness": 0.2},
+        },
+        "descending_stairs": {
+            "generator": "activity",
+            "params": {"base_period": 50, "amplitude": 1.5, "noise": 0.2, "burstiness": 0.2},
+        },
         "vacuuming": {"generator": "ar", "params": {"coefficients": (0.7, -0.2), "noise": 0.6}},
         "ironing": {"generator": "ar", "params": {"coefficients": (0.4, 0.1), "noise": 0.3}},
-        "rope_jumping": {"generator": "activity", "params": {"base_period": 22, "amplitude": 2.6, "noise": 0.2, "burstiness": 0.4}},
-        "jogging": {"generator": "activity", "params": {"base_period": 32, "amplitude": 1.9, "noise": 0.15}},
-        "jumping": {"generator": "activity", "params": {"base_period": 25, "amplitude": 2.4, "noise": 0.25, "burstiness": 0.5}},
+        "rope_jumping": {
+            "generator": "activity",
+            "params": {"base_period": 22, "amplitude": 2.6, "noise": 0.2, "burstiness": 0.4},
+        },
+        "jogging": {
+            "generator": "activity",
+            "params": {"base_period": 32, "amplitude": 1.9, "noise": 0.15},
+        },
+        "jumping": {
+            "generator": "activity",
+            "params": {"base_period": 25, "amplitude": 2.4, "noise": 0.25, "burstiness": 0.5},
+        },
     }
     names = list(activities)
     order = rng.permutation(len(names))
@@ -63,7 +92,9 @@ def make_mhealth_like(
     for index in range(n_series):
         rng = np.random.default_rng(seed + index)
         low, high = int(2_000 * length_scale), int(3_200 * length_scale)
-        specs = _activity_specs(rng, n_activities=12, segment_length=(max(low, 200), max(high, 260)))
+        specs = _activity_specs(
+            rng, n_activities=12, segment_length=(max(low, 200), max(high, 260))
+        )
         collection.append(
             compose_stream(
                 specs,
@@ -105,11 +136,51 @@ def make_wesad_like(
 ) -> list[TimeSeriesDataset]:
     """WESAD-like: physiological chest recordings across 5 affect states."""
     states = [
-        ("baseline", SegmentSpec("respiration", 0, {"breath_period": 260, "amplitude": 1.0, "noise": 0.05}, "baseline")),
-        ("amusement", SegmentSpec("respiration", 0, {"breath_period": 180, "amplitude": 1.2, "noise": 0.08, "variability": 0.2}, "amusement")),
-        ("stress", SegmentSpec("respiration", 0, {"breath_period": 100, "amplitude": 1.6, "noise": 0.12, "variability": 0.25}, "stress")),
-        ("meditation", SegmentSpec("respiration", 0, {"breath_period": 320, "amplitude": 0.8, "noise": 0.04}, "meditation")),
-        ("recovery", SegmentSpec("respiration", 0, {"breath_period": 220, "amplitude": 1.0, "noise": 0.06}, "recovery")),
+        (
+            "baseline",
+            SegmentSpec(
+                "respiration",
+                0,
+                {"breath_period": 260, "amplitude": 1.0, "noise": 0.05},
+                "baseline",
+            ),
+        ),
+        (
+            "amusement",
+            SegmentSpec(
+                "respiration",
+                0,
+                {"breath_period": 180, "amplitude": 1.2, "noise": 0.08, "variability": 0.2},
+                "amusement",
+            ),
+        ),
+        (
+            "stress",
+            SegmentSpec(
+                "respiration",
+                0,
+                {"breath_period": 100, "amplitude": 1.6, "noise": 0.12, "variability": 0.25},
+                "stress",
+            ),
+        ),
+        (
+            "meditation",
+            SegmentSpec(
+                "respiration",
+                0,
+                {"breath_period": 320, "amplitude": 0.8, "noise": 0.04},
+                "meditation",
+            ),
+        ),
+        (
+            "recovery",
+            SegmentSpec(
+                "respiration",
+                0,
+                {"breath_period": 220, "amplitude": 1.0, "noise": 0.06},
+                "recovery",
+            ),
+        ),
     ]
     collection = []
     for index in range(n_series):
@@ -119,7 +190,11 @@ def make_wesad_like(
         for position in range(5):
             _, template = states[order[position]]
             length = int(rng.integers(int(4_000 * length_scale), int(7_000 * length_scale) + 1))
-            specs.append(SegmentSpec(template.generator, max(length, 500), dict(template.params), template.label))
+            specs.append(
+                SegmentSpec(
+                    template.generator, max(length, 500), dict(template.params), template.label
+                )
+            )
         collection.append(
             compose_stream(
                 specs,
@@ -197,7 +272,12 @@ def make_mitbih_arr_like(
             label, flags = options[int(rng.integers(0, len(options)))]
             previous = label
             length = int(rng.integers(int(2_000 * length_scale), int(4_500 * length_scale) + 1))
-            params = {"beat_period": int(rng.integers(60, 100)), "amplitude": 1.0, "noise": 0.05, **flags}
+            params = {
+                "beat_period": int(rng.integers(60, 100)),
+                "amplitude": 1.0,
+                "noise": 0.05,
+                **flags,
+            }
             specs.append(SegmentSpec("ecg", max(length, 400), params, label=label))
         collection.append(
             compose_stream(
@@ -231,7 +311,12 @@ def make_mitbih_ve_like(
                 "fibrillation": fibrillating,
             }
             specs.append(
-                SegmentSpec("ecg", max(length, 400), params, label="fibrillation" if fibrillating else "normal")
+                SegmentSpec(
+                    "ecg",
+                    max(length, 400),
+                    params,
+                    label="fibrillation" if fibrillating else "normal",
+                )
             )
             fibrillating = not fibrillating
         collection.append(

@@ -123,8 +123,12 @@ def ecg_like(
     the MIT-BIH archives used in Figures 1 and 9.
     """
     if fibrillation:
-        base = sine_wave(length, rng, period=max(beat_period / 6.0, 8.0), amplitude=0.6 * amplitude, noise=noise)
-        wobble = sine_wave(length, rng, period=max(beat_period / 2.5, 15.0), amplitude=0.3 * amplitude, noise=noise)
+        base = sine_wave(
+            length, rng, period=max(beat_period / 6.0, 8.0), amplitude=0.6 * amplitude, noise=noise
+        )
+        wobble = sine_wave(
+            length, rng, period=max(beat_period / 2.5, 15.0), amplitude=0.3 * amplitude, noise=noise
+        )
         return base + wobble
 
     signal = np.zeros(length)
@@ -200,7 +204,9 @@ def respiration_like(
     """Slow quasi-periodic respiration signal with breath-to-breath variability."""
     t = np.arange(length, dtype=np.float64)
     # frequency modulation produces breath-length variability
-    modulation = 1.0 + variability * np.sin(2.0 * np.pi * t / (breath_period * 7.3) + rng.uniform(0, 6.28))
+    modulation = 1.0 + variability * np.sin(
+        2.0 * np.pi * t / (breath_period * 7.3) + rng.uniform(0, 6.28)
+    )
     phase = np.cumsum(2.0 * np.pi * modulation / breath_period)
     signal = amplitude * np.sin(phase)
     return signal + rng.normal(0.0, noise, length)

@@ -108,10 +108,30 @@ def compose_stream(
 #: plus a parameter sampler; drawing different states for consecutive segments
 #: guarantees a genuine signal change at each annotated change point.
 STATE_LIBRARY: dict[str, dict] = {
-    "slow_sine": {"generator": "sine", "period": (40, 90), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
-    "fast_sine": {"generator": "sine", "period": (12, 30), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
-    "square": {"generator": "square", "period": (30, 90), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
-    "sawtooth": {"generator": "sawtooth", "period": (30, 90), "amplitude": (0.8, 1.5), "noise": (0.02, 0.1)},
+    "slow_sine": {
+        "generator": "sine",
+        "period": (40, 90),
+        "amplitude": (0.8, 1.5),
+        "noise": (0.02, 0.1),
+    },
+    "fast_sine": {
+        "generator": "sine",
+        "period": (12, 30),
+        "amplitude": (0.8, 1.5),
+        "noise": (0.02, 0.1),
+    },
+    "square": {
+        "generator": "square",
+        "period": (30, 90),
+        "amplitude": (0.8, 1.5),
+        "noise": (0.02, 0.1),
+    },
+    "sawtooth": {
+        "generator": "sawtooth",
+        "period": (30, 90),
+        "amplitude": (0.8, 1.5),
+        "noise": (0.02, 0.1),
+    },
     "calm_noise": {"generator": "noise", "mean": (-0.2, 0.2), "std": (0.05, 0.2)},
     "wild_noise": {"generator": "noise", "mean": (-0.2, 0.2), "std": (0.8, 1.5)},
     "ar_smooth": {"generator": "ar", "coefficients": ((0.8, -0.2),), "noise": (0.3, 0.8)},
@@ -131,7 +151,12 @@ STATE_LIBRARY: dict[str, dict] = {
         "noise": (0.05, 0.2),
         "burstiness": (0.0, 0.1),
     },
-    "ecg_normal": {"generator": "ecg", "beat_period": (60, 100), "amplitude": (0.8, 1.4), "noise": (0.02, 0.08)},
+    "ecg_normal": {
+        "generator": "ecg",
+        "beat_period": (60, 100),
+        "amplitude": (0.8, 1.4),
+        "noise": (0.02, 0.08),
+    },
     "ecg_irregular": {
         "generator": "ecg",
         "beat_period": (60, 100),
@@ -146,8 +171,18 @@ STATE_LIBRARY: dict[str, dict] = {
         "noise": (0.02, 0.08),
         "fibrillation": (True,),
     },
-    "respiration_calm": {"generator": "respiration", "breath_period": (200, 320), "amplitude": (0.8, 1.2), "noise": (0.02, 0.08)},
-    "respiration_excited": {"generator": "respiration", "breath_period": (80, 140), "amplitude": (1.0, 1.8), "noise": (0.05, 0.15)},
+    "respiration_calm": {
+        "generator": "respiration",
+        "breath_period": (200, 320),
+        "amplitude": (0.8, 1.2),
+        "noise": (0.02, 0.08),
+    },
+    "respiration_excited": {
+        "generator": "respiration",
+        "breath_period": (80, 140),
+        "amplitude": (1.0, 1.8),
+        "noise": (0.05, 0.15),
+    },
     "eeg_deep": {"generator": "eeg", "band": ((0.005, 0.03),), "amplitude": (1.0, 1.6)},
     "eeg_light": {"generator": "eeg", "band": ((0.03, 0.1),), "amplitude": (0.8, 1.2)},
     "eeg_wake": {"generator": "eeg", "band": ((0.1, 0.3),), "amplitude": (0.5, 1.0)},
@@ -165,7 +200,9 @@ def _sample_state_params(state: dict, rng: np.random.Generator) -> dict:
         ):
             low, high = value
             sampled = rng.uniform(float(low), float(high))
-            params[key] = int(round(sampled)) if isinstance(low, int) and isinstance(high, int) else sampled
+            params[key] = (
+                int(round(sampled)) if isinstance(low, int) and isinstance(high, int) else sampled
+            )
         elif isinstance(value, tuple):
             params[key] = value[int(rng.integers(0, len(value)))]
         else:

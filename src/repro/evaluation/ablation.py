@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.dataset import TimeSeriesDataset
-from repro.evaluation.runner import class_factory, run_experiment
+from repro.evaluation.runner import ClaSSFactory, run_experiment
 
 #: The design-choice grids evaluated in §4.2 (values scaled to the simulated,
 #: laptop-sized streams where the paper's grid would not fit, e.g. the window
@@ -82,10 +82,10 @@ def run_ablation(
         else:
             kwargs[parameter] = value
         factories = {
-            "ClaSS": class_factory(
+            "ClaSS": ClaSSFactory(
                 window_size=factory_window,
                 scoring_interval=scoring_interval,
-                **kwargs,
+                class_kwargs=kwargs,
             )
         }
         result = run_experiment(factories, datasets)

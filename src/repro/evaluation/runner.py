@@ -23,12 +23,13 @@ process-pool executor in :mod:`repro.evaluation.parallel`;
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
-from repro.competitors import get_competitor
+from repro.api import ClaSSConfig, FLOSSConfig, WindowConfig, create
 from repro.core.class_segmenter import ClaSS, capped_window_size
 from repro.datasets.dataset import TimeSeriesDataset
 from repro.evaluation.covering import covering_score
@@ -111,7 +112,9 @@ class ExperimentResult:
                 seen.append(record.dataset)
         return seen
 
-    def filter(self, collection: str | None = None, method: str | None = None) -> "ExperimentResult":
+    def filter(
+        self, collection: str | None = None, method: str | None = None
+    ) -> "ExperimentResult":
         """Sub-result restricted to one collection and/or one method."""
         records = [
             r
@@ -210,7 +213,9 @@ def run_method_on_dataset(
     segmenter = factory(dataset)
     predicted, detection_times, elapsed = stream_dataset(segmenter, dataset)
     covering = covering_score(dataset.change_points, predicted, dataset.n_timepoints)
-    f1 = change_point_f1(dataset.change_points, predicted, dataset.n_timepoints, margin_fraction=0.02)
+    f1 = change_point_f1(
+        dataset.change_points, predicted, dataset.n_timepoints, margin_fraction=0.02
+    )
     throughput = dataset.n_timepoints / elapsed if elapsed > 0 else float("inf")
     return EvaluationRecord(
         method=method_name,
@@ -280,9 +285,11 @@ def _dataset_width(dataset: TimeSeriesDataset, fallback: int = 50) -> int:
 class ClaSSFactory:
     """Picklable factory producing paper-configured ClaSS instances per dataset.
 
-    ``window_size`` is capped at half of the series length so the subsequence
-    width can always be learned before the stream ends; ``scoring_interval``
-    trades per-point scoring for throughput (see DESIGN.md).
+    The per-dataset policy (``window_size`` capped at half of the series
+    length so the subsequence width can always be learned before the stream
+    ends, optionally the annotated width) is resolved into a
+    :class:`repro.api.ClaSSConfig`, and construction goes through the
+    registry — the single construction path of the unified API.
     """
 
     window_size: int = 10_000
@@ -290,17 +297,21 @@ class ClaSSFactory:
     use_annotated_width: bool = False
     class_kwargs: dict = field(default_factory=dict)
 
-    def __call__(self, dataset: TimeSeriesDataset) -> ClaSS:
+    def config_for(self, dataset: TimeSeriesDataset) -> ClaSSConfig:
+        """The effective, dataset-specific config this factory builds from."""
         capped_window = capped_window_size(self.window_size, dataset.n_timepoints)
         width = _dataset_width(dataset) if self.use_annotated_width else None
         if width is not None:
             width = min(width, capped_window // 4)
-        return ClaSS(
+        return ClaSSConfig(
             window_size=capped_window,
             subsequence_width=width,
             scoring_interval=self.scoring_interval,
             **self.class_kwargs,
         )
+
+    def __call__(self, dataset: TimeSeriesDataset) -> ClaSS:
+        return create("class", self.config_for(dataset))
 
 
 @dataclass(frozen=True)
@@ -310,36 +321,45 @@ class FLOSSFactory:
     window_size: int = 10_000
     stride: int = 1
 
-    def __call__(self, dataset: TimeSeriesDataset):
+    def config_for(self, dataset: TimeSeriesDataset) -> FLOSSConfig:
+        """The effective, dataset-specific config this factory builds from."""
         width = _dataset_width(dataset)
-        return get_competitor(
-            "FLOSS",
+        return FLOSSConfig(
             window_size=int(min(self.window_size, max(dataset.n_timepoints // 2, 4 * width + 10))),
             subsequence_width=width,
             stride=self.stride,
         )
+
+    def __call__(self, dataset: TimeSeriesDataset):
+        return create("floss", self.config_for(dataset))
 
 
 @dataclass(frozen=True)
 class WindowFactory:
     """Picklable factory producing Window segmenters sized from the annotation."""
 
-    def __call__(self, dataset: TimeSeriesDataset):
+    def config_for(self, dataset: TimeSeriesDataset) -> WindowConfig:
+        """The effective, dataset-specific config this factory builds from."""
         width = _dataset_width(dataset)
-        return get_competitor(
-            "Window", window_size=min(10 * width, max(dataset.n_timepoints // 4, 40))
-        )
+        return WindowConfig(window_size=min(10 * width, max(dataset.n_timepoints // 4, 40)))
+
+    def __call__(self, dataset: TimeSeriesDataset):
+        return create("window", self.config_for(dataset))
 
 
 @dataclass(frozen=True)
 class CompetitorFactory:
-    """Picklable factory building one registered competitor with fixed kwargs."""
+    """Picklable factory building one registered detector with fixed kwargs.
+
+    ``competitor`` is a :mod:`repro.api` registry key; the paper spellings
+    (``"BOCD"``, ``"ChangeFinder"``, ...) are accepted aliases.
+    """
 
     competitor: str
     kwargs: dict = field(default_factory=dict)
 
     def __call__(self, dataset: TimeSeriesDataset):
-        return get_competitor(self.competitor, **self.kwargs)
+        return create(self.competitor, **self.kwargs)
 
 
 def class_factory(
@@ -348,12 +368,18 @@ def class_factory(
     use_annotated_width: bool = False,
     **kwargs,
 ) -> MethodFactory:
-    """Factory producing paper-configured ClaSS instances per dataset.
+    """Deprecated alias for constructing a :class:`ClaSSFactory`.
 
-    Kept as the historical entry point; returns a picklable
-    :class:`ClaSSFactory` so the factory survives the trip to worker
-    processes.
+    Build the factory dataclass directly (or go through
+    ``repro.api.create("class", config)`` for a fixed configuration); this
+    wrapper predates the typed-config registry and will be removed.
     """
+    warnings.warn(
+        "class_factory is deprecated; construct ClaSSFactory(...) directly or use "
+        "repro.api.create('class', ClaSSConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return ClaSSFactory(
         window_size=window_size,
         scoring_interval=scoring_interval,
@@ -389,7 +415,11 @@ def default_method_factories(
     class_kwargs = dict(class_kwargs or {})
 
     factories: dict[str, MethodFactory] = {
-        "ClaSS": class_factory(window_size, scoring_interval, **class_kwargs),
+        "ClaSS": ClaSSFactory(
+            window_size=window_size,
+            scoring_interval=scoring_interval,
+            class_kwargs=class_kwargs,
+        ),
         "FLOSS": FLOSSFactory(window_size=window_size, stride=floss_stride),
         "Window": WindowFactory(),
         "BOCD": CompetitorFactory("BOCD"),

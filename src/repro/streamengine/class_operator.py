@@ -17,7 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.class_segmenter import ClaSS, capped_window_size
+from repro.api import ClaSSConfig, create
+from repro.core.class_segmenter import capped_window_size
 from repro.datasets.dataset import TimeSeriesDataset
 from repro.streamengine.operators import SegmentationOperator
 from repro.streamengine.pipeline import Pipeline, PipelineMetrics
@@ -28,12 +29,23 @@ from repro.utils.exceptions import ConfigurationError
 
 
 class ClaSSWindowOperator(SegmentationOperator):
-    """Segmentation operator backed by a ClaSS instance."""
+    """Segmentation operator backed by a ClaSS instance.
+
+    The wrapped segmenter is constructed through the :mod:`repro.api`
+    registry from a typed config — pass a ready
+    :class:`~repro.api.ClaSSConfig` (e.g. parsed from a JSON job spec) or
+    plain keyword arguments, which build one.
+    """
 
     name = "class_window_operator"
 
-    def __init__(self, **class_kwargs) -> None:
-        super().__init__(ClaSS(**class_kwargs))
+    def __init__(self, config: ClaSSConfig | None = None, **class_kwargs) -> None:
+        if config is None:
+            config = ClaSSConfig(**class_kwargs)
+        elif class_kwargs:
+            config = config.replace(**class_kwargs)
+        self.config = config
+        super().__init__(create("class", config))
 
     @property
     def change_points(self) -> np.ndarray:

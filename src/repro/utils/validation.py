@@ -86,7 +86,9 @@ def check_probability(value: float, name: str, inclusive: bool = True) -> float:
     return value
 
 
-def check_window_size(window_size: int, n_timepoints: int | None = None, name: str = "window_size") -> int:
+def check_window_size(
+    window_size: int, n_timepoints: int | None = None, name: str = "window_size"
+) -> int:
     """Validate a sliding window / subsequence width parameter.
 
     Parameters

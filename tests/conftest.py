@@ -6,6 +6,19 @@ import numpy as np
 import pytest
 
 
+def pytest_collection_modifyitems(config, items):
+    """Promote DeprecationWarning to an error for legacy-path tests.
+
+    Tests marked ``legacy_api`` exercise deprecated surfaces (the ``extend``
+    alias, ``class_factory``); the strict filter guarantees the deprecation
+    actually fires (via ``pytest.warns``) and that the legacy path emits
+    nothing beyond the documented warning.
+    """
+    for item in items:
+        if item.get_closest_marker("legacy_api"):
+            item.add_marker(pytest.mark.filterwarnings("error::DeprecationWarning"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for test data."""
@@ -60,4 +73,6 @@ def small_dataset():
         SegmentSpec("square", 700, {"period": 70, "noise": 0.05}, label="square"),
         SegmentSpec("sine", 700, {"period": 12, "noise": 0.05}, label="fast_sine"),
     ]
-    return compose_stream(specs, name="test_stream", collection="test", seed=7, subsequence_width=30)
+    return compose_stream(
+        specs, name="test_stream", collection="test", seed=7, subsequence_width=30
+    )

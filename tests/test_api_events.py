@@ -1,0 +1,129 @@
+"""Tests for the typed event objects and the event-stream generator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestEventObjects:
+    def test_change_point_event_round_trips_through_json(self):
+        event = api.ChangePointEvent(at=120, change_point=80, score=0.91, p_value=1e-60)
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert payload["kind"] == "change_point"
+        restored = api.event_from_dict(payload)
+        assert restored == event
+        assert restored.detection_delay == 40
+
+    def test_warmup_and_score_events_round_trip(self):
+        for event in (
+            api.WarmupEvent(at=500, subsequence_width=25),
+            api.ScoreEvent(at=750, score=0.5),
+        ):
+            assert api.event_from_dict(event.to_dict()) == event
+
+    def test_event_kinds_table_is_complete(self):
+        assert set(api.EVENT_KINDS) == {"warmup", "score", "change_point"}
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown event kind"):
+            api.event_from_dict({"kind": "bogus", "at": 1})
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown warmup event fields"):
+            api.event_from_dict({"kind": "warmup", "at": 1, "typo": 2})
+
+    def test_non_mapping_payload_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            api.event_from_dict(["warmup"])
+
+
+class TestStreamGenerator:
+    def test_class_stream_yields_warmup_then_change_points(self, sine_square_stream):
+        values, true_cp = sine_square_stream
+        segmenter = api.create(
+            "class", window_size=1_500, subsequence_width=25, scoring_interval=25
+        )
+        events = list(api.stream(segmenter, values, chunk_size=500))
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "warmup"
+        assert kinds.count("change_point") == segmenter.change_points.shape[0] >= 1
+        assert events[0].subsequence_width == 25
+        detections = [event for event in events if event.kind == "change_point"]
+        assert any(abs(event.change_point - true_cp) < 150 for event in detections)
+        positions = [event.at for event in events]
+        assert positions == sorted(positions)
+
+    def test_stream_events_match_return_code_path(self, sine_square_stream):
+        values, _ = sine_square_stream
+        config = api.ClaSSConfig(window_size=1_500, subsequence_width=25, scoring_interval=25)
+        via_events = api.create("class", config)
+        detections = [
+            event.change_point
+            for event in api.stream(via_events, values, chunk_size=333)
+            if event.kind == "change_point"
+        ]
+        via_process = api.create("class", config)
+        via_process.process(values)
+        assert detections == via_process.change_points.tolist()
+
+    def test_include_scores_emits_score_events(self, sine_square_stream):
+        values, _ = sine_square_stream
+        segmenter = api.create(
+            "class", window_size=1_500, subsequence_width=25, scoring_interval=25
+        )
+        events = list(
+            api.stream(segmenter, values, chunk_size=1_000, include_scores=True)
+        )
+        scores = [event for event in events if event.kind == "score"]
+        assert scores  # one per chunk once the detector is warmed up
+        assert all(0.0 <= event.score <= 1.0 for event in scores)
+
+    def test_competitor_stream_emits_readiness_and_detections(self, mean_shift_stream):
+        values, _ = mean_shift_stream
+        segmenter = api.create("adwin")
+        events = list(api.stream(segmenter, values, chunk_size=256))
+        assert events[0].kind == "warmup"
+        assert [e.change_point for e in events if e.kind == "change_point"] == (
+            segmenter.change_points.tolist()
+        )
+        # competitor events carry the method's score at detection time
+        assert all(e.score is not None for e in events if e.kind == "change_point")
+
+    def test_finalize_flag_flushes_the_batch_adapter(self, sine_square_stream):
+        values, true_cp = sine_square_stream
+        adapter = api.create("clasp", subsequence_width=25)
+        without_finalize = list(api.stream(adapter, values, chunk_size=1_000))
+        assert without_finalize == []  # the adapter only segments on finalize
+        adapter2 = api.create("clasp", subsequence_width=25)
+        events = list(api.stream(adapter2, values, chunk_size=1_000, finalize=True))
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "warmup"
+        assert "change_point" in kinds
+
+    def test_multivariate_stream_yields_fused_events(self, sine_square_stream):
+        values, _ = sine_square_stream
+        multichannel = np.stack([values, np.roll(values, 3)], axis=1)
+        config = api.MultivariateClaSSConfig(
+            n_channels=2,
+            min_votes=2,
+            fusion_tolerance=300,
+            class_config=api.ClaSSConfig(
+                window_size=1_200, subsequence_width=25, scoring_interval=25
+            ),
+        )
+        segmenter = api.create("multivariate-class", config)
+        events = list(api.stream(segmenter, multichannel, chunk_size=500))
+        assert [e.change_point for e in events if e.kind == "change_point"] == (
+            segmenter.change_points.tolist()
+        )
+
+    def test_rejects_bad_inputs(self):
+        segmenter = api.create("ddm")
+        with pytest.raises(ConfigurationError):
+            list(api.stream(segmenter, np.zeros((2, 2, 2))))
+        with pytest.raises(ConfigurationError):
+            list(api.stream(segmenter, np.zeros(10), chunk_size=0))

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -27,18 +29,81 @@ class TestSegment:
 
     def test_segment_csv_file(self, tmp_path, small_dataset, capsys):
         path = save_dataset_csv(small_dataset, tmp_path / "stream.csv")
-        assert main(["segment", str(path), "--window-size", "1000", "--scoring-interval", "30"]) == 0
+        assert (
+            main(["segment", str(path), "--window-size", "1000", "--scoring-interval", "30"]) == 0
+        )
         output = capsys.readouterr().out
         assert "loaded" in output
 
     def test_segment_plain_text_file(self, tmp_path, capsys, rng):
         values = np.concatenate(
-            [np.sin(2 * np.pi * np.arange(600) / 20), np.sign(np.sin(2 * np.pi * np.arange(600) / 60))]
+            [
+                np.sin(2 * np.pi * np.arange(600) / 20),
+                np.sign(np.sin(2 * np.pi * np.arange(600) / 60)),
+            ]
         ) + rng.normal(0, 0.05, 1_200)
         path = tmp_path / "values.txt"
         np.savetxt(path, values)
         assert main(["segment", str(path), "--window-size", "600", "--scoring-interval", "30"]) == 0
         assert "change points" in capsys.readouterr().out
+
+
+class TestSegmentOutputAndCheckpoints:
+    def _two_phase_stream(self, rng):
+        values = np.concatenate(
+            [np.sin(2 * np.pi * np.arange(700) / 20),
+             np.sign(np.sin(2 * np.pi * np.arange(700) / 55))]
+        ) + rng.normal(0, 0.05, 1_400)
+        return values
+
+    def test_json_output_emits_event_lines_and_summary(self, capsys):
+        assert main([
+            "segment", "--demo", "--window-size", "1500",
+            "--scoring-interval", "25", "--output", "json",
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        kinds = [line["kind"] for line in lines]
+        assert kinds[0] == "warmup"
+        assert "change_point" in kinds
+        assert kinds[-1] == "summary"
+        assert lines[-1]["change_points"]
+        assert "covering" in lines[-1]
+        # progress chatter goes to stderr, stdout stays machine-readable
+        assert "demo stream" in captured.err
+
+    def test_checkpoint_resume_matches_uninterrupted_run(self, tmp_path, capsys, rng):
+        values = self._two_phase_stream(rng)
+        full, part1, part2 = tmp_path / "full.txt", tmp_path / "p1.txt", tmp_path / "p2.txt"
+        np.savetxt(full, values)
+        np.savetxt(part1, values[:800])
+        np.savetxt(part2, values[800:])
+        flags = ["--window-size", "600", "--scoring-interval", "20"]
+
+        assert main(["segment", str(full), *flags]) == 0
+        uninterrupted = capsys.readouterr().out
+
+        ckpt = tmp_path / "state.ckpt"
+        assert main(["segment", str(part1), *flags, "--checkpoint", str(ckpt)]) == 0
+        first = capsys.readouterr().out
+        assert f"checkpoint written to {ckpt}" in first
+        assert ckpt.exists()
+
+        assert main(["segment", str(part2), "--resume", str(ckpt)]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from" in second
+
+        def final_change_points(out):
+            return [line for line in out.splitlines() if line.startswith("change points:")][-1]
+
+        assert final_change_points(second) == final_change_points(uninterrupted)
+
+    def test_resume_from_missing_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main([
+            "segment", "--demo", "--resume", str(tmp_path / "missing.ckpt"),
+        ])
+        assert exit_code == 2
+        assert "cannot resume" in capsys.readouterr().err
 
 
 class TestEvaluate:

@@ -144,7 +144,10 @@ class TestBehaviour:
 
     def test_finalise_on_short_stream_without_width(self, rng):
         values = np.concatenate(
-            [np.sin(2 * np.pi * np.arange(400) / 20), np.sign(np.sin(2 * np.pi * np.arange(400) / 50))]
+            [
+                np.sin(2 * np.pi * np.arange(400) / 20),
+                np.sign(np.sin(2 * np.pi * np.arange(400) / 50)),
+            ]
         ) + rng.normal(0, 0.05, 800)
         segmenter = ClaSS(window_size=5_000, scoring_interval=20)
         segmenter.process(values)

@@ -111,7 +111,11 @@ class TestFusion:
     def test_fused_change_points_strictly_increasing(self, rng):
         t = np.arange(900)
         channel = np.concatenate(
-            [np.sin(2 * np.pi * t / 25), np.sign(np.sin(2 * np.pi * t / 60)), np.sin(2 * np.pi * t / 12)]
+            [
+                np.sin(2 * np.pi * t / 25),
+                np.sign(np.sin(2 * np.pi * t / 60)),
+                np.sin(2 * np.pi * t / 12),
+            ]
         )
         values = np.stack([channel, channel], axis=1) + rng.normal(0, 0.05, (2_700, 2))
         ensemble = MultivariateClaSS(

@@ -195,6 +195,7 @@ class TestChunkedIngestion:
             reference.update(float(value))
             assert np.array_equal(knn.knn_indices, reference.knn_indices)
 
+    @pytest.mark.legacy_api
     def test_extend_is_deprecated_but_equivalent(self, rng):
         values = rng.normal(size=120)
         legacy = StreamingKNN(window_size=60, subsequence_width=6)

@@ -65,7 +65,9 @@ class TestDomainGenerators:
 
     def test_ecg_fibrillation_differs_from_normal(self, rng):
         normal = ecg_like(2_000, rng, beat_period=80, noise=0.01)
-        fib = ecg_like(2_000, np.random.default_rng(1), beat_period=80, noise=0.01, fibrillation=True)
+        fib = ecg_like(
+            2_000, np.random.default_rng(1), beat_period=80, noise=0.01, fibrillation=True
+        )
         # fibrillation removes the spiky beats: kurtosis drops substantially
         def kurtosis(x):
             z = (x - x.mean()) / x.std()

@@ -42,7 +42,9 @@ class TestTimeSeriesDataset:
         assert list(dataset.iter_stream()) == list(map(float, range(10)))
 
     def test_summary(self):
-        dataset = TimeSeriesDataset("demo", np.arange(10, dtype=float), np.array([5]), collection="c")
+        dataset = TimeSeriesDataset(
+            "demo", np.arange(10, dtype=float), np.array([5]), collection="c"
+        )
         summary = dataset.summary()
         assert summary["length"] == 10 and summary["n_segments"] == 2
 
@@ -72,7 +74,10 @@ class TestComposeStream:
         np.testing.assert_array_equal(a.values, b.values)
 
     def test_transition_blending_keeps_annotations(self):
-        specs = [SegmentSpec("sine", 400, {"period": 20}), SegmentSpec("square", 400, {"period": 50})]
+        specs = [
+            SegmentSpec("sine", 400, {"period": 20}),
+            SegmentSpec("square", 400, {"period": 50}),
+        ]
         dataset = compose_stream(specs, seed=3, transition=20)
         assert dataset.change_points.tolist() == [400]
 

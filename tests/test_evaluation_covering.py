@@ -76,7 +76,9 @@ class TestCoveringScore:
         rng = np.random.default_rng(seed)
         n_cps = int(rng.integers(0, 6))
         cps = np.sort(rng.choice(np.arange(1, n), size=min(n_cps, n - 2), replace=False))
-        other = np.sort(rng.choice(np.arange(1, n), size=min(int(rng.integers(0, 6)), n - 2), replace=False))
+        other = np.sort(
+            rng.choice(np.arange(1, n), size=min(int(rng.integers(0, 6)), n - 2), replace=False)
+        )
         score = covering_score(cps, other, n)
         assert 0.0 <= score <= 1.0
         assert covering_score(cps, cps, n) == pytest.approx(1.0)

@@ -52,7 +52,9 @@ class TestChangePointMatching:
         assert detection_delays([100], [900], [950], margin=10) == []
 
     def test_mean_absolute_error(self):
-        assert mean_absolute_error_of_matched_cps([100, 200], [105, 190], margin=20) == pytest.approx(7.5)
+        assert mean_absolute_error_of_matched_cps([100, 200], [105, 190], margin=20) == (
+            pytest.approx(7.5)
+        )
         assert np.isnan(mean_absolute_error_of_matched_cps([100], [500], margin=20))
 
 

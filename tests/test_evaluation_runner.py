@@ -4,8 +4,14 @@ import numpy as np
 import pytest
 
 from repro.datasets import SegmentSpec, compose_stream, make_tssb_like
-from repro.evaluation.ablation import PAPER_ABLATION_GRID, ablation_rows, ablation_sample, run_ablation
+from repro.evaluation.ablation import (
+    PAPER_ABLATION_GRID,
+    ablation_rows,
+    ablation_sample,
+    run_ablation,
+)
 from repro.evaluation.runner import (
+    ClaSSFactory,
     class_factory,
     default_method_factories,
     run_experiment,
@@ -29,15 +35,21 @@ def tiny_suite():
 
 class TestRunner:
     def test_stream_dataset_collects_change_points(self, small_dataset):
-        factory = class_factory(window_size=1_000, scoring_interval=30)
+        factory = ClaSSFactory(window_size=1_000, scoring_interval=30)
         segmenter = factory(small_dataset)
         cps, detection_times, elapsed = stream_dataset(segmenter, small_dataset)
         assert elapsed > 0
         assert cps.shape == detection_times.shape
 
+    def test_factory_exposes_its_dataset_config(self, small_dataset):
+        factory = ClaSSFactory(window_size=1_000, scoring_interval=30)
+        config = factory.config_for(small_dataset)
+        assert config.window_size <= 1_000
+        assert config.scoring_interval == 30
+
     def test_run_method_on_dataset_record_fields(self, small_dataset):
         record = run_method_on_dataset(
-            "ClaSS", class_factory(window_size=1_000, scoring_interval=30), small_dataset
+            "ClaSS", ClaSSFactory(window_size=1_000, scoring_interval=30), small_dataset
         )
         assert record.method == "ClaSS"
         assert 0.0 <= record.covering <= 1.0
@@ -48,10 +60,17 @@ class TestRunner:
 
     def test_class_beats_trivial_baseline_on_clear_stream(self, small_dataset):
         record = run_method_on_dataset(
-            "ClaSS", class_factory(window_size=1_000, scoring_interval=20), small_dataset
+            "ClaSS", ClaSSFactory(window_size=1_000, scoring_interval=20), small_dataset
         )
         # the empty segmentation of this 3-segment stream scores ~0.33
         assert record.covering > 0.6
+
+    @pytest.mark.legacy_api
+    def test_class_factory_is_deprecated_but_equivalent(self, small_dataset):
+        with pytest.warns(DeprecationWarning, match="class_factory is deprecated"):
+            legacy = class_factory(window_size=1_000, scoring_interval=30)
+        assert legacy == ClaSSFactory(window_size=1_000, scoring_interval=30)
+        assert legacy.config_for(small_dataset).scoring_interval == 30
 
     def test_run_experiment_matrix_and_summaries(self, tiny_suite):
         methods = default_method_factories(
