@@ -22,13 +22,38 @@ from pathlib import Path
 
 
 def load_benchmark_means(path: Path) -> dict[str, float]:
-    """Map benchmark full names to their mean seconds-per-round."""
+    """Map benchmark full names to their mean seconds-per-round.
+
+    Understands two schemas and skips entries it cannot interpret instead of
+    failing on unknown keys:
+
+    * pytest-benchmark artifacts — a ``"benchmarks"`` list whose entries
+      carry ``fullname`` and ``stats.mean`` (seconds per round);
+    * per-backend sweep baselines (``bench_kernels``) — an ``"entries"``
+      list keyed by backend/window/chunk, compared on seconds per point so
+      a throughput drop in any single sweep cell is caught.
+    """
     with path.open() as handle:
         payload = json.load(handle)
-    return {
-        entry["fullname"]: float(entry["stats"]["mean"])
-        for entry in payload.get("benchmarks", [])
-    }
+    means: dict[str, float] = {}
+    for entry in payload.get("benchmarks", []):
+        name = entry.get("fullname")
+        mean = entry.get("stats", {}).get("mean")
+        if name is not None and mean is not None:
+            means[name] = float(mean)
+    sweep_name = payload.get("benchmark", "sweep")
+    for entry in payload.get("entries", []):
+        mean = entry.get("seconds_per_point")
+        if mean is None and entry.get("points_per_second"):
+            mean = 1.0 / float(entry["points_per_second"])
+        if not mean:
+            continue
+        key = (
+            f"{sweep_name}[backend={entry.get('backend', '?')}"
+            f",window={entry.get('window', '?')},chunk={entry.get('chunk', '?')}]"
+        )
+        means[key] = float(mean)
+    return means
 
 
 def compare(

@@ -62,6 +62,7 @@ def main() -> None:
     segmenter = ClaSS(
         window_size=1_500,       # sliding window d
         scoring_interval=10,     # score every 10th point (1 = paper-exact)
+        kernel_backend="auto",   # numba JIT kernels when installed, numpy otherwise
     )
 
     # consume the stream chunk by chunk, as a sensor gateway would deliver it

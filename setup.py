@@ -13,4 +13,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
+    # the JIT-compiled kernel backend ("auto" picks it up when importable;
+    # every result is bit-identical with or without it)
+    extras_require={"numba": ["numba>=0.57"]},
 )

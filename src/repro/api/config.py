@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
 from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS
+from repro.core.kernels import KERNEL_BACKENDS
 from repro.core.scoring import SCORE_FUNCTIONS
 from repro.core.significance import DEFAULT_SAMPLE_SIZE, DEFAULT_SIGNIFICANCE_LEVEL
 from repro.core.similarity import SIMILARITY_MEASURES
@@ -160,6 +161,7 @@ class ClaSSConfig(SegmenterConfig):
     relearn_width: bool = False
     cross_val_implementation: str = "fast"
     knn_mode: str = "streaming"
+    kernel_backend: str = "auto"
     random_state: int | None = 2357
 
     def validate(self) -> "ClaSSConfig":
@@ -193,6 +195,11 @@ class ClaSSConfig(SegmenterConfig):
         if self.knn_mode not in KNN_MODES:
             raise ConfigurationError(
                 f"unknown mode {self.knn_mode!r}; expected one of {KNN_MODES}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
             )
         _check_significance(self.significance_level, self.sample_size)
         return self

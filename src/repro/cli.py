@@ -46,6 +46,7 @@ from repro.api import (
 )
 from repro.core.class_segmenter import capped_window_size
 from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS
+from repro.core.kernels import KERNEL_BACKENDS
 from repro.datasets import COLLECTIONS, SegmentSpec, compose_stream, load_collection
 from repro.datasets.loaders import load_dataset_csv, load_dataset_npz
 from repro.evaluation import (
@@ -122,6 +123,7 @@ def cmd_segment(args: argparse.Namespace) -> int:
             scoring_interval=args.scoring_interval,
             significance_level=args.significance_level,
             cross_val_implementation=args.cross_val,
+            kernel_backend=args.backend,
         )
         segmenter = create("class", config)
 
@@ -228,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(CROSS_VAL_IMPLEMENTATIONS),
         help="ClaSP scoring implementation (change points are identical for all; "
         "'fast' consumes the incrementally cached thresholds)",
+    )
+    segment_parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=KERNEL_BACKENDS,
+        help="kernel backend for the k-NN hot paths (results are identical for all; "
+        "'auto' uses the numba JIT kernels when numba is installed)",
     )
     segment_parser.add_argument(
         "--checkpoint",

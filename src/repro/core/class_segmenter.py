@@ -47,6 +47,7 @@ from repro.core.cross_val import (
     cross_val_scores_from_thresholds,
     predictions_for_split,
 )
+from repro.core.kernels import get_backend
 from repro.core.profile import ClaSPProfile
 from repro.core.significance import (
     DEFAULT_SAMPLE_SIZE,
@@ -153,6 +154,13 @@ class ClaSS:
     knn_mode:
         Dot-product strategy of the streaming k-NN: ``"streaming"``,
         ``"recompute"`` or ``"fft"`` (ablation modes of §4.4).
+    kernel_backend:
+        Execution backend for the k-NN hot-path kernels, one of
+        :data:`repro.core.kernels.KERNEL_BACKENDS`.  ``"auto"`` (default)
+        uses the numba JIT kernels when numba is installed, the numpy
+        reference otherwise.  Backends are bit-identical — change points,
+        scores and p-values do not depend on the choice — and checkpoints
+        restore across backends.
     random_state:
         Seed of the significance-test resampler.
     """
@@ -173,6 +181,7 @@ class ClaSS:
         relearn_width: bool = False,
         cross_val_implementation: str = "fast",
         knn_mode: str = "streaming",
+        kernel_backend: str = "auto",
         random_state: int | None = 2357,
     ) -> None:
         from repro.api.config import ClaSSConfig
@@ -193,6 +202,7 @@ class ClaSS:
                 relearn_width=relearn_width,
                 cross_val_implementation=cross_val_implementation,
                 knn_mode=knn_mode,
+                kernel_backend=kernel_backend,
                 random_state=random_state,
             )
         )
@@ -221,6 +231,10 @@ class ClaSS:
         self.relearn_width = bool(config.relearn_width)
         self.cross_val_implementation = config.cross_val_implementation
         self.knn_mode = config.knn_mode
+        self.kernel_backend = config.kernel_backend
+        # resolve once: the scoring fast path hands the backend's fused
+        # split-score kernel to the cross-validation
+        self._kernels = get_backend(config.kernel_backend)
         self.significance = ChangePointSignificanceTest(
             significance_level=config.significance_level,
             sample_size=config.sample_size,
@@ -470,6 +484,7 @@ class ClaSS:
                 k_neighbours=self.k_neighbours,
                 similarity=self.similarity,
                 mode=self.knn_mode,
+                kernel_backend=self.kernel_backend,
             )
             self._knn.load_state_dict(state["knn"])
 
@@ -496,6 +511,7 @@ class ClaSS:
             k_neighbours=self.k_neighbours,
             similarity=self.similarity,
             mode=self.knn_mode,
+            kernel_backend=self.kernel_backend,
         )
         self._ingest_many(prefix)
         self._prefix = []
@@ -539,6 +555,7 @@ class ClaSS:
                 exclusion=exclusion,
                 score=self.score,
                 offset=region.offset,
+                kernels=self._kernels,
             )
         else:
             region_knn = self._knn.knn_indices[region_start:] - region_start
@@ -608,5 +625,6 @@ class ClaSS:
             k_neighbours=self.k_neighbours,
             similarity=self.similarity,
             mode=self.knn_mode,
+            kernel_backend=self.kernel_backend,
         )
         collections.deque(self._knn.update_many(window), maxlen=0)

@@ -228,6 +228,7 @@ def cross_val_scores_from_thresholds(
     exclusion: int,
     score: str = "macro_f1",
     offset: int = 0,
+    kernels=None,
 ) -> CrossValidationResult:
     """All-splits scores from precomputed prediction thresholds (zero-copy path).
 
@@ -247,6 +248,10 @@ def cross_val_scores_from_thresholds(
         Coordinate shift of ``thresholds``: a threshold ``t`` corresponds to
         the region-relative threshold ``t - offset``.  Lets callers pass
         global-coordinate caches without materialising a shifted copy.
+    kernels:
+        Optional :class:`repro.core.kernels.KernelBackend` whose fused
+        split-score kernel evaluates the profile (all backends are
+        bit-identical); None uses the numpy reference kernel directly.
 
     Scores are bit-identical to :func:`cross_val_scores_vectorised` on the
     equivalent (region-relative) k-NN table; the confusion counts of the
@@ -263,7 +268,10 @@ def cross_val_scores_from_thresholds(
         empty = np.empty(0, dtype=np.float64)
         return CrossValidationResult(empty, splits, empty, empty, empty, empty)
     pred_zero_from = _breakpoints_from_thresholds(thresholds, m, offset)
-    scores = fused_split_scores(pred_zero_from, splits, m, score)
+    if kernels is None:
+        scores = fused_split_scores(pred_zero_from, splits, m, score)
+    else:
+        scores = kernels.fused_split_scores(pred_zero_from, splits, m, score)
     return CrossValidationResult(scores, splits, pred_zero_from=pred_zero_from)
 
 

@@ -1,0 +1,29 @@
+"""Numba njit-compiled kernels (optional, imported lazily by the registry).
+
+Compiles the loop-form kernels of :mod:`repro.core.kernels._loops` verbatim
+with ``fastmath`` disabled: fused multiply-adds and reassociation are exactly
+the transformations that would break the bit-identity contract with the numpy
+reference, so the JIT is only allowed to remove interpreter overhead, not to
+change the arithmetic.  ``cache=True`` persists the compiled machine code
+next to the package so the first-call compilation cost is paid once per
+environment, not once per process.
+
+Importing this module raises ``ImportError`` when numba is not installed;
+:func:`repro.core.kernels.get_backend` catches that and falls back to the
+numpy reference backend.
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.core.kernels import _loops
+
+_NJIT_OPTIONS = {"cache": True, "fastmath": False, "nogil": True}
+
+extend_shrink = numba.njit(**_NJIT_OPTIONS)(_loops.extend_shrink)
+similarity_profile = numba.njit(**_NJIT_OPTIONS)(_loops.similarity_profile)
+topk_newest = numba.njit(**_NJIT_OPTIONS)(_loops.topk_newest)
+rank_smallest = numba.njit(**_NJIT_OPTIONS)(_loops.rank_smallest)
+insert_newest = numba.njit(**_NJIT_OPTIONS)(_loops.insert_newest)
+fused_split_scores = numba.njit(**_NJIT_OPTIONS)(_loops.fused_split_scores)

@@ -1,0 +1,99 @@
+"""Vectorised numpy reference implementation of the kernel API.
+
+These are the exact hot-path expressions that previously lived inline in
+:mod:`repro.core.streaming_knn`, factored out so alternative backends (numba,
+loops) can be validated against them kernel by kernel.  The similarity and
+fused-score kernels are not duplicated here — the backend wrapper delegates
+to :func:`repro.core.similarity.get_similarity` and
+:func:`repro.core.scoring.fused_split_scores`, which remain the single numpy
+source of truth.
+
+Tie handling in the top-k selection is deterministic by contract: candidates
+are ranked by similarity descending with equal values resolved towards the
+smaller (older) offset.  This matches the brute-force oracle's stable
+descending argsort and, crucially, is a rule loop-form backends can replicate
+bit-identically — ``argpartition``'s unspecified boundary-tie choice is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def extend_shrink(partial, extend_values, newest, shrink_values, oldest, q_out):
+    """Eqn. 3 extension and Eqn. 5 shrink of the partial dot products."""
+    full = partial + extend_values * newest
+    q_out[: full.shape[0]] = full - shrink_values * oldest
+    return full
+
+
+def topk_newest(similarities, low, take, first_global, idx_out, sim_out):
+    """Top-``take`` of ``similarities[:low]`` by value desc, index asc on ties.
+
+    When a boundary tie makes the top-``take`` set ambiguous, the strictly
+    better candidates are kept and the remaining slots filled with the
+    earliest boundary-valued offsets; the final row is ordered by value
+    descending, index ascending.  Writes ``idx_out[:take]`` (global ids) and
+    ``sim_out[:take]``; the caller pre-pads the rest of the row.
+    """
+    candidates = similarities[:low]
+    if low > take:
+        boundary = np.partition(candidates, low - take)[low - take]
+        strict = np.nonzero(candidates > boundary)[0]
+        ties = np.nonzero(candidates == boundary)[0][: take - strict.shape[0]]
+        top = np.concatenate((strict, ties))
+    else:
+        top = np.arange(low)
+    top = top[np.lexsort((top, -candidates[top]))]
+    idx_out[:take] = top + first_global
+    sim_out[:take] = candidates[top]
+
+
+def rank_smallest(values, rank):
+    """``rank``-th smallest entry (0-indexed) of a small integer array."""
+    return np.partition(values, rank)[rank]
+
+
+def insert_newest(indices, sims, worst, thresholds, candidate_sims, newest_global, rank):
+    """Sorted-insert of the newest subsequence into the rows it beats.
+
+    All array arguments are views of the live (eligible) table rows and are
+    mutated in place.  A couple of beaten rows are patched with a scalar
+    ``searchsorted`` insert; larger batches use one vectorised shift-and-mask
+    patch over all beaten rows at once.
+    """
+    rows = (candidate_sims > worst).nonzero()[0]
+    if rows.shape[0] == 0:
+        return
+    if rows.shape[0] <= 2:
+        # scalar insert beats the vectorised one for a couple of rows
+        for row in rows:
+            sim_value = candidate_sims[row]
+            position = int((-sims[row]).searchsorted(-sim_value))
+            sims[row, position + 1 :] = sims[row, position:-1]
+            indices[row, position + 1 :] = indices[row, position:-1]
+            sims[row, position] = sim_value
+            indices[row, position] = newest_global
+            worst[row] = sims[row, -1]
+            thresholds[row] = np.partition(indices[row], rank)[rank]
+        return
+    k = sims.shape[1]
+    values = candidate_sims[rows]
+    beaten_sims = sims[rows]
+    beaten_idx = indices[rows]
+    insert_at = (beaten_sims > values[:, None]).sum(axis=1)
+    columns = np.arange(k)
+    keep = columns[None, :] < insert_at[:, None]
+    at = columns[None, :] == insert_at[:, None]
+    shifted_sims = np.empty_like(beaten_sims)
+    shifted_idx = np.empty_like(beaten_idx)
+    shifted_sims[:, 0] = 0.0
+    shifted_idx[:, 0] = 0
+    shifted_sims[:, 1:] = beaten_sims[:, :-1]
+    shifted_idx[:, 1:] = beaten_idx[:, :-1]
+    patched = np.where(keep, beaten_sims, np.where(at, values[:, None], shifted_sims))
+    patched_idx = np.where(keep, beaten_idx, np.where(at, newest_global, shifted_idx))
+    sims[rows] = patched
+    indices[rows] = patched_idx
+    worst[rows] = patched[:, -1]
+    thresholds[rows] = np.partition(patched_idx, rank, axis=1)[:, rank]

@@ -89,7 +89,8 @@ class MultivariateClaSS:
         (dimension selection).  Defaults to equal weights.
     class_kwargs:
         Keyword arguments forwarded to every per-channel ClaSS instance
-        (window size, subsequence width, scoring interval, ...).
+        (window size, subsequence width, scoring interval,
+        ``kernel_backend``, ...).
     """
 
     def __init__(

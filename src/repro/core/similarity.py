@@ -29,6 +29,13 @@ from repro.utils.exceptions import ConfigurationError
 SIMILARITY_MEASURES = ("pearson", "euclidean", "cid")
 
 
+def _unknown_measure(measure: str) -> ConfigurationError:
+    """Single copy of the unknown-measure error, shared by every gate."""
+    return ConfigurationError(
+        f"unknown similarity measure {measure!r}; expected one of {SIMILARITY_MEASURES}"
+    )
+
+
 def pearson_from_dot_products(
     dot_products: np.ndarray,
     means: np.ndarray,
@@ -119,35 +126,66 @@ def similarity_profile(
             raise ConfigurationError("CID similarity requires subsequence complexities")
         dist = np.sqrt(np.maximum(dist_sq, 0.0))
         return -dist * cid_factor(complexities, query_index)
-    raise ConfigurationError(
-        f"unknown similarity measure {measure!r}; expected one of {SIMILARITY_MEASURES}"
-    )
+    raise _unknown_measure(measure)
 
 
 def get_similarity(measure: str) -> Callable[..., np.ndarray]:
-    """Return a partial-like callable for a named similarity measure.
+    """Return the measure-specialised similarity-profile function.
 
-    Mostly a convenience for user code; the streaming k-NN calls
-    :func:`similarity_profile` directly.
+    Dispatch on the measure name happens exactly once, here — the returned
+    callable computes its measure directly instead of re-resolving the
+    string on every call, which matters because the streaming k-NN invokes
+    it once per ingested observation.  This is also the numpy reference
+    kernel handed out by :mod:`repro.core.kernels`.
     """
-    if measure not in SIMILARITY_MEASURES:
-        raise ConfigurationError(
-            f"unknown similarity measure {measure!r}; expected one of {SIMILARITY_MEASURES}"
-        )
+    if measure == "pearson":
 
-    def _measure(
-        dot_products: np.ndarray,
-        means: np.ndarray,
-        stds: np.ndarray,
-        query_index: int,
-        window_size: int,
-        complexities: np.ndarray | None = None,
-    ) -> np.ndarray:
-        return similarity_profile(
-            measure, dot_products, means, stds, query_index, window_size, complexities
-        )
+        def profile(
+            dot_products: np.ndarray,
+            means: np.ndarray,
+            stds: np.ndarray,
+            query_index: int,
+            window_size: int,
+            complexities: np.ndarray | None = None,
+        ) -> np.ndarray:
+            return pearson_from_dot_products(dot_products, means, stds, query_index, window_size)
 
-    return _measure
+    elif measure == "euclidean":
+
+        def profile(
+            dot_products: np.ndarray,
+            means: np.ndarray,
+            stds: np.ndarray,
+            query_index: int,
+            window_size: int,
+            complexities: np.ndarray | None = None,
+        ) -> np.ndarray:
+            corr = pearson_from_dot_products(dot_products, means, stds, query_index, window_size)
+            dist_sq = squared_distance_from_correlation(corr, window_size)
+            return -np.sqrt(np.maximum(dist_sq, 0.0))
+
+    elif measure == "cid":
+
+        def profile(
+            dot_products: np.ndarray,
+            means: np.ndarray,
+            stds: np.ndarray,
+            query_index: int,
+            window_size: int,
+            complexities: np.ndarray | None = None,
+        ) -> np.ndarray:
+            if complexities is None:
+                raise ConfigurationError("CID similarity requires subsequence complexities")
+            corr = pearson_from_dot_products(dot_products, means, stds, query_index, window_size)
+            dist_sq = squared_distance_from_correlation(corr, window_size)
+            dist = np.sqrt(np.maximum(dist_sq, 0.0))
+            return -dist * cid_factor(complexities, query_index)
+
+    else:
+        raise _unknown_measure(measure)
+
+    profile.__name__ = f"{measure}_profile"
+    return profile
 
 
 def pairwise_similarity_matrix(
@@ -181,6 +219,4 @@ def pairwise_similarity_matrix(
         ce = np.maximum(np.sqrt((diffs * diffs).sum(axis=1)), 1e-8)
         factor = np.maximum.outer(ce, ce) / np.minimum.outer(ce, ce)
         return -dist * factor
-    raise ConfigurationError(
-        f"unknown similarity measure {measure!r}; expected one of {SIMILARITY_MEASURES}"
-    )
+    raise _unknown_measure(measure)

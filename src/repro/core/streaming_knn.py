@@ -37,11 +37,25 @@ the runtime discussion of §4.4:
 * ``"recompute"`` — recomputes all dot products against the newest subsequence
   from scratch every update, O(d * w).
 * ``"fft"``       — recomputes them with an FFT correlation, O(d log d), the
-  approach underlying FLOSS.
+  approach underlying FLOSS.  Chunked ingestion additionally batches the
+  FFT work: once the window is saturated, the distance profiles of a whole
+  sub-chunk are produced by one row-wise FFT transform over all of its
+  query/window pairs (the stumpy-style MASS batching) instead of one
+  transform per observation.  Row-wise FFTs are bit-identical to their 1-d
+  counterparts, so this is a pure speedup — the chunked-equals-point-wise
+  guarantee below is unaffected.
 
 All three produce identical correlations (up to floating point error), and
 for each mode the chunked path produces bit-identical tables to the
 point-wise path, which the test-suite verifies.
+
+The element-wise hot-path arithmetic (dot-product extension/shrink,
+similarity profiles, top-k selection, sorted inserts) is delegated to a
+pluggable kernel backend from :mod:`repro.core.kernels` — pass
+``kernel_backend="numba"`` (or leave the default ``"auto"``) to run the
+JIT-compiled kernels when numba is installed.  Backends are bit-identical,
+so the choice affects throughput only, never results, and checkpoints are
+backend-portable.
 """
 
 from __future__ import annotations
@@ -52,7 +66,8 @@ from typing import Iterator, NamedTuple
 
 import numpy as np
 
-from repro.core.similarity import SIMILARITY_MEASURES, similarity_profile
+from repro.core.kernels import get_backend
+from repro.core.similarity import SIMILARITY_MEASURES
 from repro.utils.exceptions import ConfigurationError, NotEnoughDataError
 
 #: Sentinel index used for padded / not-yet-available neighbours.  Negative
@@ -65,6 +80,15 @@ KNN_MODES = ("streaming", "recompute", "fft")
 #: Floor applied to subsequence standard deviations so constant subsequences
 #: do not divide by zero in the correlation computation.
 STD_FLOOR = 1e-8
+
+#: Minimum sub-chunk length for which ``"fft"`` mode switches from per-point
+#: FFT transforms to one batched row-wise transform per sub-chunk.  Below
+#: this the batch set-up costs more than it saves.
+FFT_BATCH_MIN = 32
+
+#: Row-block size of the batched FFT: bounds the transform workspace to
+#: ``O(FFT_BATCH_ROWS * window_size)`` regardless of chunk length.
+FFT_BATCH_ROWS = 128
 
 
 def exclusion_radius(window_size: int) -> int:
@@ -142,6 +166,13 @@ class StreamingKNN:
         One of ``"pearson"`` (default), ``"euclidean"`` or ``"cid"``.
     mode:
         Dot-product update strategy, see module docstring.
+    kernel_backend:
+        Execution backend for the element-wise hot-path kernels, one of
+        :data:`repro.core.kernels.KERNEL_BACKENDS`.  ``"auto"`` (default)
+        uses the numba JIT kernels when numba is installed and the numpy
+        reference otherwise.  All backends produce bit-identical tables;
+        the backend is not part of the checkpoint state, so state saved
+        under one backend restores under any other.
 
     Attributes
     ----------
@@ -161,6 +192,7 @@ class StreamingKNN:
         k_neighbours: int = 3,
         similarity: str = "pearson",
         mode: str = "streaming",
+        kernel_backend: str = "auto",
     ) -> None:
         if subsequence_width < 2:
             raise ConfigurationError("subsequence_width must be >= 2")
@@ -183,6 +215,10 @@ class StreamingKNN:
         self.k_neighbours = int(k_neighbours)
         self.similarity = similarity
         self.mode = mode
+        self.kernel_backend = kernel_backend
+        # get_backend validates the name and resolves "auto"/fallbacks
+        self._kernels = get_backend(kernel_backend)
+        self._similarity_fn = self._kernels.similarity_kernel(similarity)
         self.exclusion = exclusion_radius(self.subsequence_width)
 
         d, w, k = self.window_size, self.subsequence_width, self.k_neighbours
@@ -359,6 +395,10 @@ class StreamingKNN:
         subsequent update (the checkpoint/resume bit-identity guarantee of
         :mod:`repro.api.checkpoint` rests on this).  All arrays are copies;
         the returned payload shares no memory with the live tables.
+
+        The kernel backend is deliberately *not* part of the payload:
+        backends are bit-identical, so state saved under one backend
+        restores into an instance using any other.
         """
         return {
             "config": {
@@ -428,6 +468,25 @@ class StreamingKNN:
         last = state["last_similarities"]
         self._last_similarities = None if last is None else np.array(last, dtype=np.float64)
 
+    def __getstate__(self) -> dict:
+        """Pickle support: drop the cached kernel callables.
+
+        The backend object and the measure-specialised similarity function
+        are derived from ``(kernel_backend, similarity)`` and may be local
+        closures or JIT dispatchers, neither of which pickles.  They are
+        rebuilt on unpickling, so embedding a live instance in a deep-copied
+        checkpoint (as the FLOSS competitor does) keeps working.
+        """
+        state = self.__dict__.copy()
+        state.pop("_kernels", None)
+        state.pop("_similarity_fn", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._kernels = get_backend(self.kernel_backend)
+        self._similarity_fn = self._kernels.similarity_kernel(self.similarity)
+
     def region_view(self, region_start: int = 0) -> RegionView:
         """Zero-copy scoring inputs for the table suffix from ``region_start`` on.
 
@@ -472,6 +531,7 @@ class StreamingKNN:
             "recompute": self._recomputed_dot_products,
             "fft": self._fft_dot_products,
         }[self.mode]
+        batch_fft = self.mode == "fft"
         n = values.shape[0]
         position = 0
         while position < n:
@@ -485,8 +545,11 @@ class StreamingKNN:
             first = max(0, w - 1 - self._length)
             if first < take:
                 self._compute_subsequence_stats(write + first - w + 1, take - first)
-            for _ in range(take):
-                yield self._step(dot_update)
+            if batch_fft and take >= FFT_BATCH_MIN and self._length == self.window_size:
+                yield from self._steps_batch_fft(take)
+            else:
+                for _ in range(take):
+                    yield self._step(dot_update)
             position += take
 
     def _step(self, dot_update) -> bool:
@@ -508,12 +571,63 @@ class StreamingKNN:
         complexities = None
         if self._comps is not None:
             complexities = self._comps[self._start : self._start + m]
-        similarities = similarity_profile(
-            self.similarity, dot_products, means, stds, m - 1, self.subsequence_width, complexities
+        similarities = self._similarity_fn(
+            dot_products, means, stds, m - 1, self.subsequence_width, complexities
         )
         self._last_similarities = similarities
         self._refresh_tables(similarities, evicted)
         return True
+
+    def _steps_batch_fft(self, take: int) -> Iterator[bool]:
+        """Advance ``take`` saturated-window steps with batched FFT profiles.
+
+        Computes the dot-product profiles of all ``take`` steps with one
+        row-wise FFT transform per :data:`FFT_BATCH_ROWS` block — each row
+        pairs the sliding window of a step with that step's newest
+        subsequence (reversed), exactly the operands of the per-point
+        :meth:`_fft_dot_products`.  numpy's pocketfft evaluates row-wise
+        transforms identically to 1-d ones, so every profile — and the
+        per-step Eqn. 5 shrink written to the partial-dot-product store —
+        is bit-identical to the per-point path.  Only called when the
+        window is saturated (every step evicts), which keeps the window
+        length, FFT size and row geometry constant across the sub-chunk.
+        """
+        d = self.window_size
+        w = self.subsequence_width
+        m = self._max_subsequences
+        size = 1 << int(np.ceil(np.log2(d + w)))
+        buffer = self._buffer
+        base = self._start + 1  # backing offset of the first step's window
+        sliding = np.lib.stride_tricks.sliding_window_view
+        done = 0
+        while done < take:
+            block = min(FFT_BATCH_ROWS, take - done)
+            first = base + done
+            windows = sliding(buffer[first : first + d + block - 1], d)
+            queries = sliding(buffer[first + d - w : first + d + block - 1], w)[:, ::-1]
+            spec = np.fft.rfft(windows, size, axis=1) * np.fft.rfft(queries, size, axis=1)
+            conv = np.fft.irfft(spec, size, axis=1)
+            profiles = conv[:, w - 1 : w - 1 + m]
+            for row in range(block):
+                yield self._step(self._precomputed_dot_products(profiles[row]))
+            done += block
+
+    def _precomputed_dot_products(self, full: np.ndarray):
+        """Adapt one batched profile row to the ``dot_update`` interface.
+
+        Still writes the Eqn. 5 shrink into the partial-dot-product store so
+        a checkpoint taken mid-chunk restores into the same state the
+        per-point path would have produced.
+        """
+
+        def dot_update(window: np.ndarray, m: int, evicted: bool) -> np.ndarray:
+            profile = full[:m]
+            oldest = window[window.shape[0] - self.subsequence_width]
+            self._q_store[:m] = profile - window[:m] * oldest
+            self._q_valid = m
+            return profile
+
+        return dot_update
 
     def _compact(self) -> None:
         """Copy the live window (and its statistics) back to backing offset 0.
@@ -584,10 +698,16 @@ class StreamingKNN:
             partial[0] = float(window[: w - 1] @ tail_prefix)
             partial[1:] = self._q_store[: m - 1]
 
-        newest = float(window[-1])
-        full = partial + window[w - 1 : w - 1 + m] * newest  # Eqn. 3
-        # prepare the (w-1)-length dot products for the next update (Eqn. 5)
-        self._q_store[:m] = full - window[:m] * window[length - w]
+        # Eqn. 3 extension + Eqn. 5 shrink for the next update, fused in the
+        # kernel backend (one multiply-add pass per equation)
+        full = self._kernels.extend_shrink(
+            partial,
+            window[w - 1 : w - 1 + m],
+            float(window[-1]),
+            window[:m],
+            float(window[length - w]),
+            self._q_store,
+        )
         self._q_valid = m
         return full
 
@@ -644,18 +764,12 @@ class StreamingKNN:
         row_sim.fill(-np.inf)
         if low > 0:
             take = min(k, low)
-            if low > take:
-                negated = -similarities[:low]
-                top = negated.argpartition(take - 1)[:take]
-                top = top[negated[top].argsort(kind="stable")]
-            else:
-                top = np.arange(low)
-                top = top[(-similarities[top]).argsort(kind="stable")]
-            row_idx[:take] = top + self._first_global
-            row_sim[:take] = similarities[top]
+            self._kernels.topk_newest(
+                similarities, low, take, self._first_global, row_idx, row_sim
+            )
         self._worst_sim[row] = row_sim[k - 1]
         rank = self._threshold_rank
-        self._thresholds[row] = np.partition(row_idx, rank)[rank]
+        self._thresholds[row] = self._kernels.rank_smallest(row_idx, rank)
         self._n_subsequences += 1
 
         # k-NN update: the newest subsequence may displace an existing neighbour
@@ -674,53 +788,23 @@ class StreamingKNN:
     def _insert_newest_into_older_rows(self, similarities: np.ndarray, newest: int) -> None:
         """Insert the newest subsequence into older rows it now beats (line 22-23).
 
-        All beaten rows are patched in one vectorised sorted-insert: the
-        insertion position per row is the number of stored neighbours that
-        are strictly better, and the columns at and after it shift right by
-        one (the worst neighbour falls off).
+        The per-row sorted insert (position = number of stored neighbours
+        that are strictly better, columns at and after it shift right by
+        one, worst neighbour falls off) runs in the kernel backend over
+        views of the eligible live rows, refreshing each patched row's
+        cached worst similarity and prediction threshold in place.
         """
-        n_rows = self._n_subsequences - 1  # all but the newest row
         start = self._row_start
         eligible_until = max(0, newest - self.exclusion + 1)
         if eligible_until == 0:
             return
-        indices = self._knn_idx[start : start + n_rows]
-        sims = self._knn_sim[start : start + n_rows]
-        worst = self._worst_sim[start : start + eligible_until]
-        candidate_sims = similarities[:eligible_until]
-        rows = (candidate_sims > worst).nonzero()[0]
-        if rows.shape[0] == 0:
-            return
-        newest_global = self._first_global + newest
-        rank = self._threshold_rank
-        if rows.shape[0] <= 2:
-            # scalar insert beats the vectorised one for a couple of rows
-            for row in rows:
-                sim_value = candidate_sims[row]
-                position = int((-sims[row]).searchsorted(-sim_value))
-                sims[row, position + 1 :] = sims[row, position:-1]
-                indices[row, position + 1 :] = indices[row, position:-1]
-                sims[row, position] = sim_value
-                indices[row, position] = newest_global
-                self._worst_sim[start + row] = sims[row, -1]
-                self._thresholds[start + row] = np.partition(indices[row], rank)[rank]
-            return
-        values = candidate_sims[rows]
-        beaten_sims = sims[rows]
-        beaten_idx = indices[rows]
-        insert_at = (beaten_sims > values[:, None]).sum(axis=1)
-        columns = np.arange(self.k_neighbours)
-        keep = columns[None, :] < insert_at[:, None]
-        at = columns[None, :] == insert_at[:, None]
-        shifted_sims = np.empty_like(beaten_sims)
-        shifted_idx = np.empty_like(beaten_idx)
-        shifted_sims[:, 0] = 0.0
-        shifted_idx[:, 0] = 0
-        shifted_sims[:, 1:] = beaten_sims[:, :-1]
-        shifted_idx[:, 1:] = beaten_idx[:, :-1]
-        patched = np.where(keep, beaten_sims, np.where(at, values[:, None], shifted_sims))
-        patched_idx = np.where(keep, beaten_idx, np.where(at, newest_global, shifted_idx))
-        sims[rows] = patched
-        indices[rows] = patched_idx
-        self._worst_sim[start + rows] = patched[:, -1]
-        self._thresholds[start + rows] = np.partition(patched_idx, rank, axis=1)[:, rank]
+        stop = start + eligible_until
+        self._kernels.insert_newest(
+            self._knn_idx[start:stop],
+            self._knn_sim[start:stop],
+            self._worst_sim[start:stop],
+            self._thresholds[start:stop],
+            similarities[:eligible_until],
+            self._first_global + newest,
+            self._threshold_rank,
+        )

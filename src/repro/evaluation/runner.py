@@ -295,6 +295,7 @@ class ClaSSFactory:
     window_size: int = 10_000
     scoring_interval: int = 1
     use_annotated_width: bool = False
+    kernel_backend: str = "auto"
     class_kwargs: dict = field(default_factory=dict)
 
     def config_for(self, dataset: TimeSeriesDataset) -> ClaSSConfig:
@@ -307,6 +308,7 @@ class ClaSSFactory:
             window_size=capped_window,
             subsequence_width=width,
             scoring_interval=self.scoring_interval,
+            kernel_backend=self.kernel_backend,
             **self.class_kwargs,
         )
 
@@ -394,6 +396,7 @@ def default_method_factories(
     floss_stride: int = 1,
     include: Sequence[str] | None = None,
     class_kwargs: dict | None = None,
+    kernel_backend: str = "auto",
 ) -> dict[str, MethodFactory]:
     """Paper-configured factories for ClaSS and the eight competitors.
 
@@ -411,6 +414,9 @@ def default_method_factories(
         Optional subset of method names.
     class_kwargs:
         Extra keyword arguments forwarded to ClaSS.
+    kernel_backend:
+        Kernel backend for the ClaSS k-NN hot paths (scores are identical
+        for every backend; ``"auto"`` picks the fastest available).
     """
     class_kwargs = dict(class_kwargs or {})
 
@@ -418,6 +424,7 @@ def default_method_factories(
         "ClaSS": ClaSSFactory(
             window_size=window_size,
             scoring_interval=scoring_interval,
+            kernel_backend=kernel_backend,
             class_kwargs=class_kwargs,
         ),
         "FLOSS": FLOSSFactory(window_size=window_size, stride=floss_stride),

@@ -73,18 +73,22 @@ def run_class_pipeline(
     window_size: int = 10_000,
     scoring_interval: int = 1,
     batch_size: int | None = None,
+    kernel_backend: str = "auto",
     **class_kwargs,
 ) -> ClaSSPipelineResult:
     """Run one dataset through a ``source -> ClaSS operator -> sink`` pipeline.
 
     With ``batch_size`` set, the source emits record micro-batches and the
     operator feeds them to ClaSS's chunked ingestion path — same change
-    points, higher throughput.
+    points, higher throughput.  ``kernel_backend`` selects the k-NN kernel
+    backend of :mod:`repro.core.kernels` (``"auto"`` picks the fastest
+    available; change points are identical for every backend).
     """
     capped_window = capped_window_size(window_size, dataset.n_timepoints)
     operator = ClaSSWindowOperator(
         window_size=capped_window,
         scoring_interval=scoring_interval,
+        kernel_backend=kernel_backend,
         **class_kwargs,
     )
     sink = ChangePointSink()
@@ -135,6 +139,7 @@ def run_class_pipelines(
     window_size: int = 10_000,
     scoring_interval: int = 1,
     batch_size: int | None = None,
+    kernel_backend: str = "auto",
     **class_kwargs,
 ) -> tuple[list[ClaSSPipelineResult], ShardedRunResult]:
     """Run many datasets as independent ClaSS streams on a sharded engine.
@@ -150,6 +155,8 @@ def run_class_pipelines(
 
     Dataset names are the stream keys, so they must be unique — duplicates
     would silently chain two series through one sliding window.
+    ``kernel_backend`` is forwarded to every per-stream ClaSS operator (it
+    must resolve on the worker processes too; ``"auto"`` degrades safely).
     """
     names = [dataset.name for dataset in datasets]
     duplicates = sorted({name for name in names if names.count(name) > 1})
@@ -166,7 +173,7 @@ def run_class_pipelines(
         operator_factory=ClaSSChainFactory(
             window_by_stream=window_by_stream,
             scoring_interval=scoring_interval,
-            class_kwargs=dict(class_kwargs),
+            class_kwargs=dict(class_kwargs, kernel_backend=kernel_backend),
         ),
         sink_factory=_change_point_sink_factory,
         name="class_multi_stream",

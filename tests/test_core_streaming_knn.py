@@ -5,8 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.similarity import pairwise_similarity_matrix
+from repro.core.similarity import SIMILARITY_MEASURES, pairwise_similarity_matrix
 from repro.core.streaming_knn import (
+    FFT_BATCH_MIN,
     KNN_MODES,
     PADDING_INDEX,
     StreamingKNN,
@@ -99,17 +100,91 @@ class TestAgainstBruteForce:
 
 class TestModesAgree:
     @pytest.mark.parametrize("mode", KNN_MODES)
-    def test_profiles_identical_across_modes(self, rng, mode):
+    @pytest.mark.parametrize("measure", SIMILARITY_MEASURES)
+    def test_profiles_identical_across_modes(self, rng, mode, measure):
         values = rng.normal(size=300)
         w = 11
-        reference = StreamingKNN(window_size=120, subsequence_width=w, mode="streaming")
-        other = StreamingKNN(window_size=120, subsequence_width=w, mode=mode)
+        reference = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="streaming", similarity=measure
+        )
+        other = StreamingKNN(
+            window_size=120, subsequence_width=w, mode=mode, similarity=measure
+        )
         for value in values:
             reference.update(float(value))
             other.update(float(value))
         np.testing.assert_allclose(
-            reference.last_similarity_profile, other.last_similarity_profile, atol=1e-6
+            reference.last_similarity_profile, other.last_similarity_profile, atol=1e-8
         )
+
+    @pytest.mark.parametrize("measure", SIMILARITY_MEASURES)
+    def test_fft_agrees_with_recompute(self, rng, measure):
+        values = rng.normal(size=300)
+        w = 11
+        fft = StreamingKNN(window_size=120, subsequence_width=w, mode="fft", similarity=measure)
+        recompute = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="recompute", similarity=measure
+        )
+        ingest(fft, values)
+        ingest(recompute, values)
+        np.testing.assert_allclose(
+            fft.last_similarity_profile, recompute.last_similarity_profile, atol=1e-8
+        )
+
+    @pytest.mark.parametrize("measure", SIMILARITY_MEASURES)
+    def test_fft_agrees_with_streaming_after_checkpoint_resume(self, rng, measure):
+        values = rng.normal(size=480)
+        w = 11
+        uninterrupted = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="fft", similarity=measure
+        )
+        ingest(uninterrupted, values)
+        first_half = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="fft", similarity=measure
+        )
+        ingest(first_half, values[:300])
+        resumed = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="fft", similarity=measure
+        )
+        resumed.load_state_dict(first_half.state_dict())
+        ingest(resumed, values[300:])
+        # resume is bit-identical to never having checkpointed ...
+        np.testing.assert_array_equal(
+            uninterrupted.last_similarity_profile, resumed.last_similarity_profile
+        )
+        np.testing.assert_array_equal(uninterrupted.knn_indices, resumed.knn_indices)
+        # ... and the fft profiles stay within tolerance of the exact path
+        streaming = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="streaming", similarity=measure
+        )
+        ingest(streaming, values)
+        np.testing.assert_allclose(
+            uninterrupted.last_similarity_profile, streaming.last_similarity_profile, atol=1e-8
+        )
+
+    @pytest.mark.parametrize("measure", SIMILARITY_MEASURES)
+    def test_fft_batch_path_matches_pointwise(self, rng, measure):
+        # chunks >= FFT_BATCH_MIN in steady state take the batched transform;
+        # the per-point loop is the reference — they must be bit-identical
+        values = rng.normal(size=600)
+        w = 11
+        batched = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="fft", similarity=measure
+        )
+        pointwise = StreamingKNN(
+            window_size=120, subsequence_width=w, mode="fft", similarity=measure
+        )
+        split = 200  # past the warm-up: every later chunk runs in steady state
+        ingest(batched, values[:split])
+        for start in range(split, values.shape[0], 2 * FFT_BATCH_MIN):
+            ingest(batched, values[start : start + 2 * FFT_BATCH_MIN])
+        for value in values:
+            pointwise.update(float(value))
+        np.testing.assert_array_equal(
+            batched.last_similarity_profile, pointwise.last_similarity_profile
+        )
+        np.testing.assert_array_equal(batched.knn_indices, pointwise.knn_indices)
+        np.testing.assert_array_equal(batched.knn_similarities, pointwise.knn_similarities)
 
 
 class TestBookkeeping:

@@ -1,0 +1,323 @@
+"""Kernel backend registry + cross-backend bit-identity (ROADMAP item 1).
+
+Backends are pinned bit-identical, not merely close: the loop-form kernels
+(the numba compilation source, run here as the ``"loops"`` backend) must
+produce byte-for-byte the same tables, profiles, scores and p-values as the
+vectorised numpy reference on every knn mode, similarity measure and scoring
+interval, including across checkpoint/resume.  When numba is installed the
+same assertions run against the compiled backend (see the ``numba`` tests at
+the bottom — skipped, not weakened, when it is absent).
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.kernels as kernels_module
+from repro.api import ClaSSConfig, create
+from repro.core.kernels import (
+    KERNEL_BACKENDS,
+    LoopKernels,
+    NumpyKernels,
+    available_backends,
+    get_backend,
+)
+from repro.core.scoring import fused_split_scores
+from repro.core.similarity import SIMILARITY_MEASURES
+from repro.core.streaming_knn import KNN_MODES, StreamingKNN
+from repro.utils.exceptions import ConfigurationError
+
+HAS_NUMBA = "numba" in available_backends()
+
+
+def ingest(knn: StreamingKNN, values) -> None:
+    for _ in knn.update_many(values):
+        pass
+
+
+def knn_fingerprint(knn: StreamingKNN) -> dict:
+    """Every piece of k-NN state an equivalence assertion can bite on."""
+    state = knn.state_dict()
+    return {
+        "knn_idx": state["knn_idx"],
+        "knn_sim": state["knn_sim"],
+        "thresholds": state["thresholds"],
+        "worst_sim": state["worst_sim"],
+        "profile": knn.last_similarity_profile,
+    }
+
+
+def assert_fingerprints_equal(left: dict, right: dict) -> None:
+    for key in left:
+        np.testing.assert_array_equal(left[key], right[key], err_msg=key)
+
+
+def segment(values, backend, **overrides) -> object:
+    config = ClaSSConfig(
+        window_size=overrides.pop("window_size", 1_500),
+        scoring_interval=overrides.pop("scoring_interval", 10),
+        kernel_backend=backend,
+        **overrides,
+    )
+    segmenter = create("class", config)
+    segmenter.process(values)
+    segmenter.finalise()
+    return segmenter
+
+
+class TestRegistry:
+    def test_backend_names(self):
+        assert KERNEL_BACKENDS == ("auto", "numpy", "numba", "loops")
+        assert "numpy" in available_backends()
+        assert "loops" in available_backends()
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("loops") is get_backend("loops")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            get_backend("gpu")
+
+    def test_auto_resolves_to_concrete_backend(self):
+        backend = get_backend("auto")
+        assert backend.name in ("numpy", "numba")
+
+    def test_backend_types(self):
+        assert isinstance(get_backend("numpy"), NumpyKernels)
+        loops = get_backend("loops")
+        assert isinstance(loops, LoopKernels)
+        assert loops.compiled is False
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba installed: no fallback to exercise")
+    def test_explicit_numba_without_numba_warns_once_and_falls_back(self, monkeypatch):
+        monkeypatch.setattr(kernels_module, "_NUMBA_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy reference"):
+            backend = get_backend("numba")
+        assert backend.name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_backend("numba").name == "numpy"  # warned once only
+
+    def test_backends_pickle_to_the_singleton(self):
+        for name in available_backends():
+            backend = get_backend(name)
+            assert pickle.loads(pickle.dumps(backend)) is backend
+
+    def test_unknown_measure_rejected_by_every_backend(self):
+        for name in available_backends():
+            with pytest.raises(ConfigurationError, match="unknown similarity measure"):
+                get_backend(name).similarity_kernel("cosine")
+
+    def test_unknown_score_rejected_by_every_backend(self):
+        for name in available_backends():
+            with pytest.raises(ConfigurationError, match="no fused kernel for score"):
+                get_backend(name).fused_split_scores(
+                    np.array([3, 4], dtype=np.int64),
+                    np.array([3, 4], dtype=np.int64),
+                    8,
+                    score="f0.5",
+                )
+
+
+class TestKernelLevelEquivalence:
+    """Each kernel, loops vs numpy, on randomised inputs — exact equality."""
+
+    @pytest.fixture(params=["loops", "numba"] if HAS_NUMBA else ["loops"])
+    def other(self, request):
+        return get_backend(request.param)
+
+    def test_extend_shrink(self, rng, other):
+        reference = get_backend("numpy")
+        for m in (1, 2, 17, 64):
+            partial = rng.normal(size=m)
+            extend_values = rng.normal(size=m)
+            shrink_values = rng.normal(size=m)
+            newest, oldest = map(float, rng.normal(size=2))
+            q_ref = np.full(m + 3, np.nan)
+            q_other = np.full(m + 3, np.nan)
+            full_ref = reference.extend_shrink(
+                partial.copy(), extend_values, newest, shrink_values, oldest, q_ref
+            )
+            full_other = other.extend_shrink(
+                partial.copy(), extend_values, newest, shrink_values, oldest, q_other
+            )
+            np.testing.assert_array_equal(np.asarray(full_ref), np.asarray(full_other))
+            np.testing.assert_array_equal(q_ref[:m], q_other[:m])
+
+    @pytest.mark.parametrize("measure", SIMILARITY_MEASURES)
+    def test_similarity_profiles(self, rng, other, measure):
+        reference = get_backend("numpy")
+        w = 9
+        for m in (1, 5, 40):
+            dots = rng.normal(size=m) * w
+            means = rng.normal(size=m)
+            stds = np.abs(rng.normal(size=m)) + 1e-3
+            comps = np.abs(rng.normal(size=m)) + 1e-3
+            args = (dots, means, stds, m - 1, w, comps)
+            np.testing.assert_array_equal(
+                reference.similarity_kernel(measure)(*args),
+                np.asarray(other.similarity_kernel(measure)(*args)),
+            )
+
+    def test_similarity_ties_and_degenerate_stds(self, rng, other):
+        # correlations clipped at +/-1 and the std floor path must agree too
+        reference = get_backend("numpy")
+        w, m = 9, 12
+        means = np.zeros(m)
+        stds = np.full(m, 1e-8)
+        dots = np.concatenate([np.full(m // 2, 1e6), np.full(m - m // 2, -1e6)])
+        for measure in SIMILARITY_MEASURES:
+            args = (dots, means, stds, m - 1, w, np.full(m, 1e-8))
+            np.testing.assert_array_equal(
+                reference.similarity_kernel(measure)(*args),
+                np.asarray(other.similarity_kernel(measure)(*args)),
+            )
+
+    def test_cid_requires_complexities(self, other):
+        profile = other.similarity_kernel("cid")
+        with pytest.raises(ConfigurationError, match="complexities"):
+            profile(np.zeros(3), np.zeros(3), np.ones(3), 2, 5)
+
+    def test_topk_newest_including_ties(self, rng, other):
+        reference = get_backend("numpy")
+        for low, take in ((1, 1), (5, 5), (40, 7), (64, 16)):
+            exact_ties = rng.choice(np.round(rng.normal(size=5), 1), size=low)
+            for sims in (rng.normal(size=low + 3), np.resize(exact_ties, low + 3)):
+                out = [np.full(take, -1, dtype=np.int64), np.full(take, np.nan)]
+                expected = [np.full(take, -1, dtype=np.int64), np.full(take, np.nan)]
+                other.topk_newest(sims, low, take, 100, out[0], out[1])
+                reference.topk_newest(sims, low, take, 100, expected[0], expected[1])
+                np.testing.assert_array_equal(out[0], expected[0])
+                np.testing.assert_array_equal(out[1], expected[1])
+
+    def test_rank_smallest(self, rng, other):
+        reference = get_backend("numpy")
+        values = rng.integers(-50, 50, size=11).astype(np.int64)
+        for rank in (0, 3, 10):
+            assert other.rank_smallest(values.copy(), rank) == reference.rank_smallest(
+                values.copy(), rank
+            )
+
+    @pytest.mark.parametrize("n_rows", [1, 2, 3, 24])
+    def test_insert_newest(self, rng, other, n_rows):
+        # n_rows spans both numpy code paths (scalar <=2 rows, vectorised)
+        reference = get_backend("numpy")
+        k = 4
+        sims = np.sort(rng.normal(size=(n_rows, k)), axis=1)[:, ::-1].copy()
+        indices = rng.integers(0, 500, size=(n_rows, k)).astype(np.int64)
+        worst = sims[:, -1].copy()
+        thresholds = np.partition(indices, 1, axis=1)[:, 1].copy()
+        candidates = rng.normal(size=n_rows)
+        candidates[0] = sims[0, -1] + 1.0  # force at least one beaten row
+        ref_state = (indices.copy(), sims.copy(), worst.copy(), thresholds.copy())
+        other_state = (indices.copy(), sims.copy(), worst.copy(), thresholds.copy())
+        reference.insert_newest(*ref_state, candidates, 999, 1)
+        other.insert_newest(*other_state, candidates, 999, 1)
+        for left, right in zip(ref_state, other_state):
+            np.testing.assert_array_equal(left, right)
+
+    @pytest.mark.parametrize("score", ["macro_f1", "accuracy"])
+    def test_fused_split_scores(self, rng, other, score):
+        m = 120
+        pred_zero_from = np.sort(rng.integers(0, m, size=m)).astype(np.int64)
+        splits = np.arange(5, m - 5, dtype=np.int64)
+        expected = fused_split_scores(pred_zero_from, splits, m, score)
+        got = other.fused_split_scores(pred_zero_from, splits, m, score)
+        np.testing.assert_array_equal(np.asarray(got), expected)
+
+
+class TestStreamingKNNBackendEquivalence:
+    """End-to-end k-NN tables: every backend vs numpy, bit-identical."""
+
+    @pytest.fixture(params=["loops", "numba"] if HAS_NUMBA else ["loops"])
+    def backend(self, request):
+        return request.param
+
+    @pytest.mark.parametrize("mode", KNN_MODES)
+    @pytest.mark.parametrize("measure", SIMILARITY_MEASURES)
+    def test_tables_bit_identical(self, rng, backend, mode, measure):
+        values = rng.normal(size=700).cumsum()
+        kwargs = dict(
+            window_size=300, subsequence_width=12, k_neighbours=3, similarity=measure, mode=mode
+        )
+        reference = StreamingKNN(kernel_backend="numpy", **kwargs)
+        candidate = StreamingKNN(kernel_backend=backend, **kwargs)
+        ingest(reference, values)
+        ingest(candidate, values)
+        assert_fingerprints_equal(knn_fingerprint(reference), knn_fingerprint(candidate))
+
+    def test_checkpoint_crosses_backends(self, rng, backend):
+        values = rng.normal(size=600).cumsum()
+        kwargs = dict(window_size=250, subsequence_width=10, k_neighbours=3)
+        saved = StreamingKNN(kernel_backend="numpy", **kwargs)
+        ingest(saved, values[:400])
+        restored = StreamingKNN(kernel_backend=backend, **kwargs)
+        restored.load_state_dict(pickle.loads(pickle.dumps(saved.state_dict())))
+        ingest(saved, values[400:])
+        ingest(restored, values[400:])
+        assert_fingerprints_equal(knn_fingerprint(saved), knn_fingerprint(restored))
+
+
+class TestClaSSBackendEquivalence:
+    """Detector-level results: change points, scores and p-values equal."""
+
+    @pytest.fixture(params=["loops", "numba"] if HAS_NUMBA else ["loops"])
+    def backend(self, request):
+        return request.param
+
+    @pytest.mark.parametrize("scoring_interval", [1, 25])
+    def test_reports_identical(self, sine_square_stream, backend, scoring_interval):
+        values, _ = sine_square_stream
+        reference = segment(values, "numpy", scoring_interval=scoring_interval)
+        candidate = segment(values, backend, scoring_interval=scoring_interval)
+        np.testing.assert_array_equal(reference.change_points, candidate.change_points)
+        assert len(reference.reports) == len(candidate.reports)
+        for left, right in zip(reference.reports, candidate.reports):
+            assert left.change_point == right.change_point
+            assert left.score == right.score
+            assert left.p_value == right.p_value
+
+    def test_checkpoint_crosses_backends(self, sine_square_stream, backend):
+        values, _ = sine_square_stream
+        reference = create(
+            "class", ClaSSConfig(window_size=1_500, scoring_interval=10, kernel_backend="numpy")
+        )
+        reference.process(values[:2_000])
+        payload = pickle.loads(pickle.dumps(reference.save_state()))
+        # the config travels with the payload; the restoring side may run any
+        # backend — override via the restored segmenter's own config
+        resumed = create(
+            "class", ClaSSConfig(window_size=1_500, scoring_interval=10, kernel_backend=backend)
+        )
+        resumed.load_state(payload)
+        reference.process(values[2_000:])
+        resumed.process(values[2_000:])
+        reference.finalise()
+        resumed.finalise()
+        np.testing.assert_array_equal(reference.change_points, resumed.change_points)
+
+    def test_config_round_trip_preserves_backend(self):
+        config = ClaSSConfig(kernel_backend="loops")
+        assert ClaSSConfig.from_json(config.to_json()).kernel_backend == "loops"
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            ClaSSConfig(kernel_backend="gpu").validate()
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestNumbaBackend:
+    """Compiled-path smoke checks beyond the shared fixtures above."""
+
+    def test_numba_backend_is_compiled(self):
+        backend = get_backend("numba")
+        assert backend.name == "numba"
+        assert backend.compiled is True
+
+    def test_auto_prefers_numba(self):
+        assert get_backend("auto") is get_backend("numba")
