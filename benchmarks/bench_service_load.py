@@ -1,0 +1,162 @@
+"""Service load benchmark: concurrent client streams through the front door.
+
+ISSUE 7 acceptance: the asyncio segmentation service must sustain >= 500
+concurrent client streams on one host, with recorded ingestion throughput
+and p50/p99 event latency.  Each client holds its own keep-alive HTTP
+connection, creates one named stream (small-window ClaSS with
+``include_scores=True`` so every batch emits an event), pushes its whole
+regime-shifted series in batches, and the benchmark then reads the
+service's own ``/metrics`` latency quantiles — which are measured from job
+*enqueue* time, so shard-queue wait under contention is part of the number.
+
+Sizes are env-tunable so CI can smoke-run it: ``REPRO_BENCH_SERVICE_STREAMS``
+(default 500), ``REPRO_BENCH_SERVICE_OBS`` (observations per stream),
+``REPRO_BENCH_SERVICE_BATCH`` (observations per POST) and
+``REPRO_BENCH_SERVICE_SHARDS``.  Set ``REPRO_BENCH_WRITE_RESULTS=1`` to
+(re)write the committed baseline ``benchmarks/results/bench_service_load.json``
+consumed by ``compare_bench.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service import SegmentationService, ServiceClient
+
+#: Overridable so CI can smoke-run the benchmark with tiny parameters.
+N_STREAMS = int(os.environ.get("REPRO_BENCH_SERVICE_STREAMS", 500))
+N_OBS = int(os.environ.get("REPRO_BENCH_SERVICE_OBS", 240))
+BATCH = int(os.environ.get("REPRO_BENCH_SERVICE_BATCH", 60))
+N_SHARDS = int(os.environ.get("REPRO_BENCH_SERVICE_SHARDS", 8))
+SMOKE_RUN = N_STREAMS < 500
+
+#: Small window (and a pinned subsequence width so the exclusion zone fits
+#: inside it) — 240 observations then cover warm-up, per-batch scores and
+#: the regime change.
+CONFIG = {"window_size": 100, "scoring_interval": 10, "subsequence_width": 5}
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_service_load.json"
+
+
+def _machine_name() -> str:
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _workload(index: int) -> np.ndarray:
+    """A two-regime series per stream: slow sine, then a faster one."""
+    rng = np.random.default_rng(1_000 + index)
+    t = np.arange(N_OBS)
+    half = N_OBS // 2
+    period = np.where(t < half, 24.0, 8.0)
+    return np.sin(2 * np.pi * t / period) + rng.normal(0, 0.05, N_OBS)
+
+
+async def _drive_stream(port: int, index: int) -> dict:
+    """One client: own connection, one stream, full series in batches."""
+    name = f"load-{index:04d}"
+    values = _workload(index)
+    client = await ServiceClient("127.0.0.1", port).connect()
+    try:
+        status, body = await client.request(
+            "POST",
+            f"/streams/{name}",
+            {"detector": "class", "config": CONFIG, "include_scores": True},
+        )
+        assert status == 201, body
+        n_events = 0
+        for start in range(0, N_OBS, BATCH):
+            status, body = await client.request(
+                "POST",
+                f"/streams/{name}/observations",
+                {"values": values[start : start + BATCH].tolist()},
+            )
+            assert status == 200, body
+            n_events += len(body["events"])
+        assert body["n_seen"] == N_OBS, body
+        return {"name": name, "n_events": n_events}
+    finally:
+        await client.close()
+
+
+async def _scenario() -> dict:
+    service = SegmentationService(n_shards=N_SHARDS)
+    await service.start(port=0)
+    try:
+        started = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(_drive_stream(service.port, index) for index in range(N_STREAMS))
+        )
+        wall_seconds = time.perf_counter() - started
+        probe = await ServiceClient("127.0.0.1", service.port).connect()
+        try:
+            status, metrics = await probe.request("GET", "/metrics")
+            assert status == 200
+        finally:
+            await probe.close()
+    finally:
+        await service.stop()
+    total_observations = N_STREAMS * N_OBS
+    return {
+        "n_streams": N_STREAMS,
+        "n_observations": total_observations,
+        "wall_seconds": round(wall_seconds, 3),
+        "observations_per_second": round(total_observations / wall_seconds, 1),
+        "streams_per_second": round(N_STREAMS / wall_seconds, 2),
+        "total_events": metrics["total_events"],
+        "event_latency_p50_ms": metrics["event_latency_p50_ms"],
+        "event_latency_p99_ms": metrics["event_latency_p99_ms"],
+        "client_events": sum(outcome["n_events"] for outcome in outcomes),
+    }
+
+
+def test_service_load(benchmark):
+    """>= 500 concurrent streams: throughput + p50/p99 event latency."""
+    summary = benchmark.pedantic(lambda: asyncio.run(_scenario()), rounds=1, iterations=1)
+    print()
+    print(
+        f"{summary['n_streams']} concurrent streams x {N_OBS} obs over {N_SHARDS} shards: "
+        f"{summary['observations_per_second']:.0f} obs/s "
+        f"({summary['wall_seconds']:.1f}s wall), "
+        f"event latency p50 {summary['event_latency_p50_ms']}ms / "
+        f"p99 {summary['event_latency_p99_ms']}ms, "
+        f"{summary['total_events']} events"
+    )
+    benchmark.extra_info.update(summary)
+
+    # every stream completed and produced events (include_scores guarantees
+    # at least one score per post-warm-up batch)
+    assert summary["total_events"] > 0
+    assert summary["client_events"] == summary["total_events"]
+    assert summary["event_latency_p50_ms"] is not None
+    assert summary["event_latency_p99_ms"] is not None
+    if not SMOKE_RUN:
+        assert summary["n_streams"] >= 500
+
+    if os.environ.get("REPRO_BENCH_WRITE_RESULTS"):
+        payload = {
+            "benchmark": "bench_service_load",
+            "config": {
+                "n_streams": N_STREAMS,
+                "n_obs_per_stream": N_OBS,
+                "batch_size": BATCH,
+                "n_shards": N_SHARDS,
+                "detector_config": CONFIG,
+            },
+            "machine": _machine_name(),
+            "summary": summary,
+        }
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote service load baseline to {RESULTS_PATH}")

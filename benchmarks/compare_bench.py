@@ -56,6 +56,18 @@ def load_benchmark_means(path: Path) -> dict[str, float]:
     return means
 
 
+def uncovered_benchmarks(
+    baseline: dict[str, float], current: dict[str, float]
+) -> list[str]:
+    """Benchmarks present in the current run but absent from the baseline.
+
+    These are silently skipped by the shared-name comparison, so a brand-new
+    (or renamed) benchmark would never be regression-gated until its baseline
+    is refreshed — worth a loud warning rather than silence.
+    """
+    return sorted(set(current) - set(baseline))
+
+
 def compare(
     baseline: dict[str, float], current: dict[str, float], max_regression: float
 ) -> list[str]:
@@ -97,6 +109,21 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
         print(f"error: could not read benchmark files: {error}", file=sys.stderr)
         return 2
+
+    uncovered = uncovered_benchmarks(baseline, current)
+    if uncovered:
+        print(
+            f"warning: {len(uncovered)} benchmark(s) in the current run have no "
+            "baseline and are NOT regression-gated:",
+            file=sys.stderr,
+        )
+        for name in uncovered:
+            print(f"  - {name}", file=sys.stderr)
+        print(
+            "refresh the baseline (REPRO_BENCH_WRITE_RESULTS=1 or a new "
+            "bench-smoke artifact) to cover them",
+            file=sys.stderr,
+        )
 
     shared = set(baseline) & set(current)
     if not shared:

@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Build the documentation site: docutils + Jinja2, warnings are errors.
+
+Neither mkdocs nor sphinx is part of the pinned environment, so the site is
+generated with what the repo already depends on: each ``docs/*.rst`` page is
+rendered with docutils in strict mode (``halt_level=2`` — any RST warning
+fails the build, the moral equivalent of ``sphinx-build -W``) into a shared
+Jinja2 template, and the API reference page is generated from the live
+registry, config, event and service-route docstrings so it can never drift
+from the code.
+
+Usage::
+
+    PYTHONPATH=src python docs/build.py [--out docs/_site]
+
+The build fails (exit 1) on the first malformed docstring or page, which is
+what the CI docs job and ``tests/test_docs_build.py`` rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import sys
+from pathlib import Path
+
+from docutils import nodes
+from docutils.core import publish_parts
+from docutils.parsers.rst import roles
+from docutils.utils import SystemMessage
+from jinja2 import Environment, FileSystemLoader, StrictUndefined
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+
+PROJECT = "repro"
+PAPER = "ClaSS: Time Series Segmentation in the Streaming Setting (PVLDB 2024)"
+
+#: Site pages in navigation order: authored .rst files plus the generated
+#: reference (slug -> title; the reference has no source file).
+PAGES = [
+    ("index", "Overview"),
+    ("architecture", "Architecture"),
+    ("service", "Service protocol"),
+    ("checkpoint-rebalance", "Checkpoint & rebalance"),
+    ("reference", "API reference"),
+]
+
+#: Strict docutils settings: level-2 (warning) halts the build.
+RST_SETTINGS = {
+    "halt_level": 2,
+    "report_level": 2,
+    "embed_stylesheet": False,
+    "stylesheet_path": "",
+    "syntax_highlight": "short",
+    "smart_quotes": False,
+}
+
+STYLE = """\
+:root { --accent: #14506e; --rule: #d9dee3; }
+* { box-sizing: border-box; }
+body { margin: 0; font: 16px/1.6 system-ui, sans-serif; color: #1c2733; }
+nav { background: var(--accent); color: #fff; padding: 0.6rem 1.5rem;
+      display: flex; align-items: baseline; flex-wrap: wrap; gap: 1rem; }
+nav .project { font-weight: 700; letter-spacing: 0.03em; }
+nav ul { list-style: none; display: flex; gap: 1rem; margin: 0; padding: 0;
+         flex-wrap: wrap; }
+nav a { color: #dce9f2; text-decoration: none; }
+nav li.active a { color: #fff; border-bottom: 2px solid #fff; }
+main { max-width: 54rem; margin: 0 auto; padding: 1.5rem; }
+h1, h2, h3 { color: var(--accent); line-height: 1.25; }
+h1 { border-bottom: 2px solid var(--rule); padding-bottom: 0.3rem; }
+pre, code, tt { font-family: ui-monospace, monospace; font-size: 0.92em; }
+pre { background: #f4f6f8; border: 1px solid var(--rule); border-radius: 6px;
+      padding: 0.8rem 1rem; overflow-x: auto; }
+code, tt.literal { background: #f4f6f8; border-radius: 4px; padding: 0 0.25em; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid var(--rule); padding: 0.35rem 0.7rem;
+         text-align: left; vertical-align: top; }
+th { background: #f4f6f8; }
+footer { max-width: 54rem; margin: 2rem auto; padding: 0 1.5rem 2rem;
+         color: #5c6b7a; font-size: 0.85em; border-top: 1px solid var(--rule); }
+.symbol { border: 1px solid var(--rule); border-radius: 8px;
+          padding: 0.2rem 1rem 0.6rem; margin: 1.2rem 0; }
+.symbol > h3 { margin-top: 0.6rem; }
+.symbol h1, .symbol h2 { font-size: 1.02em; border: none; margin: 0.8rem 0 0.2rem;
+                         color: #33424f; }
+"""
+
+
+def _code_role(role, rawtext, text, lineno, inliner, options=None, content=None):
+    """Render Sphinx cross-reference roles as inline code.
+
+    Plain docutils does not know ``:class:`` / ``:func:`` / ``:meth:`` etc.;
+    the docstrings use them for Sphinx compatibility, so the site renders
+    them as literals (dropping a leading ``~module.path.`` shorthand).
+    """
+    target = text.lstrip("~")
+    display = target.rsplit(".", 1)[-1] if text.startswith("~") else target
+    return [nodes.literal(rawtext, display)], []
+
+
+SPHINX_ROLES = ("class", "func", "meth", "mod", "data", "attr", "obj", "exc", "doc")
+
+
+def register_sphinx_roles() -> None:
+    """Teach docutils the Sphinx roles used across the repo's docstrings."""
+    for name in SPHINX_ROLES:
+        roles.register_local_role(name, _code_role)
+
+
+def rst_to_html(text: str, source: str) -> str:
+    """Render an RST fragment to an HTML body; any warning raises.
+
+    ``source`` names the page or docstring in the error message.
+    """
+    try:
+        parts = publish_parts(
+            source=text,
+            source_path=source,
+            writer_name="html5",
+            settings_overrides=RST_SETTINGS,
+        )
+    except SystemMessage as error:
+        raise SystemExit(f"docs build failed in {source}: {error}") from error
+    return parts["html_body"]
+
+
+# --------------------------------------------------------------------------- #
+# generated reference
+# --------------------------------------------------------------------------- #
+
+
+def _docstring_html(qualified: str, obj) -> str:
+    """One reference entry: anchored heading plus the rendered docstring."""
+    import inspect
+
+    doc = inspect.getdoc(obj) or "*undocumented*"
+    anchor = qualified.replace(".", "-").replace("[", "-").replace("]", "").replace("'", "")
+    body = rst_to_html(doc, source=f"docstring of {qualified}")
+    return (
+        f'<div class="symbol" id="{anchor}">'
+        f"<h3><code>{html.escape(qualified)}</code></h3>{body}</div>"
+    )
+
+
+def build_reference_html() -> str:
+    """The API reference page, generated from live introspection."""
+    from repro import api
+    from repro.service.routes import ServiceRoutes
+    from repro.service.streams import StreamRegistry
+    from repro.service.workers import WorkerPool
+
+    sections: list[str] = [rst_to_html(REFERENCE_INTRO, source="reference intro")]
+
+    # registry: one row per key, then the full config docstrings
+    rows = "".join(
+        f"<tr><td><code>{key}</code></td>"
+        f"<td><code>{api.spec(key).config_cls.__name__}</code></td>"
+        f"<td>{html.escape(api.spec(key).summary)}</td></tr>"
+        for key in api.available()
+    )
+    sections.append(
+        "<h2>Detector registry</h2>"
+        "<table><tr><th>key</th><th>config class</th><th>summary</th></tr>"
+        f"{rows}</table>"
+    )
+    for key in api.available():
+        config_cls = api.spec(key).config_cls
+        sections.append(_docstring_html(f"registry[{key!r}] · {config_cls.__name__}", config_cls))
+
+    sections.append("<h2>Events</h2>")
+    for name in ("SegmenterEvent", "WarmupEvent", "ScoreEvent", "ChangePointEvent"):
+        sections.append(_docstring_html(f"repro.api.{name}", getattr(api, name)))
+
+    sections.append("<h2>Functions and protocol</h2>")
+    for name in (
+        "create", "stream", "available", "spec", "config_class", "register",
+        "normalise_key", "key_for_config", "event_from_dict", "Segmenter",
+        "ensure_segmenter", "save_checkpoint", "load_checkpoint", "restore",
+    ):
+        sections.append(_docstring_html(f"repro.api.{name}", getattr(api, name)))
+
+    # service endpoints straight from the route table, so the reference can
+    # never miss an endpoint the server actually exposes
+    routes = ServiceRoutes(StreamRegistry(n_shards=1), WorkerPool(n_shards=1))
+    endpoint_rows = []
+    for method, regex, handler in routes.router._routes:
+        pattern = regex.pattern.strip("^$")
+        for param in ("name",):
+            pattern = pattern.replace(f"(?P<{param}>[^/]+)", "{" + param + "}")
+        summary = (handler.__doc__ or "").strip().splitlines()[0].replace("``", "")
+        endpoint_rows.append(
+            f"<tr><td><code>{method}</code></td><td><code>{html.escape(pattern)}</code></td>"
+            f"<td>{html.escape(summary)}</td></tr>"
+        )
+    sections.append(
+        "<h2>Service endpoints</h2>"
+        "<p>The full wire protocol, with curl and WebSocket walk-throughs, "
+        'lives on the <a href="service.html">service page</a>. '
+        "WebSocket upgrades use <code>GET /streams/{name}/ws</code>.</p>"
+        "<table><tr><th>method</th><th>path</th><th>purpose</th></tr>"
+        f"{''.join(endpoint_rows)}</table>"
+    )
+    return "\n".join(sections)
+
+
+REFERENCE_INTRO = """\
+API reference
+=============
+
+Generated from the live docstrings of ``repro.api`` and ``repro.service`` by
+``docs/build.py`` — every registry key, typed config, event type and service
+endpoint below exists in the running code, and the build fails if any of
+them loses its documentation.
+"""
+
+
+# --------------------------------------------------------------------------- #
+# site assembly
+# --------------------------------------------------------------------------- #
+
+
+def build_site(out_dir: Path) -> list[Path]:
+    """Render every page into ``out_dir``; return the written paths."""
+    register_sphinx_roles()
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    env = Environment(
+        loader=FileSystemLoader(DOCS_DIR / "templates"),
+        undefined=StrictUndefined,
+        autoescape=False,
+    )
+    template = env.get_template("page.html")
+    nav = [{"slug": slug, "title": title} for slug, title in PAGES]
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for slug, title in PAGES:
+        if slug == "reference":
+            body = build_reference_html()
+        else:
+            source = DOCS_DIR / f"{slug}.rst"
+            body = rst_to_html(source.read_text(), source=str(source.relative_to(REPO_ROOT)))
+        page = template.render(
+            title=title, slug=slug, nav=nav, body=body, project=PROJECT, paper=PAPER
+        )
+        path = out_dir / f"{slug}.html"
+        path.write_text(page)
+        written.append(path)
+    style = out_dir / "style.css"
+    style.write_text(STYLE)
+    written.append(style)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DOCS_DIR / "_site",
+        help="output directory of the built site (default docs/_site)",
+    )
+    args = parser.parse_args(argv)
+    written = build_site(args.out)
+    print(f"built {len(written)} files into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

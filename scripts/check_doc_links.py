@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Link check over the built docs site and the README.
+
+Two passes, both purely local (no network):
+
+* every internal ``href``/``src`` in the built HTML under the site directory
+  must point at a file that exists in the site (fragments are stripped;
+  ``http(s)://`` and ``mailto:`` links are skipped);
+* every local markdown link in ``README.md`` (and any extra markdown files
+  passed on the command line) must point at an existing path in the repo.
+
+Usage::
+
+    python scripts/check_doc_links.py [--site docs/_site] [readme.md ...]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link is
+printed to stderr).  The CI docs job runs this right after ``docs/build.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from html.parser import HTMLParser
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Link targets that are not files in this repo.
+_EXTERNAL = ("http://", "https://", "mailto:", "data:")
+
+#: Inline markdown links: ``[text](target)`` — images included via the
+#: leading ``!?``; reference-style definitions are matched separately.
+_MD_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+_MD_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+
+
+class _LinkCollector(HTMLParser):
+    """Collect every href/src attribute of a page."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.links: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        for attribute, value in attrs:
+            if attribute in ("href", "src") and value:
+                self.links.append(value)
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(_EXTERNAL)
+
+
+def check_site(site_dir: Path) -> list[str]:
+    """Broken internal links in the built HTML under ``site_dir``."""
+    problems: list[str] = []
+    pages = sorted(site_dir.glob("**/*.html"))
+    if not pages:
+        return [f"{site_dir}: no built HTML pages found (run docs/build.py first)"]
+    for page in pages:
+        collector = _LinkCollector()
+        collector.feed(page.read_text())
+        for link in collector.links:
+            if _is_external(link):
+                continue
+            target = link.split("#", 1)[0]
+            if not target:  # pure fragment: same-page anchor
+                continue
+            resolved = (page.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{page.relative_to(site_dir)}: broken link {link!r}")
+    return problems
+
+
+def check_markdown(markdown_path: Path) -> list[str]:
+    """Broken local links in one markdown file."""
+    if not markdown_path.exists():
+        return [f"{markdown_path}: file not found"]
+    text = markdown_path.read_text()
+    targets = _MD_LINK.findall(text) + _MD_REF_DEF.findall(text)
+    problems: list[str] = []
+    for raw in targets:
+        if _is_external(raw) or raw.startswith("#"):
+            continue
+        target = raw.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (markdown_path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{markdown_path.name}: broken link {raw!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--site",
+        type=Path,
+        default=REPO_ROOT / "docs" / "_site",
+        help="built site directory (default docs/_site)",
+    )
+    parser.add_argument(
+        "markdown",
+        nargs="*",
+        type=Path,
+        default=[REPO_ROOT / "README.md"],
+        help="markdown files to check (default README.md)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_site(args.site)
+    for markdown_path in args.markdown:
+        problems.extend(check_markdown(markdown_path))
+
+    if problems:
+        for problem in problems:
+            print(f"broken: {problem}", file=sys.stderr)
+        print(f"link check failed: {len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"link check passed ({args.site} + {len(args.markdown)} markdown file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Docstring completeness gate for the public API (``repro.api``).
+
+Everything a user can reach through the unified detector API must be
+documented well enough to use without reading the source: every symbol in
+``repro.api.__all__`` and every registry key's typed config class needs a
+docstring that
+
+* names every parameter (function parameters, or constructor/dataclass
+  fields for classes),
+* states what is returned (functions with a non-``None`` return),
+* lists what is raised (callables whose body contains a ``raise``),
+* and shows at least one example (a doctest ``>>>`` block or an
+  ``Example``/``Examples`` section).
+
+Module-level data constants (no useful ``__doc__`` at runtime) are listed in
+``DATA_CONSTANTS`` and exempt; everything else fails loudly with one line
+per missing piece.  Run next to the api-surface gate in CI::
+
+    PYTHONPATH=src python scripts/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Module-level data (not callables/classes): a runtime ``__doc__`` is the
+#: type's, not the constant's — these are documented at their definition
+#: site and in the generated reference instead.
+DATA_CONSTANTS = {"CHECKPOINT_FORMAT", "EVENT_KINDS"}
+
+#: Parameter names that never need documenting.
+IMPLICIT_PARAMS = {"self", "cls", "args", "kwargs"}
+
+
+def _word(name: str, text: str) -> bool:
+    """Whether ``name`` appears as a whole word in ``text``."""
+    return re.search(rf"\b{re.escape(name)}\b", text) is not None
+
+
+def _has_example(doc: str) -> bool:
+    return ">>>" in doc or re.search(r"^\s*Examples?\s*$", doc, re.MULTILINE) is not None
+
+
+def _body_raises(obj) -> bool:
+    """Whether the callable's own body contains a ``raise`` statement."""
+    try:
+        source = textwrap.dedent(inspect.getsource(obj))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return False
+    return any(isinstance(node, ast.Raise) for node in ast.walk(tree))
+
+
+def _documentable_params(obj) -> list[str]:
+    """Parameter names the docstring must mention."""
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return []
+    return [
+        name
+        for name, parameter in signature.parameters.items()
+        if name not in IMPLICIT_PARAMS and not name.startswith("_")
+    ]
+
+
+def _returns_value(obj) -> bool:
+    """Whether a function's annotated return is something other than None."""
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return False
+    annotation = signature.return_annotation
+    if annotation is inspect.Signature.empty:
+        return True  # undeclared: assume it returns something worth stating
+    return annotation not in (None, "None", type(None))
+
+
+def check_symbol(qualified: str, obj) -> list[str]:
+    """Return one problem line per missing docstring piece (empty = ok)."""
+    problems = []
+    doc = inspect.getdoc(obj) or ""
+    if len(doc.strip()) < 20:
+        return [f"{qualified}: missing (or trivial) docstring"]
+
+    if inspect.isclass(obj):
+        params = _documentable_params(obj.__init__)
+        raises = _body_raises(obj.__init__) or (
+            hasattr(obj, "validate") and _body_raises(obj.validate)
+        )
+        returns = False
+    elif callable(obj):
+        params = _documentable_params(obj)
+        raises = _body_raises(obj)
+        returns = _returns_value(obj)
+    else:
+        return problems  # data: presence already checked above
+
+    for name in params:
+        if not _word(name, doc):
+            problems.append(f"{qualified}: parameter {name!r} not documented")
+    if returns and not re.search(r"\breturns?\b|\byields?\b", doc, re.IGNORECASE):
+        problems.append(f"{qualified}: return value not documented")
+    if raises and not re.search(r"\braises?\b", doc, re.IGNORECASE):
+        problems.append(f"{qualified}: raised exceptions not documented")
+    if not _has_example(doc):
+        problems.append(f"{qualified}: no Example (>>> block or Example section)")
+    return problems
+
+
+def check_api() -> list[str]:
+    """Audit ``repro.api.__all__`` plus every registry config class."""
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro import api
+
+    problems = []
+    for name in sorted(api.__all__):
+        if name in DATA_CONSTANTS:
+            continue
+        problems.extend(check_symbol(f"repro.api.{name}", getattr(api, name)))
+    for key in api.available():
+        config_cls = api.spec(key).config_cls
+        problems.extend(check_symbol(f"registry[{key!r}].{config_cls.__name__}", config_cls))
+    return sorted(set(problems))
+
+
+def main() -> int:
+    problems = check_api()
+    if problems:
+        print(f"docstring gate FAILED ({len(problems)} problem(s)):", file=sys.stderr)
+        for line in problems:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    from repro import api
+
+    n_symbols = len(set(api.__all__) - DATA_CONSTANTS) + len(api.available())
+    print(f"docstring gate passed ({n_symbols} public symbols audited)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

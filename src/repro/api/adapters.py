@@ -29,6 +29,23 @@ class BatchClaSPSegmenter:
     config:
         A :class:`~repro.api.config.ClaSPConfig`; keyword arguments build one
         when omitted.
+    ``**kwargs``:
+        Individual :class:`~repro.api.config.ClaSPConfig` fields, applied on
+        top of ``config`` (or of the defaults).
+
+    Raises
+    ------
+    ConfigurationError
+        When ``config`` is not a ``ClaSPConfig`` or a field value is
+        rejected by its ``validate``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.api.adapters import BatchClaSPSegmenter
+    >>> segmenter = BatchClaSPSegmenter(n_change_points=1)
+    >>> segmenter.process(np.zeros(100)).size  # batch methods defer to finalize
+    0
     """
 
     name = "ClaSP"

@@ -90,6 +90,18 @@ def restore(payload: dict):
     constructed, and handed the payload via ``load_state`` — detectors that
     embed their config rebuild themselves from it, so the restored instance
     is configured exactly like the checkpointed one.
+
+    Returns the resumed detector; raises
+    :class:`~repro.utils.exceptions.ConfigurationError` when the payload is
+    not a checkpoint envelope or names an unknown detector.
+
+    Example
+    -------
+    >>> from repro import api
+    >>> segmenter = api.create("class", {"window_size": 500})
+    >>> resumed = api.restore(segmenter.save_state())
+    >>> resumed.n_seen
+    0
     """
     if not isinstance(payload, dict) or "detector" not in payload:
         raise ConfigurationError("checkpoint payload must be a mapping with a 'detector' entry")
@@ -99,7 +111,18 @@ def restore(payload: dict):
 
 
 def save_checkpoint(segmenter, path: str | Path) -> Path:
-    """Write ``segmenter.save_state()`` to ``path`` (pickle); return the path."""
+    """Write ``segmenter.save_state()`` to ``path`` (pickle); return the path.
+
+    Example
+    -------
+    >>> import tempfile
+    >>> from pathlib import Path
+    >>> from repro import api
+    >>> segmenter = api.create("class", {"window_size": 500})
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     api.save_checkpoint(segmenter, Path(tmp) / "ckpt.pkl").name
+    'ckpt.pkl'
+    """
     path = Path(path)
     payload = segmenter.save_state()
     with path.open("wb") as handle:
@@ -108,7 +131,22 @@ def save_checkpoint(segmenter, path: str | Path) -> Path:
 
 
 def load_checkpoint(path: str | Path):
-    """Rebuild a detector from a checkpoint file written by :func:`save_checkpoint`."""
+    """Rebuild a detector from a checkpoint file written by :func:`save_checkpoint`.
+
+    ``path`` is the pickle file location; returns the resumed detector
+    (see :func:`restore` — resuming is bit-identical).
+
+    Example
+    -------
+    >>> import tempfile
+    >>> from pathlib import Path
+    >>> from repro import api
+    >>> segmenter = api.create("class", {"window_size": 500})
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     saved = api.save_checkpoint(segmenter, Path(tmp) / "ckpt.pkl")
+    ...     api.load_checkpoint(saved).n_seen
+    0
+    """
     path = Path(path)
     with path.open("rb") as handle:
         payload = pickle.load(handle)

@@ -64,7 +64,16 @@ class SegmenterConfig:
 
     Subclasses are frozen dataclasses whose fields mirror the keyword
     arguments of the detector they describe; ``detector`` is the registry key
-    the config belongs to.
+    the config belongs to.  The base class carries the shared machinery:
+    lossless ``to_dict``/``from_dict`` (and JSON) round-trips, field-checked
+    :meth:`replace`, :meth:`validate` and the :meth:`build` construction hook.
+
+    Example
+    -------
+    >>> from repro.api import ClaSSConfig
+    >>> config = ClaSSConfig(window_size=500)
+    >>> ClaSSConfig.from_dict(config.to_dict()) == config
+    True
     """
 
     #: Registry key of the detector this config describes.
@@ -143,7 +152,68 @@ class SegmenterConfig:
 
 @dataclass(frozen=True)
 class ClaSSConfig(SegmenterConfig):
-    """Configuration of :class:`repro.ClaSS` (paper §3; one field per argument)."""
+    """Configuration of :class:`repro.ClaSS` (paper §3; one field per argument).
+
+    Parameters
+    ----------
+    window_size:
+        Points retained in the sliding window the stream is scored over
+        (paper ``w``; minimum 20).
+    subsequence_width:
+        Pattern width for the k-NN subsequences; ``None`` auto-estimates it
+        from the warm-up prefix with ``wss_method`` (minimum 3 when set, and
+        at most a quarter of ``window_size``).
+    k_neighbours:
+        Neighbours per subsequence in the streaming k-NN (paper ``k``).
+    score:
+        Cross-validation score name from ``SCORE_FUNCTIONS`` (e.g.
+        ``"macro_f1"``).
+    similarity:
+        Subsequence similarity measure from ``SIMILARITY_MEASURES``
+        (e.g. ``"pearson"``).
+    significance_level:
+        Change points are only reported when the permutation test's p-value
+        falls below this level (strictly between 0 and 1).
+    sample_size:
+        Observations drawn per permutation-test sample (minimum 10), or
+        ``None`` for variable-size samples.
+    wss_method:
+        Window-size selection method from ``WSS_METHODS`` used when
+        ``subsequence_width`` is ``None`` (e.g. ``"suss"``).
+    scoring_interval:
+        Run the ClaSP scoring pass every this many observations (1 = every
+        point, the paper's setting).
+    excl_factor:
+        Exclusion-zone factor: ``excl_factor * subsequence_width`` points at
+        each region edge are never split candidates.
+    score_threshold:
+        Minimum best-split score in ``[0, 1]`` for a change-point report.
+    relearn_width:
+        Re-estimate the subsequence width after each detected change point.
+    cross_val_implementation:
+        Cross-validation kernel from ``CROSS_VAL_IMPLEMENTATIONS``
+        (``"fast"`` is the incremental zero-copy path).
+    knn_mode:
+        Streaming k-NN update mode from ``KNN_MODES`` (``"streaming"`` or
+        the batched ``"fft"`` path).
+    kernel_backend:
+        Distance-kernel backend from ``KERNEL_BACKENDS`` (``"auto"`` picks
+        the fastest available, e.g. the JIT backend when installed).
+    random_state:
+        Seed of the permutation test's generator (``None`` = nondeterministic).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when any field is out of range or names an
+        unknown score/similarity/backend.
+
+    Example
+    -------
+    >>> from repro.api import ClaSSConfig
+    >>> ClaSSConfig(window_size=500, scoring_interval=10).validate().detector
+    'class'
+    """
 
     detector: ClassVar[str] = "class"
 
@@ -212,7 +282,39 @@ class ClaSSConfig(SegmenterConfig):
 
 @dataclass(frozen=True)
 class MultivariateClaSSConfig(SegmenterConfig):
-    """Configuration of :class:`repro.MultivariateClaSS` (per-channel ensemble)."""
+    """Configuration of :class:`repro.MultivariateClaSS` (per-channel ensemble).
+
+    Parameters
+    ----------
+    n_channels:
+        Number of input channels; each gets its own univariate ClaSS.
+    min_votes:
+        Weighted votes required to report a fused change point (must be
+        satisfiable by the active ``channel_weights``).
+    fusion_tolerance:
+        Per-channel detections within this many points of each other are
+        fused into one change point (non-negative).
+    channel_weights:
+        Optional per-channel vote weights (one non-negative entry per
+        channel); ``None`` weights every channel 1.
+    class_config:
+        The :class:`ClaSSConfig` every per-channel detector is built from.
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when the ensemble parameters are inconsistent
+        (e.g. ``min_votes`` unreachable) or the nested config is invalid.
+
+    Example
+    -------
+    >>> from repro.api import ClaSSConfig, MultivariateClaSSConfig
+    >>> config = MultivariateClaSSConfig(
+    ...     n_channels=3, min_votes=2, class_config=ClaSSConfig(window_size=500)
+    ... )
+    >>> config.validate().detector
+    'multivariate-class'
+    """
 
     detector: ClassVar[str] = "multivariate-class"
 
@@ -266,6 +368,47 @@ class ClaSPConfig(SegmenterConfig):
     The adapter buffers the stream and runs the batch segmentation on
     :meth:`~repro.api.adapters.BatchClaSPSegmenter.finalize`; the fields
     mirror :class:`repro.ClaSP`.
+
+    Parameters
+    ----------
+    subsequence_width:
+        Pattern width (minimum 3), or ``None`` to auto-estimate it with
+        ``wss_method``.
+    k_neighbours:
+        Neighbours per subsequence in the k-NN.
+    score:
+        Cross-validation score name from ``SCORE_FUNCTIONS``.
+    n_change_points:
+        Stop after this many change points, or ``None`` for
+        threshold-driven recursion.
+    significance_level:
+        Permutation-test significance level (strictly between 0 and 1).
+    sample_size:
+        Observations per permutation-test sample (minimum 10) or ``None``.
+    wss_method:
+        Window-size selection method from ``WSS_METHODS``.
+    similarity:
+        Subsequence similarity measure from ``SIMILARITY_MEASURES``.
+    score_threshold:
+        Minimum split score in ``[0, 1]`` to keep recursing.
+    knn_backend:
+        ``"streaming"`` (ring-buffer k-NN) or ``"bruteforce"``.
+    cross_val_implementation:
+        Cross-validation kernel from ``CROSS_VAL_IMPLEMENTATIONS``.
+    random_state:
+        Seed of the permutation test's generator (``None`` = nondeterministic).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when any field is out of range or names an
+        unknown score/similarity/backend.
+
+    Example
+    -------
+    >>> from repro.api import ClaSPConfig
+    >>> ClaSPConfig(n_change_points=2).validate().detector
+    'clasp'
     """
 
     detector: ClassVar[str] = "clasp"
@@ -322,7 +465,14 @@ class CompetitorConfig(SegmenterConfig):
     """Base class of the eight competitor configurations (paper Table 2).
 
     ``competitor`` is the :data:`repro.competitors.COMPETITOR_REGISTRY` name
-    the fields are forwarded to.
+    the fields are forwarded to; :meth:`build` constructs the competitor
+    through that registry.
+
+    Example
+    -------
+    >>> from repro.api import FLOSSConfig
+    >>> FLOSSConfig().competitor
+    'FLOSS'
     """
 
     #: Name in the competitor registry (paper spelling).
@@ -336,7 +486,33 @@ class CompetitorConfig(SegmenterConfig):
 
 @dataclass(frozen=True)
 class FLOSSConfig(CompetitorConfig):
-    """Configuration of FLOSS (corrected arc curve over a streaming 1-NN)."""
+    """Configuration of FLOSS (corrected arc curve over a streaming 1-NN).
+
+    Parameters
+    ----------
+    window_size:
+        Points retained in the sliding window (minimum 20).
+    subsequence_width:
+        Matrix-profile subsequence width (minimum 3).
+    threshold:
+        Report a boundary when the corrected arc curve dips below this.
+    exclusion_zone:
+        Points around a detection excluded from re-detection
+        (non-negative; ``None`` derives it from the width).
+    stride:
+        Evaluate the arc curve every ``stride`` points.
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when any field is out of range.
+
+    Example
+    -------
+    >>> from repro.api import FLOSSConfig
+    >>> FLOSSConfig(window_size=1000, subsequence_width=50).validate().detector
+    'floss'
+    """
 
     detector: ClassVar[str] = "floss"
     competitor: ClassVar[str] = "FLOSS"
@@ -358,7 +534,34 @@ class FLOSSConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class WindowConfig(CompetitorConfig):
-    """Configuration of the Window segmenter (sliding two-window discrepancy)."""
+    """Configuration of the Window segmenter (sliding two-window discrepancy).
+
+    Parameters
+    ----------
+    window_size:
+        Length of each of the two adjacent comparison windows (minimum 8).
+    cost:
+        Discrepancy cost name from ``COST_FUNCTIONS`` (e.g. ``"ar"``).
+    threshold:
+        Report a change point when the normalised cost gain exceeds this.
+    exclusion_zone:
+        Points around a detection excluded from re-detection
+        (non-negative; ``None`` derives it from the window).
+    stride:
+        Evaluate the discrepancy every ``stride`` points.
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when any field is out of range or ``cost``
+        is unknown.
+
+    Example
+    -------
+    >>> from repro.api import WindowConfig
+    >>> WindowConfig(window_size=300, cost="ar").validate().detector
+    'window'
+    """
 
     detector: ClassVar[str] = "window"
     competitor: ClassVar[str] = "Window"
@@ -385,7 +588,39 @@ class WindowConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class BOCDConfig(CompetitorConfig):
-    """Configuration of Bayesian Online Change Point Detection."""
+    """Configuration of Bayesian Online Change Point Detection.
+
+    Parameters
+    ----------
+    hazard:
+        Constant hazard rate: the prior probability in ``(0, 1)`` of a
+        change at any step (1/expected run length).
+    run_length_drop:
+        Report a change point when the most probable run length drops by at
+        least this many steps.
+    max_run_length:
+        Truncate the run-length posterior at this length (minimum 10).
+    mu0:
+        Prior mean of the Normal-Inverse-Gamma observation model.
+    kappa0:
+        Prior pseudo-count of the mean (confidence in ``mu0``).
+    alpha0:
+        Prior shape of the variance.
+    beta0:
+        Prior scale of the variance.
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when ``hazard`` leaves ``(0, 1)`` or a
+        run-length bound is not a positive integer.
+
+    Example
+    -------
+    >>> from repro.api import BOCDConfig
+    >>> BOCDConfig(hazard=1 / 100).validate().detector
+    'bocd'
+    """
 
     detector: ClassVar[str] = "bocd"
     competitor: ClassVar[str] = "BOCD"
@@ -408,7 +643,32 @@ class BOCDConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class ChangeFinderConfig(CompetitorConfig):
-    """Configuration of ChangeFinder (two-stage SDAR outlier scoring)."""
+    """Configuration of ChangeFinder (two-stage SDAR outlier scoring).
+
+    Parameters
+    ----------
+    order:
+        Order of the SDAR autoregressive models.
+    discount:
+        SDAR forgetting factor in ``(0, 1)`` (smaller = longer memory).
+    smoothing:
+        Width of the moving-average smoothing of the outlier scores.
+    threshold:
+        Report a change point when the second-stage score exceeds this.
+    exclusion_zone:
+        Points around a detection excluded from re-detection (non-negative).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when any field is out of range.
+
+    Example
+    -------
+    >>> from repro.api import ChangeFinderConfig
+    >>> ChangeFinderConfig(order=3, discount=0.02).validate().detector
+    'change-finder'
+    """
 
     detector: ClassVar[str] = "change-finder"
     competitor: ClassVar[str] = "ChangeFinder"
@@ -431,7 +691,40 @@ class ChangeFinderConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class NEWMAConfig(CompetitorConfig):
-    """Configuration of NEWMA (no-prior-knowledge EWMA with random features)."""
+    """Configuration of NEWMA (no-prior-knowledge EWMA with random features).
+
+    Parameters
+    ----------
+    fast_forgetting:
+        Forgetting factor of the fast EWMA (must exceed ``slow_forgetting``
+        and be at most 1).
+    slow_forgetting:
+        Forgetting factor of the slow EWMA (strictly positive).
+    embedding_size:
+        Time-delay embedding dimension each observation is lifted to.
+    n_features:
+        Number of random Fourier features of the embedding.
+    quantile:
+        Adaptive-threshold quantile in ``[0, 1]`` over the recent statistic.
+    threshold_window:
+        Number of recent statistics the adaptive threshold is computed over.
+    exclusion_zone:
+        Points around a detection excluded from re-detection (non-negative).
+    random_state:
+        Seed of the random-feature generator (``None`` = nondeterministic).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when the forgetting factors are not ordered
+        ``0 < slow < fast <= 1`` or any size is out of range.
+
+    Example
+    -------
+    >>> from repro.api import NEWMAConfig
+    >>> NEWMAConfig(fast_forgetting=0.1, slow_forgetting=0.02).validate().detector
+    'newma'
+    """
 
     detector: ClassVar[str] = "newma"
     competitor: ClassVar[str] = "NEWMA"
@@ -459,7 +752,32 @@ class NEWMAConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class ADWINConfig(CompetitorConfig):
-    """Configuration of ADWIN (adaptive windowing drift detection)."""
+    """Configuration of ADWIN (adaptive windowing drift detection).
+
+    Parameters
+    ----------
+    delta:
+        Confidence parameter in ``(0, 1)`` of the Hoeffding cut test
+        (smaller = fewer, more confident detections).
+    max_buckets_per_level:
+        Bucket capacity per exponential-histogram level (minimum 2).
+    check_interval:
+        Run the cut test every this many observations.
+    min_window:
+        Minimum window length before cuts are considered (minimum 4).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when ``delta`` leaves ``(0, 1)`` or a size
+        is out of range.
+
+    Example
+    -------
+    >>> from repro.api import ADWINConfig
+    >>> ADWINConfig(delta=0.002).validate().detector
+    'adwin'
+    """
 
     detector: ClassVar[str] = "adwin"
     competitor: ClassVar[str] = "ADWIN"
@@ -480,7 +798,34 @@ class ADWINConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class DDMConfig(CompetitorConfig):
-    """Configuration of DDM (drift detection over a binarised error stream)."""
+    """Configuration of DDM (drift detection over a binarised error stream).
+
+    Parameters
+    ----------
+    warning_factor:
+        Standard deviations above the running minimum error that raise the
+        warning state.
+    drift_factor:
+        Standard deviations that report a drift (must exceed
+        ``warning_factor``).
+    min_observations:
+        Observations required before the error statistics are trusted.
+    predictor_order:
+        Order of the autoregressive predictor whose mistakes form the
+        binary error stream.
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when ``drift_factor`` does not exceed
+        ``warning_factor`` or a count is not a positive integer.
+
+    Example
+    -------
+    >>> from repro.api import DDMConfig
+    >>> DDMConfig(warning_factor=2.0, drift_factor=3.0).validate().detector
+    'ddm'
+    """
 
     detector: ClassVar[str] = "ddm"
     competitor: ClassVar[str] = "DDM"
@@ -500,7 +845,32 @@ class DDMConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class HDDMConfig(CompetitorConfig):
-    """Configuration of HDDM-A (Hoeffding-bound drift detection, averages)."""
+    """Configuration of HDDM-A (Hoeffding-bound drift detection, averages).
+
+    Parameters
+    ----------
+    drift_confidence:
+        Hoeffding-bound confidence that reports a drift (must be below
+        ``warning_confidence``).
+    warning_confidence:
+        Confidence that raises the warning state (in ``(0, 1)``).
+    predictor_order:
+        Order of the autoregressive predictor producing the error stream.
+    value_range:
+        Assumed range of the monitored values in the Hoeffding bound.
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when the confidences are not ordered
+        ``0 < drift < warning < 1``.
+
+    Example
+    -------
+    >>> from repro.api import HDDMConfig
+    >>> HDDMConfig(drift_confidence=1e-5).validate().detector
+    'hddm'
+    """
 
     detector: ClassVar[str] = "hddm"
     competitor: ClassVar[str] = "HDDM"
@@ -519,7 +889,30 @@ class HDDMConfig(CompetitorConfig):
 
 @dataclass(frozen=True)
 class HDDMWConfig(HDDMConfig):
-    """Configuration of HDDM-W (the EWMA-weighted variant)."""
+    """Configuration of HDDM-W (the EWMA-weighted variant).
+
+    Inherits the :class:`HDDMConfig` fields — ``drift_confidence``,
+    ``warning_confidence``, ``predictor_order`` and ``value_range`` — and
+    adds the EWMA weight.
+
+    Parameters
+    ----------
+    ``lambda_``:
+        EWMA weight in ``(0, 1)`` of the most recent error (trailing
+        underscore because the bare keyword is reserved).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when ``lambda_`` leaves ``(0, 1)`` or an
+        inherited confidence is out of order.
+
+    Example
+    -------
+    >>> from repro.api import HDDMWConfig
+    >>> HDDMWConfig(lambda_=0.1).validate().detector
+    'hddm-w'
+    """
 
     detector: ClassVar[str] = "hddm-w"
     competitor: ClassVar[str] = "HDDM-W"
@@ -535,7 +928,33 @@ class HDDMWConfig(HDDMConfig):
 
 @dataclass(frozen=True)
 class PageHinkleyConfig(CompetitorConfig):
-    """Configuration of the Page-Hinkley cumulative-deviation test."""
+    """Configuration of the Page-Hinkley cumulative-deviation test.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude tolerance subtracted from each deviation before it is
+        accumulated.
+    threshold:
+        Report a change point when the cumulative deviation exceeds this
+        (strictly positive).
+    min_observations:
+        Observations required before the test may fire.
+    two_sided:
+        Track deviations in both directions (``False`` = increases only).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when ``threshold`` is not positive or
+        ``min_observations`` is not a positive integer.
+
+    Example
+    -------
+    >>> from repro.api import PageHinkleyConfig
+    >>> PageHinkleyConfig(threshold=30.0).validate().detector
+    'page-hinkley'
+    """
 
     detector: ClassVar[str] = "page-hinkley"
     competitor: ClassVar[str] = "PageHinkley"

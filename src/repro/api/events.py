@@ -42,6 +42,12 @@ class SegmenterEvent:
     at:
         Absolute stream position (number of observations seen) at which the
         event was emitted.
+
+    Example
+    -------
+    >>> from repro.api import WarmupEvent
+    >>> WarmupEvent(at=100).to_dict()
+    {'kind': 'warmup', 'at': 100, 'subsequence_width': None}
     """
 
     #: Discriminator used by the JSON mapping; unique per event class.
@@ -61,8 +67,14 @@ class SegmenterEvent:
 class WarmupEvent(SegmenterEvent):
     """The detector finished warming up and can report change points.
 
+    ``at`` is the stream position at which warm-up completed;
     ``subsequence_width`` carries the learned width for ClaSS-family
     detectors and stays None for methods without a width concept.
+
+    Example
+    -------
+    >>> WarmupEvent(at=10_000, subsequence_width=128).kind
+    'warmup'
     """
 
     kind: ClassVar[str] = "warmup"
@@ -72,7 +84,16 @@ class WarmupEvent(SegmenterEvent):
 
 @dataclass(frozen=True)
 class ScoreEvent(SegmenterEvent):
-    """Periodic observation of the detector's current detection score."""
+    """Periodic observation of the detector's current detection score.
+
+    ``at`` is the stream position of the observation; ``score`` the best
+    split score of the latest ClaSP (or a competitor's ``last_score``).
+
+    Example
+    -------
+    >>> ScoreEvent(at=2_500, score=0.81).to_dict()
+    {'kind': 'score', 'at': 2500, 'score': 0.81}
+    """
 
     kind: ClassVar[str] = "score"
 
@@ -86,6 +107,12 @@ class ChangePointEvent(SegmenterEvent):
     ``at`` is the detection position; ``change_point`` the (earlier) stream
     position of the state change itself.  ``score`` and ``p_value`` are None
     for methods that do not produce them.
+
+    Example
+    -------
+    >>> event = ChangePointEvent(at=5_200, change_point=5_000, score=0.9)
+    >>> event.detection_delay
+    200
     """
 
     kind: ClassVar[str] = "change_point"
@@ -107,7 +134,29 @@ EVENT_KINDS: dict[str, type[SegmenterEvent]] = {
 
 
 def event_from_dict(payload: dict[str, Any]) -> SegmenterEvent:
-    """Rebuild a typed event from its :meth:`SegmenterEvent.to_dict` mapping."""
+    """Rebuild a typed event from its :meth:`SegmenterEvent.to_dict` mapping.
+
+    Parameters
+    ----------
+    payload:
+        A mapping with a ``kind`` discriminator plus that event class's
+        fields, exactly as produced by ``to_dict``.
+
+    Returns
+    -------
+    The frozen event instance of the class ``kind`` names.
+
+    Raises
+    ------
+    ConfigurationError
+        When the payload is not a mapping, names an unknown ``kind``, or
+        carries fields the event class does not have.
+
+    Example
+    -------
+    >>> event_from_dict({"kind": "score", "at": 10, "score": 0.5})
+    ScoreEvent(at=10, score=0.5)
+    """
     try:
         kind = payload["kind"]
     except (TypeError, KeyError) as error:

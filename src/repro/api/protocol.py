@@ -30,7 +30,18 @@ from repro.api.events import SegmenterEvent
 
 @runtime_checkable
 class Segmenter(Protocol):
-    """Structural type of every detector constructed by :func:`repro.api.create`."""
+    """Structural type of every detector constructed by :func:`repro.api.create`.
+
+    ``isinstance(obj, Segmenter)`` checks member presence at runtime (the
+    protocol is ``runtime_checkable``); :func:`ensure_segmenter` raises a
+    descriptive ``TypeError`` instead of returning False.
+
+    Example
+    -------
+    >>> from repro import api
+    >>> isinstance(api.create("class"), api.Segmenter)
+    True
+    """
 
     @property
     def n_seen(self) -> int:
@@ -68,7 +79,27 @@ class Segmenter(Protocol):
 
 
 def ensure_segmenter(obj, context: str = "detector") -> "Segmenter":
-    """Assert that ``obj`` satisfies the protocol; return it for chaining."""
+    """Assert that ``obj`` satisfies the protocol; return it for chaining.
+
+    Parameters
+    ----------
+    obj:
+        The candidate detector instance.
+    context:
+        Label naming the call site in the error message.
+
+    Raises
+    ------
+    TypeError
+        When ``obj`` misses protocol members; the message lists them.
+
+    Example
+    -------
+    >>> from repro import api
+    >>> from repro.api.protocol import ensure_segmenter
+    >>> ensure_segmenter(api.create("class")).n_seen
+    0
+    """
     if not isinstance(obj, Segmenter):
         missing = [
             name

@@ -38,7 +38,19 @@ from repro.utils.exceptions import ConfigurationError
 
 @dataclass(frozen=True)
 class DetectorSpec:
-    """One registered detector: key, config type, builder and a summary line."""
+    """One registered detector: key, config type, builder and a summary line.
+
+    ``key`` is the canonical registry key, ``config_cls`` the typed config
+    class validated before construction, ``builder`` the callable turning a
+    validated config into a live detector, and ``summary`` a one-line
+    description shown by the CLI and the generated docs.
+
+    Example
+    -------
+    >>> from repro import api
+    >>> api.spec("class").config_cls.__name__
+    'ClaSSConfig'
+    """
 
     key: str
     config_cls: type[SegmenterConfig]
@@ -59,7 +71,18 @@ _ALIASES = {
 
 
 def normalise_key(key: str) -> str:
-    """Canonical form of a registry key (lower-case, dash-separated)."""
+    """Canonical form of a registry key (lower-case, dash-separated).
+
+    Returns the canonical key with historical aliases resolved
+    (``"HDDM-A"`` and ``"hddm_a"`` both map to ``"hddm"``); raises
+    :class:`~repro.utils.exceptions.ConfigurationError` when ``key`` is not
+    a string.
+
+    Example
+    -------
+    >>> normalise_key("ChangeFinder")
+    'change-finder'
+    """
     if not isinstance(key, str):
         raise ConfigurationError(f"detector key must be a string, got {type(key).__name__}")
     normalised = key.strip().lower().replace("_", "-").replace(" ", "-")
@@ -77,6 +100,34 @@ def register(
     ``builder`` defaults to the config's own :meth:`~repro.api.config.SegmenterConfig.build`;
     re-registering an existing key replaces the spec (latest wins), which is
     how downstream code can shadow a built-in with a tuned variant.
+
+    Parameters
+    ----------
+    key:
+        Registry key the detector is reachable under (normalised first).
+    config_cls:
+        The :class:`~repro.api.config.SegmenterConfig` subclass describing
+        the detector's parameters.
+    builder:
+        Optional callable turning a validated config into the detector.
+    summary:
+        One-line description shown by the CLI and the generated docs.
+
+    Returns
+    -------
+    The registered :class:`DetectorSpec`.
+
+    Raises
+    ------
+    ConfigurationError
+        When the key is empty (after normalisation) or ``config_cls`` is
+        not a ``SegmenterConfig`` subclass.
+
+    Example
+    -------
+    >>> from repro.api import ClaSSConfig, register
+    >>> register("my-class", ClaSSConfig, summary="tuned variant").key
+    'my-class'
     """
     canonical = normalise_key(key)
     if not canonical:
@@ -94,12 +145,29 @@ def register(
 
 
 def available() -> tuple[str, ...]:
-    """All registered detector keys, sorted."""
+    """All registered detector keys, as a sorted tuple (the return value).
+
+    Example
+    -------
+    >>> from repro import api
+    >>> "class" in api.available()
+    True
+    """
     return tuple(sorted(_REGISTRY))
 
 
 def spec(key: str) -> DetectorSpec:
-    """The :class:`DetectorSpec` registered under ``key``."""
+    """Return the :class:`DetectorSpec` registered under ``key``.
+
+    Raises :class:`~repro.utils.exceptions.ConfigurationError` for keys no
+    detector is registered under.
+
+    Example
+    -------
+    >>> from repro import api
+    >>> api.spec("floss").key
+    'floss'
+    """
     canonical = normalise_key(key)
     if canonical not in _REGISTRY:
         raise ConfigurationError(
@@ -109,7 +177,14 @@ def spec(key: str) -> DetectorSpec:
 
 
 def config_class(key: str) -> type[SegmenterConfig]:
-    """The typed config class of a registered detector."""
+    """Return the typed config class of the detector registered under ``key``.
+
+    Example
+    -------
+    >>> from repro import api
+    >>> api.config_class("bocd").__name__
+    'BOCDConfig'
+    """
     return spec(key).config_cls
 
 
@@ -124,11 +199,27 @@ def create(key: str, config: SegmenterConfig | dict | None = None, **overrides):
     config:
         A typed config instance, a :meth:`~repro.api.config.SegmenterConfig.to_dict`
         mapping, or None to start from the detector's defaults.
-    **overrides:
+    ``**overrides``:
         Individual config fields replacing the corresponding entries of
         ``config`` (e.g. ``create("class", window_size=2_000)``).
 
-    The effective config is validated before the detector is constructed.
+    Returns
+    -------
+    The ready-to-stream detector (the spec's builder output); the effective
+    config is validated before the detector is constructed.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown keys, config instances of the wrong type, unknown
+        config fields, or field values the config's ``validate`` rejects.
+
+    Example
+    -------
+    >>> from repro import api
+    >>> segmenter = api.create("class", {"window_size": 500})
+    >>> segmenter.n_seen
+    0
     """
     detector_spec = spec(key)
     if config is None:
@@ -148,7 +239,18 @@ def create(key: str, config: SegmenterConfig | dict | None = None, **overrides):
 
 
 def key_for_config(config: SegmenterConfig) -> str:
-    """Registry key a config instance belongs to (by its ``detector`` attribute)."""
+    """Return the registry key a config instance belongs to.
+
+    Resolved through the config class's ``detector`` attribute; raises
+    :class:`~repro.utils.exceptions.ConfigurationError` when the config does
+    not describe a registered detector.
+
+    Example
+    -------
+    >>> from repro.api import ClaSSConfig, key_for_config
+    >>> key_for_config(ClaSSConfig())
+    'class'
+    """
     key = getattr(type(config), "detector", "")
     if not key or normalise_key(key) not in _REGISTRY:
         raise ConfigurationError(

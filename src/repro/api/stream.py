@@ -56,6 +56,25 @@ def stream(
     finalize:
         Call ``finalize()`` after the last chunk and yield any events it
         produces (e.g. the batch-ClaSP adapter segments only on finalize).
+
+    Yields
+    ------
+    :class:`~repro.api.events.SegmenterEvent` instances in stream order, as
+    soon as the chunk containing them has been processed.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``values`` is not 1-d/2-d or ``chunk_size`` is not positive.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro import api
+    >>> segmenter = api.create("class", {"window_size": 500})
+    >>> events = list(api.stream(segmenter, np.sin(np.arange(600) / 9.0)))
+    >>> [event.kind for event in events]
+    ['warmup']
     """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim not in (1, 2):

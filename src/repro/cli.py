@@ -1,11 +1,13 @@
 """Command-line interface for quick, scriptable use of the library.
 
-Three sub-commands cover the common workflows without writing Python:
+Four sub-commands cover the common workflows without writing Python:
 
 * ``segment``   — stream a CSV/NPZ file (or a generated demo stream) through
   ClaSS and print the detected change points, as human-readable text or as
   one JSON event per line; ``--checkpoint`` / ``--resume`` persist and
   restore the full segmenter state between invocations.
+* ``serve``     — run the asyncio segmentation service: named streams over
+  HTTP/WebSocket, hash-sharded workers, live rebalancing (``docs/service.rst``).
 * ``evaluate``  — run ClaSS and selected competitors over a simulated
   collection and print the Covering summary and ranking.
 * ``datasets``  — list the available dataset collections (Table 1).
@@ -19,6 +21,7 @@ Examples
 ::
 
     python -m repro.cli datasets
+    python -m repro.cli serve --port 8765 --shards 4
     python -m repro.cli segment --demo --window-size 2000
     python -m repro.cli segment recording.csv --scoring-interval 5 --output json
     python -m repro.cli segment part1.csv --checkpoint state.ckpt
@@ -167,6 +170,33 @@ def cmd_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio segmentation service until interrupted."""
+    import asyncio
+
+    from repro.service import SegmentationService
+    from repro.utils.exceptions import ConfigurationError
+
+    try:
+        service = SegmentationService(n_shards=args.shards, max_batch=args.max_batch)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serving segmentation on http://{args.host}:{args.port} "
+        f"({args.shards} shard worker(s); ctrl-c to stop)",
+        file=sys.stderr,
+    )
+    try:
+        asyncio.run(service.serve_forever(host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except OSError as error:  # e.g. port already bound
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Run a miniature version of the paper's comparison on one collection."""
     if args.workers < 1:
@@ -260,6 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(warmup / change_point events plus a final summary)",
     )
     segment_parser.set_defaults(handler=cmd_segment)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the asyncio segmentation service (HTTP + WebSocket)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765)
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard workers; streams are CRC-32 hash-routed across them",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=100_000,
+        help="maximum observations accepted per batch (larger requests get a 413)",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
 
     evaluate_parser = subparsers.add_parser("evaluate", help="run a miniature comparison")
     evaluate_parser.add_argument("--collection", default="TSSB", choices=sorted(COLLECTIONS))

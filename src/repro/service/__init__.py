@@ -1,0 +1,40 @@
+"""repro.service — segmentation as a service (ROADMAP item 2).
+
+An asyncio HTTP/1.1 + WebSocket front door over the unified detector API
+and the sharded engine's CRC-32 stream partitioning.  Clients create named
+streams from a JSON detector config, push observation batches (or stream
+them over a WebSocket), and receive the typed :mod:`repro.api.events`
+objects back as JSON — each stream hash-routed to a shard worker, and
+movable between workers mid-stream via the bit-identical
+checkpoint/restore path (elastic rebalancing).
+
+The server is deliberately framework-free: request parsing, routing and
+the RFC 6455 WebSocket layer live in :mod:`repro.service.protocol`, so
+the only runtime dependencies are the stdlib and numpy.
+
+Quickstart::
+
+    python -m repro.cli serve --port 8765 --shards 4
+
+    curl -X POST localhost:8765/streams/sensor-1 \
+         -d '{"detector": "class", "config": {"window_size": 2000}}'
+    curl -X POST localhost:8765/streams/sensor-1/observations \
+         -d '{"values": [0.12, 0.31, 0.27]}'
+    curl 'localhost:8765/streams/sensor-1/events?since=0'
+
+See ``docs/service.rst`` for the full protocol reference.
+"""
+
+from repro.service.client import ServiceClient, WebSocketSession
+from repro.service.errors import ServiceError
+from repro.service.server import SegmentationService
+from repro.service.streams import StreamRegistry, StreamState
+
+__all__ = [
+    "SegmentationService",
+    "ServiceClient",
+    "ServiceError",
+    "StreamRegistry",
+    "StreamState",
+    "WebSocketSession",
+]

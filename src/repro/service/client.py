@@ -1,0 +1,214 @@
+"""A minimal asyncio client for the segmentation service (tests + load gen).
+
+:class:`ServiceClient` speaks the same stdlib wire layer as the server: one
+keep-alive HTTP/1.1 connection per client (so a load test with hundreds of
+clients measures request handling, not TCP churn), JSON request/response
+bodies, and a :class:`WebSocketSession` upgrade helper with client-side
+frame masking.
+
+Example
+-------
+::
+
+    client = ServiceClient("127.0.0.1", port)
+    await client.connect()
+    status, body = await client.request("POST", "/streams/s1", {"detector": "class"})
+    status, body = await client.request(
+        "POST", "/streams/s1/observations", {"values": [0.1, 0.2]}
+    )
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+from typing import Any
+
+from repro.service.protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+
+
+class ServiceClient:
+    """One keep-alive HTTP/1.1 connection to a running service.
+
+    Parameters
+    ----------
+    host, port:
+        The service's listening address.
+
+    Raises
+    ------
+    ProtocolError
+        On malformed response framing from the peer.
+
+    Example
+    -------
+    See the module docstring and ``tests/test_service_http.py``.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServiceClient":
+        """Open the TCP connection; returns self so calls chain."""
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, Any]:
+        """Send one JSON request; return ``(status, parsed_body)``.
+
+        ``payload`` is JSON-serialised when given; the response body is
+        JSON-parsed when non-empty (None otherwise).
+        """
+        if self._writer is None or self._reader is None:
+            await self.connect()
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> tuple[int, Any]:
+        """Parse one HTTP response off the wire."""
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        try:
+            status = int(status_line.split(" ", 2)[1])
+        except (IndexError, ValueError) as error:
+            raise ProtocolError(f"malformed status line {status_line!r}") from error
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else None)
+
+    # ------------------------------------------------------------------ #
+
+    async def open_websocket(self, path: str) -> "WebSocketSession":
+        """Upgrade a *fresh* connection to a WebSocket session on ``path``."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Connection: Upgrade\r\n"
+            f"Upgrade: websocket\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            f"Sec-WebSocket-Version: 13\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        response = await reader.readuntil(b"\r\n\r\n")
+        status_line = response.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f" {status_line} ":
+            # the server answered with a normal (error) response; surface it
+            headers = _parse_headers(response)
+            length = int(headers.get("content-length", "0"))
+            raw = await reader.readexactly(length) if length else b""
+            writer.close()
+            raise ProtocolError(
+                f"websocket upgrade refused: {status_line} {raw.decode('utf-8', 'replace')}"
+            )
+        return WebSocketSession(reader, writer)
+
+
+def _parse_headers(head: bytes) -> dict[str, str]:
+    """Lower-cased header mapping of a raw response head."""
+    headers: dict[str, str] = {}
+    for line in head.decode("latin-1").split("\r\n")[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+class WebSocketSession:
+    """A client-side WebSocket: JSON frames in both directions.
+
+    Client frames are masked as RFC 6455 requires; control frames (ping,
+    close) are handled transparently by :meth:`recv_json`.
+
+    Example
+    -------
+    ::
+
+        session = await client.open_websocket("/streams/s1/ws")
+        await session.send_json({"values": [0.1, 0.2, 0.3]})
+        message = await session.recv_json()      # ack / event / error frame
+        await session.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def send_json(self, payload: Any) -> None:
+        """Send one masked text frame carrying ``payload`` as JSON."""
+        frame = encode_frame(OP_TEXT, json.dumps(payload).encode("utf-8"), mask=True)
+        self._writer.write(frame)
+        await self._writer.drain()
+
+    async def recv_json(self) -> Any | None:
+        """Receive the next JSON text frame (None once the peer closes)."""
+        while True:
+            try:
+                opcode, payload = await read_frame(self._reader)
+            except (ProtocolError, ConnectionError):
+                return None
+            if opcode == OP_CLOSE:
+                return None
+            if opcode == OP_PING:
+                self._writer.write(encode_frame(OP_PONG, payload, mask=True))
+                await self._writer.drain()
+                continue
+            if opcode == OP_TEXT:
+                return json.loads(payload)
+            # ignore binary/pong frames
+
+    async def close(self) -> None:
+        """Send a close frame and drop the connection."""
+        try:
+            self._writer.write(encode_frame(OP_CLOSE, b"", mask=True))
+            await self._writer.drain()
+        except ConnectionError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass

@@ -1,0 +1,290 @@
+"""Minimal HTTP/1.1 and RFC 6455 WebSocket wire layer (stdlib only).
+
+The service deliberately avoids a web framework: this module is the whole
+wire protocol.  It covers exactly what the segmentation front door needs —
+
+* request parsing (:func:`read_request`): request line, headers, a
+  ``Content-Length`` body with a hard size cap, keep-alive semantics,
+* response rendering (:func:`render_response`): status line + headers +
+  body bytes, JSON by default,
+* the WebSocket handshake (:func:`websocket_accept_key`,
+  :func:`is_websocket_upgrade`) and frame codec (:func:`encode_frame`,
+  :func:`read_frame`): text/close/ping/pong frames, client-side masking,
+  64-bit extended lengths.
+
+Framing errors raise :class:`ProtocolError`; the server answers with a 400
+and closes the connection instead of crashing the handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.service.errors import REASONS, ServiceError
+
+#: Hard cap on request bodies (bytes); larger requests get a typed 413.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Hard cap on a single WebSocket frame payload (bytes).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+#: RFC 6455 §1.3 handshake GUID.
+WEBSOCKET_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes used by the service.
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP framing or WebSocket frame; the connection is closed."""
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed HTTP/1.1 request.
+
+    Attributes
+    ----------
+    method:
+        Upper-case request method (``"GET"``, ``"POST"``, ...).
+    path:
+        URL-decoded path component (no query string).
+    query:
+        Query parameters as a flat dict (last value wins).
+    headers:
+        Header mapping with lower-cased names.
+    body:
+        Raw body bytes (empty for body-less requests).
+    """
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection survives this exchange (HTTP/1.1 default)."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self, context: str = "request body") -> Any:
+        """Parse the body as JSON; raise a typed 400 :class:`ServiceError` if invalid."""
+        if not self.body:
+            raise ServiceError(400, "bad-json", f"{context} is empty; expected a JSON document")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ServiceError(
+                400, "bad-json", f"{context} is not valid JSON", detail=str(error)
+            ) from error
+
+
+async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Read and parse one request; return None on a clean end-of-stream.
+
+    Raises
+    ------
+    ProtocolError
+        On malformed framing (bad request line, oversized head, truncated
+        body, non-integer ``Content-Length``).
+    ServiceError
+        With status 413 when the declared body exceeds :data:`MAX_BODY_BYTES`.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between requests
+        raise ProtocolError("connection closed mid-request") from error
+    except asyncio.LimitOverrunError as error:
+        raise ProtocolError("request head exceeds the header size limit") from error
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError as error:
+        raise ProtocolError("malformed HTTP request line") from error
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    request = HTTPRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query={key: value for key, value in parse_qsl(split.query)},
+        headers=headers,
+    )
+
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError as error:
+        raise ProtocolError(f"invalid Content-Length {length_header!r}") from error
+    if length < 0:
+        raise ProtocolError(f"invalid Content-Length {length_header!r}")
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(
+            413,
+            "oversized-body",
+            f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} byte limit",
+        )
+    if length:
+        try:
+            request.body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise ProtocolError("connection closed mid-body") from error
+    return request
+
+
+def render_response(
+    status: int,
+    payload: Any = None,
+    *,
+    keep_alive: bool = True,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Render a full HTTP/1.1 response as bytes.
+
+    ``payload`` may be ready-made ``bytes`` or any JSON-serialisable value
+    (serialised compactly); None renders an empty body.
+    """
+    if payload is None:
+        body = b""
+    elif isinstance(payload, bytes):
+        body = payload
+    else:
+        body = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+# --------------------------------------------------------------------------- #
+# WebSocket (RFC 6455)
+# --------------------------------------------------------------------------- #
+
+
+def is_websocket_upgrade(request: HTTPRequest) -> bool:
+    """Whether a request asks for a WebSocket upgrade (RFC 6455 §4.2.1)."""
+    connection = request.headers.get("connection", "").lower()
+    upgrade = request.headers.get("upgrade", "").lower()
+    return "upgrade" in connection and upgrade == "websocket"
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` value for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((client_key + WEBSOCKET_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def render_websocket_handshake(request: HTTPRequest) -> bytes:
+    """The 101 Switching Protocols response completing the upgrade.
+
+    Raises
+    ------
+    ProtocolError
+        When the mandatory ``Sec-WebSocket-Key`` header is missing.
+    """
+    client_key = request.headers.get("sec-websocket-key")
+    if not client_key:
+        raise ProtocolError("websocket upgrade without a Sec-WebSocket-Key header")
+    lines = [
+        "HTTP/1.1 101 Switching Protocols",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Accept: {websocket_accept_key(client_key)}",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_frame(opcode: int, payload: bytes, *, mask: bool = False) -> bytes:
+    """Encode one complete (FIN) WebSocket frame.
+
+    Servers send unmasked frames; clients must set ``mask=True`` (RFC 6455
+    §5.3 — the mask bytes are random per frame).
+    """
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += length.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += length.to_bytes(8, "big")
+    if mask:
+        mask_key = os.urandom(4)
+        header += mask_key
+        payload = _apply_mask(payload, mask_key)
+    return bytes(header) + payload
+
+
+def _apply_mask(payload: bytes, mask_key: bytes) -> bytes:
+    """XOR-mask (or unmask — the operation is its own inverse) a payload."""
+    repeated = (mask_key * (len(payload) // 4 + 1))[: len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, repeated))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one complete WebSocket frame; return ``(opcode, payload)``.
+
+    Raises
+    ------
+    ProtocolError
+        On fragmented frames (unsupported by this minimal layer), reserved
+        bits, oversized payloads, or a connection closed mid-frame.
+    """
+    try:
+        first, second = await reader.readexactly(2)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    if not first & 0x80:
+        raise ProtocolError("fragmented websocket frames are not supported")
+    if first & 0x70:
+        raise ProtocolError("websocket reserved bits must be zero (no extensions)")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    try:
+        if length == 126:
+            length = int.from_bytes(await reader.readexactly(2), "big")
+        elif length == 127:
+            length = int.from_bytes(await reader.readexactly(8), "big")
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"websocket frame of {length} bytes exceeds the limit")
+        mask_key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    if masked:
+        payload = _apply_mask(payload, mask_key)
+    return opcode, payload

@@ -1,0 +1,300 @@
+"""The asyncio segmentation server: connection handling + WebSocket fan-out.
+
+:class:`SegmentationService` ties the pieces together: an
+``asyncio.start_server`` accept loop, the :mod:`repro.service.protocol`
+wire layer, the :mod:`repro.service.routes` dispatch table, the
+:mod:`repro.service.streams` registry and the :mod:`repro.service.workers`
+shard pool.  One instance serves many keep-alive HTTP connections plus any
+number of per-stream WebSocket sessions, all on a single event loop; the
+CPU-bound detector work is serialized per shard by the workers.
+
+Failure containment: a typed :class:`~repro.service.errors.ServiceError`
+renders as its 4xx body; a framing error closes only that connection; any
+unexpected handler exception renders a 500 ``internal-error`` body — the
+accept loop, the other connections and the shard workers keep running
+(pinned by ``tests/test_service_http.py``).
+
+Example
+-------
+>>> import asyncio
+>>> from repro.service import SegmentationService
+>>> async def demo():
+...     service = SegmentationService(n_shards=2)
+...     await service.start(port=0)          # ephemeral port
+...     print(service.port > 0)
+...     await service.stop()
+>>> asyncio.run(demo())
+True
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+
+from repro.service.errors import ServiceError
+from repro.service.protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    HTTPRequest,
+    ProtocolError,
+    encode_frame,
+    is_websocket_upgrade,
+    read_frame,
+    read_request,
+    render_response,
+    render_websocket_handshake,
+)
+from repro.service.routes import ServiceRoutes
+from repro.service.streams import DEFAULT_MAX_BATCH, StreamRegistry
+from repro.service.workers import WorkerPool
+
+logger = logging.getLogger(__name__)
+
+#: Matches ``/streams/{name}/ws`` for the WebSocket upgrade path.
+_WS_SUFFIX = "/ws"
+
+
+class SegmentationService:
+    """A complete segmentation-as-a-service instance on one event loop.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shard workers; streams are CRC-32 partitioned over them.
+    max_batch:
+        Maximum observations per batch (typed 413 beyond).
+
+    Raises
+    ------
+    ConfigurationError
+        When ``n_shards`` or ``max_batch`` is invalid (via the registry).
+
+    Example
+    -------
+    See the module docstring; ``tests/test_service_integration.py`` drives a
+    full multi-stream session including a mid-stream rebalance.
+    """
+
+    def __init__(self, n_shards: int = 4, max_batch: int = DEFAULT_MAX_BATCH) -> None:
+        self.registry = StreamRegistry(n_shards, max_batch=max_batch)
+        self.pool = WorkerPool(n_shards)
+        self.routes = ServiceRoutes(self.registry, self.pool)
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` ephemeral binds)."""
+        if self._server is None:
+            return 0
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the listener and start the shard workers."""
+        self.pool.start()
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+
+    async def stop(self) -> None:
+        """Close the listener and stop the shard workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.pool.stop()
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+        """Blocking entry point used by ``python -m repro.cli serve``."""
+        await self.start(host, port)
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ServiceError as error:  # e.g. oversized declared body
+                    writer.write(render_response(error.status, error.body(), keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if is_websocket_upgrade(request):
+                    await self._serve_websocket(request, reader, writer)
+                    break
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except ProtocolError as error:
+            with contextlib.suppress(ConnectionError):
+                writer.write(
+                    render_response(
+                        400,
+                        {"error": {"code": "protocol-error", "message": str(error)}},
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: HTTPRequest) -> bytes:
+        """Route one HTTP request; always returns a rendered response."""
+        try:
+            handler, params = self.routes.router.match(request.method, request.path)
+            status, payload = await handler(request, **params)
+            return render_response(status, payload, keep_alive=request.keep_alive)
+        except ServiceError as error:
+            return render_response(error.status, error.body(), keep_alive=request.keep_alive)
+        except Exception:  # unexpected bug: answer 500, keep the service up
+            logger.exception("unhandled error serving %s %s", request.method, request.path)
+            return render_response(
+                500,
+                {"error": {"code": "internal-error", "message": "unhandled server error"}},
+                keep_alive=False,
+            )
+
+    # ------------------------------------------------------------------ #
+    # WebSocket sessions
+    # ------------------------------------------------------------------ #
+
+    async def _serve_websocket(
+        self,
+        request: HTTPRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One per-stream WebSocket session: subscribe + optional intake.
+
+        The upgrade path is ``/streams/{name}/ws``; after the handshake the
+        server pushes every event of the stream as one JSON text frame
+        (starting from the ``?since=`` cursor), and the client may push
+        ``{"values": [...]}`` observation frames back.  Client errors are
+        answered with ``{"kind": "error", ...}`` frames — the session and
+        the service survive them.
+        """
+        if not request.path.endswith(_WS_SUFFIX):
+            writer.write(
+                render_response(
+                    404,
+                    {"error": {"code": "unknown-route", "message": "websocket path is /streams/{name}/ws"}},
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+        name = request.path[len("/streams/") : -len(_WS_SUFFIX)]
+        try:
+            stream = self.registry.get(name)
+            cursor = int(request.query.get("since", "0"))
+        except ServiceError as error:
+            writer.write(render_response(error.status, error.body(), keep_alive=False))
+            await writer.drain()
+            return
+        except ValueError:
+            writer.write(
+                render_response(
+                    400,
+                    {"error": {"code": "bad-request", "message": "'since' must be an integer"}},
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+
+        writer.write(render_websocket_handshake(request))
+        await writer.drain()
+
+        queue: asyncio.Queue = asyncio.Queue()
+        for payload in stream.event_log[cursor:]:
+            queue.put_nowait(payload)
+        stream.subscribers.add(queue)
+        sender = asyncio.create_task(self._ws_sender(queue, writer))
+        try:
+            await self._ws_receiver(stream, reader, writer)
+        finally:
+            stream.subscribers.discard(queue)
+            sender.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await sender
+
+    async def _ws_sender(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        """Drain a subscriber queue into text frames (None closes the socket)."""
+        try:
+            while True:
+                payload = await queue.get()
+                if payload is None:  # stream deleted
+                    writer.write(encode_frame(OP_CLOSE, b""))
+                    await writer.drain()
+                    return
+                frame = encode_frame(OP_TEXT, json.dumps(payload).encode("utf-8"))
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("websocket sender failed")
+
+    async def _ws_receiver(
+        self, stream, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve inbound frames until the client closes or the link drops."""
+        while True:
+            try:
+                opcode, payload = await read_frame(reader)
+            except (ProtocolError, ConnectionError):
+                return
+            if opcode == OP_CLOSE:
+                with contextlib.suppress(ConnectionError):
+                    writer.write(encode_frame(OP_CLOSE, payload))
+                    await writer.drain()
+                return
+            if opcode == OP_PING:
+                writer.write(encode_frame(OP_PONG, payload))
+                await writer.drain()
+                continue
+            if opcode != OP_TEXT:
+                continue  # ignore binary/pong frames
+            response = await self._ws_ingest(stream, payload)
+            if response is not None:
+                writer.write(encode_frame(OP_TEXT, json.dumps(response).encode("utf-8")))
+                await writer.drain()
+
+    async def _ws_ingest(self, stream, payload: bytes) -> dict | None:
+        """Apply one inbound ``{"values": [...]}`` frame; report typed errors."""
+        try:
+            try:
+                document = json.loads(payload)
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise ServiceError(400, "bad-json", "frame is not valid JSON", detail=str(error))
+            if stream.frozen:
+                raise ServiceError(409, "stream-frozen", f"stream {stream.name!r} is frozen")
+            values = self.registry.parse_observations(document)
+            await self.pool.process(stream, values)
+            return {"kind": "ack", "n_seen": int(stream.segmenter.n_seen)}
+        except ServiceError as error:
+            return {"kind": "error", **error.body()["error"]}
+        except Exception:  # unexpected bug: report, keep the session alive
+            logger.exception("websocket ingest failed on stream %r", stream.name)
+            return {"kind": "error", "code": "internal-error", "message": "unhandled error"}

@@ -1,0 +1,295 @@
+"""Named stream registry: detector lifecycle, shard routing, metrics.
+
+Each client-created stream owns one registry-built detector, a monotonically
+growing event log (the detector's own :meth:`events` history, exposed with a
+cursor), a set of live WebSocket subscribers, and latency/count metrics.
+Streams are hash-routed to shard workers with the *same* process-stable
+CRC-32 partitioning the batch engine uses
+(:func:`repro.streamengine.sharded.shard_for_key`), so a stream name maps to
+the same shard here and in an offline :class:`~repro.streamengine.sharded.ShardedPipeline`
+replay — and the assignment can be overridden per stream by the elastic
+rebalancing path (freeze → checkpoint → adopt on another worker → resume).
+
+Payload validation happens here, before anything reaches a worker: stream
+names, detector configs (rejected by the registry's own typed validation),
+observation arrays (shape, finiteness, batch size).  A malformed payload
+raises a typed :class:`~repro.service.errors.ServiceError` and never
+touches detector state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api import create, event_from_dict
+from repro.service.errors import ServiceError, unknown_stream
+from repro.streamengine.sharded import shard_for_key
+from repro.utils.exceptions import ConfigurationError, ReproError
+
+#: Accepted stream names (URL-safe, bounded).
+STREAM_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+#: Hard cap on observations per batch; larger batches get a typed 413.
+DEFAULT_MAX_BATCH = 100_000
+#: Per-stream reservoir of recent event latencies (seconds).
+LATENCY_WINDOW = 8_192
+
+
+def quantile(samples: list[float], q: float) -> float | None:
+    """The ``q`` quantile of a sample list (None when empty).
+
+    Uses the nearest-rank method on a sorted copy — exact for the small
+    per-stream reservoirs the metrics endpoint serves.
+    """
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class StreamMetrics:
+    """Event counts and latency reservoir of one stream."""
+
+    n_observations: int = 0
+    n_batches: int = 0
+    event_counts: dict[str, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+    def record(self, n_values: int, events: list, seconds: float) -> None:
+        """Account one processed batch: counts plus one latency per event."""
+        self.n_observations += int(n_values)
+        self.n_batches += 1
+        for event in events:
+            kind = getattr(type(event), "kind", "event")
+            self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+            if len(self.latencies) >= LATENCY_WINDOW:
+                self.latencies.pop(0)
+            self.latencies.append(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe metrics view: counts plus p50/p99 event latency."""
+        return {
+            "n_observations": self.n_observations,
+            "n_batches": self.n_batches,
+            "event_counts": dict(self.event_counts),
+            "n_events": sum(self.event_counts.values()),
+            "event_latency_p50_ms": _ms(quantile(self.latencies, 0.50)),
+            "event_latency_p99_ms": _ms(quantile(self.latencies, 0.99)),
+        }
+
+
+def _ms(seconds: float | None) -> float | None:
+    """Seconds → milliseconds rounded for display (None passes through)."""
+    return None if seconds is None else round(seconds * 1e3, 3)
+
+
+@dataclass
+class StreamState:
+    """One named stream: its detector, routing, event log and subscribers."""
+
+    name: str
+    detector: str
+    config: dict[str, Any]
+    segmenter: Any
+    shard: int
+    chunk_size: int | None = None
+    include_scores: bool = False
+    frozen: bool = False
+    #: Events already fanned out (cursor into ``segmenter.events()``).
+    n_emitted: int = 0
+    #: Extra service-side events (scores) appended next to detector history.
+    event_log: list[dict[str, Any]] = field(default_factory=list)
+    metrics: StreamMetrics = field(default_factory=StreamMetrics)
+    subscribers: set[asyncio.Queue] = field(default_factory=set)
+    created_at: float = field(default_factory=time.time)
+    #: Frozen checkpoint payload awaiting adoption by a worker (rebalance).
+    checkpoint: dict[str, Any] | None = None
+
+    def info(self) -> dict[str, Any]:
+        """JSON-safe stream descriptor served by ``GET /streams/{name}``."""
+        return {
+            "name": self.name,
+            "detector": self.detector,
+            "config": self.config,
+            "shard": self.shard,
+            "frozen": self.frozen,
+            "n_seen": int(self.segmenter.n_seen) if self.segmenter is not None else 0,
+            "n_events": len(self.event_log),
+            "change_points": [int(cp) for cp in self.segmenter.change_points]
+            if self.segmenter is not None
+            else [],
+        }
+
+    def publish(self, payloads: list[dict[str, Any]]) -> None:
+        """Append events to the log and fan them out to live subscribers."""
+        self.event_log.extend(payloads)
+        for queue in list(self.subscribers):
+            for payload in payloads:
+                queue.put_nowait(payload)
+
+
+class StreamRegistry:
+    """All live streams of one service instance, keyed by name.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shard workers streams are partitioned over.
+    max_batch:
+        Maximum observations accepted per batch (typed 413 beyond).
+
+    Raises
+    ------
+    ConfigurationError
+        When ``n_shards`` or ``max_batch`` is not a positive integer.
+    """
+
+    def __init__(self, n_shards: int, max_batch: int = DEFAULT_MAX_BATCH) -> None:
+        if not isinstance(n_shards, int) or isinstance(n_shards, bool) or n_shards < 1:
+            raise ConfigurationError("n_shards must be a positive integer")
+        if not isinstance(max_batch, int) or max_batch < 1:
+            raise ConfigurationError("max_batch must be a positive integer")
+        self.n_shards = n_shards
+        self.max_batch = max_batch
+        self._streams: dict[str, StreamState] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create_stream(self, name: str, spec: dict[str, Any]) -> StreamState:
+        """Create a stream from a JSON spec; validate everything up front.
+
+        ``spec`` accepts ``detector`` (registry key, default ``"class"``),
+        ``config`` (the detector's typed-config mapping), ``chunk_size``
+        (ingestion chunking) and ``include_scores`` (emit a
+        :class:`~repro.api.events.ScoreEvent` per processed batch).
+        """
+        if not isinstance(name, str) or not STREAM_NAME.match(name):
+            raise ServiceError(
+                400,
+                "bad-stream-name",
+                f"invalid stream name {name!r}; expected {STREAM_NAME.pattern}",
+            )
+        if name in self._streams:
+            raise ServiceError(409, "stream-exists", f"stream {name!r} already exists")
+        if not isinstance(spec, dict):
+            raise ServiceError(400, "bad-request", "stream spec must be a JSON object")
+        unknown = sorted(set(spec) - {"detector", "config", "chunk_size", "include_scores"})
+        if unknown:
+            raise ServiceError(400, "bad-request", f"unknown stream spec fields: {unknown}")
+        detector = spec.get("detector", "class")
+        config = spec.get("config", {})
+        chunk_size = spec.get("chunk_size")
+        if chunk_size is not None and (not isinstance(chunk_size, int) or chunk_size < 1):
+            raise ServiceError(400, "bad-request", "chunk_size must be a positive integer")
+        if not isinstance(config, dict):
+            raise ServiceError(400, "bad-config", "config must be a JSON object")
+        try:
+            segmenter = create(detector, config)
+        except ReproError as error:  # registry/typed-config validation failures
+            raise ServiceError(400, "bad-config", str(error)) from error
+        stream = StreamState(
+            name=name,
+            detector=str(detector),
+            config=config,
+            segmenter=segmenter,
+            shard=shard_for_key(name, self.n_shards),
+            chunk_size=chunk_size,
+            include_scores=bool(spec.get("include_scores", False)),
+        )
+        self._streams[name] = stream
+        return stream
+
+    def get(self, name: str) -> StreamState:
+        """The stream registered under ``name`` (typed 404 when absent)."""
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise unknown_stream(name) from None
+
+    def delete(self, name: str) -> StreamState:
+        """Remove and return a stream (typed 404 when absent)."""
+        stream = self.get(name)
+        del self._streams[name]
+        return stream
+
+    def list_streams(self) -> list[StreamState]:
+        """All streams in creation order."""
+        return list(self._streams.values())
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    # ------------------------------------------------------------------ #
+    # payload validation
+    # ------------------------------------------------------------------ #
+
+    def parse_observations(self, payload: Any) -> np.ndarray:
+        """Validate an observations payload into a float64 array.
+
+        Accepts ``{"values": [...]}`` with a flat list (univariate) or a
+        list of equal-length rows (multivariate).  Rejects, with typed 4xx
+        errors: non-object payloads, missing/empty/ragged values, non-numeric
+        entries, NaN/inf entries, and batches beyond ``max_batch``.
+        """
+        if not isinstance(payload, dict) or "values" not in payload:
+            raise ServiceError(
+                400, "bad-request", "observations payload must be {'values': [...]}"
+            )
+        unknown = sorted(set(payload) - {"values"})
+        if unknown:
+            raise ServiceError(400, "bad-request", f"unknown observation fields: {unknown}")
+        values = payload["values"]
+        if not isinstance(values, list) or not values:
+            raise ServiceError(400, "bad-request", "'values' must be a non-empty JSON array")
+        if len(values) > self.max_batch:
+            raise ServiceError(
+                413,
+                "oversized-batch",
+                f"batch of {len(values)} observations exceeds the {self.max_batch} limit",
+                detail={"max_batch": self.max_batch},
+            )
+        try:
+            array = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise ServiceError(
+                422, "bad-observations", "'values' must be numbers (or equal-length rows)",
+                detail=str(error),
+            ) from error
+        if array.ndim not in (1, 2):
+            raise ServiceError(
+                422, "bad-observations", f"'values' must be 1-d or 2-d, got shape {array.shape}"
+            )
+        if not np.isfinite(array).all():
+            bad = int(np.flatnonzero(~np.isfinite(array).reshape(-1))[0])
+            raise ServiceError(
+                422,
+                "non-finite-observations",
+                "observations must be finite numbers (no NaN/inf)",
+                detail={"first_bad_index": bad},
+            )
+        return array
+
+    # ------------------------------------------------------------------ #
+    # event log access
+    # ------------------------------------------------------------------ #
+
+    def events_since(self, name: str, cursor: int) -> tuple[list[dict[str, Any]], int]:
+        """Event payloads of a stream from ``cursor`` on, plus the next cursor."""
+        stream = self.get(name)
+        if cursor < 0:
+            raise ServiceError(400, "bad-request", "'since' must be a non-negative integer")
+        return stream.event_log[cursor:], len(stream.event_log)
+
+    @staticmethod
+    def typed_events(payloads: list[dict[str, Any]]) -> list:
+        """Rebuild typed event objects from logged payloads (audit helper)."""
+        return [event_from_dict(dict(payload)) for payload in payloads]

@@ -1,0 +1,205 @@
+"""Asyncio shard workers: serialized detector execution + elastic rebalance.
+
+Every stream is owned by exactly one :class:`ShardWorker` at a time (the
+CRC-32 assignment from :mod:`repro.service.streams`, until a rebalance moves
+it).  A worker is a single asyncio task draining a FIFO job queue, so all
+mutation of a stream's detector is serialized — batches of one stream are
+processed in arrival order, and a ``freeze`` job doubles as a barrier: by
+the time it runs, every batch enqueued before it has been fully processed.
+
+Job kinds:
+
+* ``process`` — run one observation batch through the detector (chunked via
+  the stream's ``chunk_size``), collect the *new* typed events from the
+  detector's history, stamp batch latency into the stream metrics and fan
+  the events out to subscribers.
+* ``freeze``  — serialise the detector (``save_state()``) and park the
+  payload on the stream; the stream stops accepting observations.
+* ``adopt``   — rebuild the detector from a frozen payload via the
+  checkpoint layer's :func:`~repro.api.checkpoint.restore` (the payload is
+  pickle round-tripped first, i.e. genuinely *shipped*), attach it to the
+  stream and resume — bit-identical to an uninterrupted run.
+
+A failing job never kills the worker: the exception is routed to the
+awaiting request handler's future and the loop continues with the next job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api import ScoreEvent, restore
+from repro.api.protocol import iter_chunks
+from repro.service.streams import StreamState
+
+
+@dataclass
+class _Job:
+    """One unit of serialized work bound for a shard worker."""
+
+    kind: str
+    stream: StreamState
+    values: np.ndarray | None = None
+    payload: dict | None = None
+    #: Enqueue timestamp — event latency is measured from here, so it
+    #: includes time spent queued behind other streams on the same shard.
+    created_at: float = field(default_factory=time.perf_counter)
+    future: asyncio.Future = field(
+        default_factory=lambda: asyncio.get_running_loop().create_future()
+    )
+
+
+class ShardWorker:
+    """One shard's executor: a FIFO queue drained by a single asyncio task."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.queue: asyncio.Queue[_Job] = asyncio.Queue()
+        self.n_jobs = 0
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        """Spawn the drain task (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.create_task(self._run(), name=f"shard-worker-{self.shard}")
+
+    async def stop(self) -> None:
+        """Cancel the drain task and wait for it to finish."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def submit(self, job: _Job) -> Any:
+        """Enqueue a job and await its result (exceptions re-raised here)."""
+        await self.queue.put(job)
+        return await job.future
+
+    async def _run(self) -> None:
+        while True:
+            job = await self.queue.get()
+            self.n_jobs += 1
+            try:
+                result = self._execute(job)
+            except Exception as error:  # job fails; worker survives
+                if not job.future.cancelled():
+                    job.future.set_exception(error)
+            else:
+                if not job.future.cancelled():
+                    job.future.set_result(result)
+            finally:
+                self.queue.task_done()
+            # yield to the event loop between CPU-bound jobs so accepted
+            # connections and other shards' handlers stay responsive
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, job: _Job) -> Any:
+        if job.kind == "process":
+            return self._process(job.stream, job.values, job.created_at)
+        if job.kind == "freeze":
+            return self._freeze(job.stream)
+        if job.kind == "adopt":
+            return self._adopt(job.stream, job.payload)
+        raise RuntimeError(f"unknown shard job kind {job.kind!r}")
+
+    def _process(
+        self, stream: StreamState, values: np.ndarray, enqueued_at: float
+    ) -> list[dict]:
+        """Ingest one batch; return the freshly emitted event payloads."""
+        segmenter = stream.segmenter
+        chunk_size = stream.chunk_size or values.shape[0]
+        for chunk in iter_chunks(values, chunk_size):
+            segmenter.process(chunk)
+        history = segmenter.events()
+        fresh = list(history[stream.n_emitted :])
+        stream.n_emitted = len(history)
+        if stream.include_scores:
+            score = getattr(segmenter, "current_score", None)
+            if score is not None:
+                fresh.append(ScoreEvent(at=int(segmenter.n_seen), score=float(score)))
+        elapsed = time.perf_counter() - enqueued_at
+        stream.metrics.record(values.shape[0], fresh, elapsed)
+        payloads = [event.to_dict() for event in fresh]
+        stream.publish(payloads)
+        return payloads
+
+    def _freeze(self, stream: StreamState) -> dict:
+        """Serialise the detector state; park it on the stream for adoption."""
+        payload = stream.segmenter.save_state()
+        stream.checkpoint = payload
+        stream.segmenter = None  # ownership moves with the payload
+        return {
+            "name": stream.name,
+            "frozen": True,
+            "checkpoint_format": payload.get("format"),
+        }
+
+    def _adopt(self, stream: StreamState, payload: dict) -> dict:
+        """Rebuild the detector from a shipped checkpoint payload; go live."""
+        shipped = pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        segmenter = restore(shipped)
+        stream.segmenter = segmenter
+        stream.checkpoint = None
+        stream.shard = self.shard
+        stream.frozen = False
+        return {
+            "name": stream.name,
+            "frozen": False,
+            "shard": self.shard,
+            "n_seen": int(segmenter.n_seen),
+        }
+
+
+class WorkerPool:
+    """The service's fixed set of shard workers, indexed by shard id."""
+
+    def __init__(self, n_shards: int) -> None:
+        self.workers = [ShardWorker(shard) for shard in range(n_shards)]
+
+    def start(self) -> None:
+        """Start every worker's drain task."""
+        for worker in self.workers:
+            worker.start()
+
+    async def stop(self) -> None:
+        """Stop every worker."""
+        for worker in self.workers:
+            await worker.stop()
+
+    def worker_for(self, stream: StreamState) -> ShardWorker:
+        """The worker currently owning a stream (by its ``shard`` field)."""
+        return self.workers[stream.shard]
+
+    async def process(self, stream: StreamState, values: np.ndarray) -> list[dict]:
+        """Run one batch on the stream's current worker; return event payloads."""
+        return await self.worker_for(stream).submit(
+            _Job(kind="process", stream=stream, values=values)
+        )
+
+    async def freeze(self, stream: StreamState) -> dict:
+        """Barrier-freeze a stream on its current worker."""
+        return await self.worker_for(stream).submit(_Job(kind="freeze", stream=stream))
+
+    async def adopt(self, stream: StreamState, shard: int) -> dict:
+        """Hand a frozen stream's checkpoint to ``shard`` and resume there."""
+        return await self.workers[shard].submit(
+            _Job(kind="adopt", stream=stream, payload=stream.checkpoint)
+        )
+
+    def snapshot(self) -> list[dict]:
+        """Per-worker queue depth and served-job counters for ``/metrics``."""
+        return [
+            {"shard": worker.shard, "queue_depth": worker.queue.qsize(), "n_jobs": worker.n_jobs}
+            for worker in self.workers
+        ]

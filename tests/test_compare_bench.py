@@ -1,0 +1,107 @@
+"""Tests of the CI benchmark regression gate (``benchmarks/compare_bench.py``).
+
+Loaded by file path — the benchmarks directory is not a package.  The key
+behaviour under test: a benchmark present in the current run but missing
+from the baseline must produce a loud warning listing the uncovered names
+(it used to be silently skipped by the shared-name intersection), while the
+exit code still reflects only genuine regressions.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench", Path(__file__).parent.parent / "benchmarks" / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _write(path: Path, names_to_means: dict[str, float]) -> Path:
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in names_to_means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadBenchmarkMeans:
+    def test_pytest_benchmark_schema(self, tmp_path):
+        path = _write(tmp_path / "a.json", {"bench_a": 0.5, "bench_b": 1.25})
+        assert compare_bench.load_benchmark_means(path) == {"bench_a": 0.5, "bench_b": 1.25}
+
+    def test_sweep_schema_keys_cells_by_backend_window_chunk(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_kernels",
+                    "entries": [
+                        {"backend": "numpy", "window": 2000, "chunk": 64, "points_per_second": 100.0}
+                    ],
+                }
+            )
+        )
+        means = compare_bench.load_benchmark_means(path)
+        assert means == {"bench_kernels[backend=numpy,window=2000,chunk=64]": pytest.approx(0.01)}
+
+
+class TestCompare:
+    def test_detects_regression_beyond_limit(self, capsys):
+        failures = compare_bench.compare({"a": 1.0}, {"a": 1.5}, max_regression=0.30)
+        assert len(failures) == 1 and "a" in failures[0]
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_within_limit_passes(self, capsys):
+        assert compare_bench.compare({"a": 1.0}, {"a": 1.2}, max_regression=0.30) == []
+        assert "ok" in capsys.readouterr().out
+
+
+class TestUncoveredBenchmarks:
+    def test_lists_current_only_names(self):
+        uncovered = compare_bench.uncovered_benchmarks(
+            {"old": 1.0, "shared": 1.0}, {"shared": 1.0, "new_b": 1.0, "new_a": 1.0}
+        )
+        assert uncovered == ["new_a", "new_b"]
+
+    def test_main_warns_about_uncovered_but_exits_zero(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"shared": 1.0})
+        current = _write(tmp_path / "cur.json", {"shared": 1.0, "brand_new": 2.0})
+        assert compare_bench.main([str(baseline), str(current)]) == 0
+        captured = capsys.readouterr()
+        assert "NOT regression-gated" in captured.err
+        assert "brand_new" in captured.err
+        assert "shared" not in captured.err  # covered benchmarks are not flagged
+
+    def test_main_still_fails_on_regression_with_uncovered_present(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"shared": 1.0})
+        current = _write(tmp_path / "cur.json", {"shared": 2.0, "brand_new": 1.0})
+        assert compare_bench.main([str(baseline), str(current)]) == 1
+        captured = capsys.readouterr()
+        assert "brand_new" in captured.err
+        assert "FAILED" in captured.err
+
+    def test_fully_covered_run_prints_no_warning(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"a": 1.0})
+        current = _write(tmp_path / "cur.json", {"a": 1.0})
+        assert compare_bench.main([str(baseline), str(current)]) == 0
+        assert "NOT regression-gated" not in capsys.readouterr().err
+
+
+class TestMainEdgeCases:
+    def test_missing_baseline_file_skips(self, tmp_path, capsys):
+        current = _write(tmp_path / "cur.json", {"a": 1.0})
+        assert compare_bench.main([str(tmp_path / "nope.json"), str(current)]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_unreadable_current_is_exit_2(self, tmp_path):
+        baseline = _write(tmp_path / "base.json", {"a": 1.0})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert compare_bench.main([str(baseline), str(bad)]) == 2

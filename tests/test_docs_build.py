@@ -1,0 +1,110 @@
+"""The documentation site builds clean and covers the full public surface.
+
+Builds the real site into a tmp directory through ``docs/build.py`` (loaded
+by file path — ``docs/`` is not a package) and asserts the acceptance
+criteria of the docs tentpole: a strict (warnings-as-errors) build, every
+registry key documented on the reference page, every service endpoint
+listed, and no broken internal links.
+"""
+
+from __future__ import annotations
+
+import html
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro import api
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(script: Path, name: str):
+    spec = importlib.util.spec_from_file_location(name, script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+build = _load(REPO_ROOT / "docs" / "build.py", "docs_build")
+links = _load(REPO_ROOT / "scripts" / "check_doc_links.py", "docs_links")
+
+
+@pytest.fixture(scope="module")
+def site(tmp_path_factory) -> Path:
+    """The site built once into a tmp directory (strict mode is the default)."""
+    out = tmp_path_factory.mktemp("site")
+    written = build.build_site(out)
+    assert len(written) == len(build.PAGES) + 1  # pages + style.css
+    return out
+
+
+def test_every_page_is_built(site: Path) -> None:
+    for slug, _title in build.PAGES:
+        page = site / f"{slug}.html"
+        assert page.exists(), f"missing page {slug}.html"
+        assert "<main>" in page.read_text()
+
+
+def test_reference_covers_every_registry_key(site: Path) -> None:
+    # headings are HTML-escaped, so match the escaped form of registry['key']
+    reference = site / "reference.html"
+    text = reference.read_text()
+    for key in api.available():
+        heading = html.escape(f"registry[{key!r}]", quote=True)
+        assert heading in text, f"registry key {key!r} missing from reference page"
+
+
+def test_reference_covers_every_service_endpoint(site: Path) -> None:
+    from repro.service.routes import ServiceRoutes
+    from repro.service.streams import StreamRegistry
+    from repro.service.workers import WorkerPool
+
+    text = (site / "reference.html").read_text()
+    routes = ServiceRoutes(StreamRegistry(n_shards=1), WorkerPool(n_shards=1))
+    assert routes.router._routes, "service route table is empty"
+    for _method, regex, _handler in routes.router._routes:
+        pattern = regex.pattern.strip("^$").replace("(?P<name>[^/]+)", "{name}")
+        assert html.escape(pattern) in text, f"endpoint {pattern} missing from reference page"
+    assert "/streams/{name}/ws" in text  # the upgrade path is documented too
+
+
+def test_reference_covers_api_functions_and_events(site: Path) -> None:
+    text = (site / "reference.html").read_text()
+    for name in ("create", "stream", "restore", "save_checkpoint", "ScoreEvent"):
+        assert f"repro.api.{name}" in text
+
+
+def test_service_page_documents_every_error_code(site: Path) -> None:
+    # collect every code the service can actually emit: ServiceError(...)
+    # call sites plus inline {"code": ...} bodies in the server
+    import re
+
+    patterns = (
+        re.compile(r'ServiceError\(\s*\d+,\s*"([a-z-]+)"'),
+        re.compile(r'"code":\s*"([a-z-]+)"'),
+    )
+    codes: set[str] = set()
+    for source in (REPO_ROOT / "src" / "repro" / "service").glob("*.py"):
+        text = source.read_text()
+        for pattern in patterns:
+            codes.update(pattern.findall(text))
+    assert len(codes) >= 16, f"expected the full error model, found {sorted(codes)}"
+    page = (site / "service.html").read_text()
+    for code in sorted(codes):
+        assert code in page, f"error code {code!r} missing from service page"
+
+
+def test_build_is_strict_about_malformed_rst(tmp_path: Path) -> None:
+    # any RST warning (here: an unknown target) must fail the build
+    with pytest.raises(SystemExit, match="docs build failed"):
+        build.rst_to_html("see `nowhere`_", source="synthetic fragment")
+
+
+def test_built_site_has_no_broken_links(site: Path) -> None:
+    assert links.check_site(site) == []
+
+
+def test_readme_links_resolve() -> None:
+    assert links.check_markdown(REPO_ROOT / "README.md") == []

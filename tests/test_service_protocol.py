@@ -1,0 +1,204 @@
+"""Unit tests of the stdlib HTTP/1.1 + WebSocket wire layer."""
+
+import asyncio
+
+import pytest
+
+from repro.service.errors import ServiceError
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    ProtocolError,
+    encode_frame,
+    is_websocket_upgrade,
+    read_frame,
+    read_request,
+    render_response,
+    render_websocket_handshake,
+    websocket_accept_key,
+)
+
+
+def _with_reader(parse, data: bytes):
+    """Run ``parse(reader)`` against a fed StreamReader inside a fresh loop."""
+
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await parse(reader)
+
+    return asyncio.run(inner())
+
+
+def _parse_request(data: bytes):
+    return _with_reader(read_request, data)
+
+
+def _parse_frame(data: bytes):
+    return _with_reader(read_frame, data)
+
+
+# --------------------------------------------------------------------------- #
+# HTTP request parsing
+# --------------------------------------------------------------------------- #
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        raw = (
+            b"POST /streams/s1/observations?since=3 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 15\r\n"
+            b"\r\n"
+            b'{"values": [1]}'
+        )
+        request = _parse_request(raw)
+        assert request.method == "POST"
+        assert request.path == "/streams/s1/observations"
+        assert request.query == {"since": "3"}
+        assert request.headers["content-type"] == "application/json"
+        assert request.body == b'{"values": [1]}'
+        assert request.keep_alive  # HTTP/1.1 default
+
+    def test_url_decoding_and_defaults(self):
+        raw = b"GET /streams/a%20b HTTP/1.1\r\n\r\n"
+        request = _parse_request(raw)
+        assert request.path == "/streams/a b"
+        assert request.body == b""
+        assert request.query == {}
+
+    def test_connection_close_disables_keep_alive(self):
+        raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        assert not _parse_request(raw).keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _parse_request(b"") is None
+
+    def test_truncated_head_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="mid-request"):
+            _parse_request(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_truncated_body_raises_protocol_error(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(ProtocolError, match="mid-body"):
+            _parse_request(raw)
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError, match="request line"):
+            _parse_request(b"NONSENSE\r\n\r\n")
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError, match="version"):
+            _parse_request(b"GET / HTTP/0.9\r\n\r\n")
+
+    def test_bad_content_length(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        with pytest.raises(ProtocolError, match="Content-Length"):
+            _parse_request(raw)
+
+    def test_oversized_declared_body_is_a_typed_413(self):
+        raw = f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        with pytest.raises(ServiceError) as excinfo:
+            _parse_request(raw)
+        assert excinfo.value.status == 413
+        assert excinfo.value.code == "oversized-body"
+
+    def test_request_json_helper_raises_typed_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!"
+        request = _parse_request(raw)
+        with pytest.raises(ServiceError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad-json"
+
+
+class TestRenderResponse:
+    def test_json_payload_and_headers(self):
+        raw = render_response(200, {"ok": True})
+        head, body = raw.split(b"\r\n\r\n", 1)
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert body == b'{"ok":true}\n'
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_close_and_empty_body(self):
+        raw = render_response(200, None, keep_alive=False)
+        assert b"Connection: close" in raw
+        assert raw.endswith(b"\r\n\r\n")
+
+
+# --------------------------------------------------------------------------- #
+# WebSocket
+# --------------------------------------------------------------------------- #
+
+
+class TestWebSocket:
+    def test_rfc6455_accept_key_example(self):
+        # the worked example from RFC 6455 §1.3
+        assert (
+            websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_upgrade_detection_and_handshake(self):
+        raw = (
+            b"GET /streams/s1/ws HTTP/1.1\r\n"
+            b"Connection: keep-alive, Upgrade\r\n"
+            b"Upgrade: websocket\r\n"
+            b"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n"
+            b"\r\n"
+        )
+        request = _parse_request(raw)
+        assert is_websocket_upgrade(request)
+        handshake = render_websocket_handshake(request)
+        assert b"101 Switching Protocols" in handshake
+        assert b"Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" in handshake
+
+    def test_handshake_without_key_fails(self):
+        raw = b"GET /ws HTTP/1.1\r\nConnection: Upgrade\r\nUpgrade: websocket\r\n\r\n"
+        request = _parse_request(raw)
+        with pytest.raises(ProtocolError, match="Sec-WebSocket-Key"):
+            render_websocket_handshake(request)
+
+    def test_plain_request_is_not_an_upgrade(self):
+        raw = b"GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n"
+        assert not is_websocket_upgrade(_parse_request(raw))
+
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize(
+        "payload",
+        [b"", b"hi", b"x" * 125, b"y" * 126, b"z" * 70_000],
+        ids=["empty", "tiny", "len125", "len126-extended", "len70k-64bit"],
+    )
+    def test_frame_round_trip(self, mask, payload):
+        frame = encode_frame(OP_TEXT, payload, mask=mask)
+        opcode, decoded = _parse_frame(frame)
+        assert opcode == OP_TEXT
+        assert decoded == payload
+
+    def test_control_frames_round_trip(self):
+        for opcode in (OP_CLOSE, OP_PING):
+            read_opcode, payload = _parse_frame(encode_frame(opcode, b"ctl"))
+            assert read_opcode == opcode
+            assert payload == b"ctl"
+
+    def test_fragmented_frame_rejected(self):
+        frame = bytearray(encode_frame(OP_TEXT, b"frag"))
+        frame[0] &= 0x7F  # clear FIN
+        with pytest.raises(ProtocolError, match="fragmented"):
+            _parse_frame(bytes(frame))
+
+    def test_reserved_bits_rejected(self):
+        frame = bytearray(encode_frame(OP_TEXT, b"rsv"))
+        frame[0] |= 0x40
+        with pytest.raises(ProtocolError, match="reserved"):
+            _parse_frame(bytes(frame))
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_frame(OP_TEXT, b"truncated")[:-3]
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _parse_frame(frame)
