@@ -1,0 +1,218 @@
+"""Crash-recovery benchmark: how fast the service heals and what clients feel.
+
+A fleet of clients pushes seq-numbered batches into a durable service
+(spooled checkpoints + write-ahead tail) while a ``kill-worker`` fault is
+armed on one stream: mid-run the shard worker owning that stream dies,
+the supervisor restarts it and restores every stream on the shard from
+its last checkpoint plus tail replay, and the affected clients ride the
+outage out with their own retry loops.  Two recovery latencies come out:
+
+* the *supervisor-measured* one (``last_recovery_seconds`` — restart,
+  restore and replay, measured inside the supervisor), and
+* the *client-observed* stall: wall time from a client's first
+  ``worker-crashed``/``overloaded`` rejection to its next accepted batch,
+  which additionally includes retry backoff and queue re-entry.
+
+Every stream must still reach its full observation count — the seq-based
+idempotent ingestion turns the crash into an exactly-once hiccup.
+
+Sizes are env-tunable so CI can smoke-run it: ``REPRO_BENCH_RECOVERY_STREAMS``
+(default 48), ``REPRO_BENCH_RECOVERY_OBS``, ``REPRO_BENCH_RECOVERY_BATCH``
+and ``REPRO_BENCH_RECOVERY_SHARDS``.  Set ``REPRO_BENCH_WRITE_RESULTS=1``
+to (re)write the committed baseline
+``benchmarks/results/bench_service_recovery.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service import (
+    DurabilityConfig,
+    FaultInjector,
+    RetryPolicy,
+    SegmentationService,
+    ServiceClient,
+    ServiceUnavailableError,
+    SupervisorConfig,
+)
+
+#: Overridable so CI can smoke-run the benchmark with tiny parameters.
+N_STREAMS = int(os.environ.get("REPRO_BENCH_RECOVERY_STREAMS", 48))
+N_OBS = int(os.environ.get("REPRO_BENCH_RECOVERY_OBS", 1200))
+BATCH = int(os.environ.get("REPRO_BENCH_RECOVERY_BATCH", 300))
+N_SHARDS = int(os.environ.get("REPRO_BENCH_RECOVERY_SHARDS", 4))
+SMOKE_RUN = N_STREAMS < 48
+
+CONFIG = {"window_size": 100, "scoring_interval": 10, "subsequence_width": 5}
+
+#: The stream whose worker gets killed.  The trigger counts that stream's
+#: worker jobs (one per batch), so it must stay below the batch count for
+#: the fault to fire even at tiny smoke sizes — aim for mid-run otherwise.
+VICTIM = "rec-0000"
+N_BATCHES = -(-N_OBS // BATCH)
+KILL_AFTER = max(1, min(3, N_BATCHES - 1))
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_service_recovery.json"
+
+
+def _machine_name() -> str:
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _workload(index: int) -> np.ndarray:
+    """A two-regime series per stream: slow sine, then a faster one."""
+    rng = np.random.default_rng(7_000 + index)
+    t = np.arange(N_OBS)
+    half = N_OBS // 2
+    period = np.where(t < half, 24.0, 8.0)
+    return np.sin(2 * np.pi * t / period) + rng.normal(0, 0.05, N_OBS)
+
+
+async def _drive_stream(port: int, index: int) -> dict:
+    """One client with a manual retry loop so the stall is measurable.
+
+    The built-in :class:`RetryPolicy` would hide the outage; here each
+    rejected batch is retried by hand and the span from first rejection
+    to the next accepted batch is recorded as a client-observed stall.
+    """
+    name = f"rec-{index:04d}"
+    values = _workload(index)
+    client = await ServiceClient(
+        "127.0.0.1", port, retry=RetryPolicy(retries=0, backoff=0.02)
+    ).connect()
+    stalls: list[float] = []
+    n_rejections = 0
+    try:
+        status, body = await client.request(
+            "POST", f"/streams/{name}", {"detector": "class", "config": CONFIG}
+        )
+        assert status == 201, body
+        for seq, start in enumerate(range(0, N_OBS, BATCH)):
+            payload = {"values": values[start : start + BATCH].tolist(), "seq": seq}
+            stall_started: float | None = None
+            for _attempt in range(200):
+                try:
+                    status, body = await client.request(
+                        "POST", f"/streams/{name}/observations", payload
+                    )
+                except ServiceUnavailableError as error:
+                    n_rejections += 1
+                    if stall_started is None:
+                        stall_started = time.perf_counter()
+                    await asyncio.sleep(error.retry_after or 0.05)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    if stall_started is None:
+                        stall_started = time.perf_counter()
+                    await asyncio.sleep(0.05)
+                else:
+                    assert status == 200, body
+                    if stall_started is not None:
+                        stalls.append(time.perf_counter() - stall_started)
+                    break
+            else:  # pragma: no cover - only on a stuck service
+                raise AssertionError(f"{name}: batch {seq} never accepted")
+        assert body["n_seen"] == N_OBS, body
+        return {"name": name, "stalls": stalls, "n_rejections": n_rejections}
+    finally:
+        await client.close()
+
+
+async def _scenario() -> dict:
+    faults = FaultInjector()
+    faults.arm("kill-worker", stream=VICTIM, after=KILL_AFTER)
+    with tempfile.TemporaryDirectory() as spool_dir:
+        service = SegmentationService(
+            n_shards=N_SHARDS,
+            # per-batch checkpoints keep the replay tail to one batch; fsync
+            # off because the subject here is recovery, not disk flushing
+            durability=DurabilityConfig(
+                spool_dir=Path(spool_dir) / "spool",
+                checkpoint_every_n=BATCH,
+                checkpoint_every_seconds=None,
+                fsync=False,
+            ),
+            faults=faults,
+            supervision=SupervisorConfig(retry_after=0.05),
+        )
+        await service.start(port=0)
+        try:
+            started = time.perf_counter()
+            outcomes = await asyncio.gather(
+                *(_drive_stream(service.port, index) for index in range(N_STREAMS))
+            )
+            wall_seconds = time.perf_counter() - started
+            supervision = service.supervisor.snapshot()
+        finally:
+            await service.stop()
+    stalls = [stall for outcome in outcomes for stall in outcome["stalls"]]
+    total_observations = N_STREAMS * N_OBS
+    return {
+        "n_streams": N_STREAMS,
+        "n_observations": total_observations,
+        "wall_seconds": round(wall_seconds, 3),
+        "observations_per_second": round(total_observations / wall_seconds, 1),
+        "worker_restarts": supervision["worker_restarts"],
+        "n_streams_recovered": supervision["n_recoveries"],
+        "recovery_seconds": supervision["last_recovery_seconds"],
+        "n_client_rejections": sum(outcome["n_rejections"] for outcome in outcomes),
+        "n_client_stalls": len(stalls),
+        "client_stall_max_s": round(max(stalls), 4) if stalls else None,
+        "client_stall_mean_s": (
+            round(sum(stalls) / len(stalls), 4) if stalls else None
+        ),
+    }
+
+
+def test_service_recovery(benchmark):
+    """Kill a shard worker mid-run: recovery latency, client stall, no loss."""
+    summary = benchmark.pedantic(lambda: asyncio.run(_scenario()), rounds=1, iterations=1)
+    print()
+    print(
+        f"{summary['n_streams']} streams x {N_OBS} obs over {N_SHARDS} shards "
+        f"with 1 worker kill: {summary['observations_per_second']:.0f} obs/s "
+        f"({summary['wall_seconds']:.1f}s wall), "
+        f"supervisor recovery {summary['recovery_seconds']}s, "
+        f"client stall max {summary['client_stall_max_s']}s / "
+        f"mean {summary['client_stall_mean_s']}s "
+        f"over {summary['n_client_stalls']} stalled batches"
+    )
+    benchmark.extra_info.update(summary)
+
+    # exactly one injected crash; every stream on the shard was restored
+    assert summary["worker_restarts"] == 1
+    assert summary["n_streams_recovered"] >= 1
+    assert summary["recovery_seconds"] is not None
+    # at least the victim's own client observed (and rode out) the outage
+    assert summary["n_client_stalls"] >= 1
+    assert summary["client_stall_max_s"] is not None
+
+    if os.environ.get("REPRO_BENCH_WRITE_RESULTS"):
+        payload = {
+            "benchmark": "bench_service_recovery",
+            "config": {
+                "n_streams": N_STREAMS,
+                "n_obs_per_stream": N_OBS,
+                "batch_size": BATCH,
+                "n_shards": N_SHARDS,
+                "detector_config": CONFIG,
+            },
+            "machine": _machine_name(),
+            "summary": summary,
+        }
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote service recovery baseline to {RESULTS_PATH}")

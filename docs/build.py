@@ -43,6 +43,7 @@ PAGES = [
     ("architecture", "Architecture"),
     ("service", "Service protocol"),
     ("checkpoint-rebalance", "Checkpoint & rebalance"),
+    ("fault-tolerance", "Fault tolerance"),
     ("reference", "API reference"),
 ]
 

@@ -17,22 +17,83 @@ eight competitors: checkpoint mid-stream, restore (in the same or another
 process), feed the remaining observations — the resumed run reports exactly
 the change points, scores and p-values of the uninterrupted run.
 
-Checkpoints are pickle files: load them only from trusted locations (the
-standard pickle caveat applies).
+Checkpoint files are written atomically (tmp + fsync + rename) with a CRC-32
+integrity frame (:func:`write_payload_file` / :func:`read_payload_file`), so
+a crash mid-write never leaves a half-checkpoint behind and silent on-disk
+corruption surfaces as a typed
+:class:`~repro.utils.exceptions.CorruptCheckpointError` instead of garbage
+state — the service's durability spool rides on the same framing.  The body
+is a pickle: load checkpoints only from trusted locations (the standard
+pickle caveat applies).
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import zlib
 from pathlib import Path
 from typing import Any
 
 from repro.api.config import SegmenterConfig
 from repro.api.registry import create, key_for_config, normalise_key
-from repro.utils.exceptions import ConfigurationError
+from repro.utils.exceptions import ConfigurationError, CorruptCheckpointError
 
 #: Format marker embedded in every checkpoint payload.
 CHECKPOINT_FORMAT = "repro.checkpoint/1"
+
+#: Magic prefix of CRC-framed checkpoint files (:func:`write_payload_file`).
+FRAME_MAGIC = b"RCKP1\n"
+
+
+def write_payload_file(path: str | Path, payload: Any, *, fsync: bool = True) -> Path:
+    """Atomically persist a picklable payload with an integrity frame.
+
+    The file is written as ``magic + crc32(body) + body`` to a sibling
+    temporary file, flushed (and fsynced when ``fsync`` is true), then moved
+    into place with :func:`os.replace` — a reader never observes a partial
+    checkpoint, and any later corruption is caught by the CRC on load.
+    """
+    path = Path(path)
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    frame = FRAME_MAGIC + zlib.crc32(body).to_bytes(4, "big") + body
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(frame)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        directory = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory)
+        finally:
+            os.close(directory)
+    return path
+
+
+def read_payload_file(path: str | Path) -> Any:
+    """Load a payload written by :func:`write_payload_file`, verifying its CRC.
+
+    Raises
+    ------
+    CorruptCheckpointError
+        When the frame is truncated, the magic is wrong, the CRC does not
+        match the body, or the body does not unpickle.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < len(FRAME_MAGIC) + 4 or not raw.startswith(FRAME_MAGIC):
+        raise CorruptCheckpointError(f"{path} is not a framed checkpoint file")
+    stored = int.from_bytes(raw[len(FRAME_MAGIC) : len(FRAME_MAGIC) + 4], "big")
+    body = raw[len(FRAME_MAGIC) + 4 :]
+    if zlib.crc32(body) != stored:
+        raise CorruptCheckpointError(f"{path} failed its CRC integrity check")
+    try:
+        return pickle.loads(body)
+    except Exception as error:
+        raise CorruptCheckpointError(f"{path} does not unpickle: {error}") from error
 
 
 def detector_key_for(segmenter) -> str:
@@ -125,9 +186,7 @@ def save_checkpoint(segmenter, path: str | Path) -> Path:
     """
     path = Path(path)
     payload = segmenter.save_state()
-    with path.open("wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    return path
+    return write_payload_file(path, payload)
 
 
 def load_checkpoint(path: str | Path):
@@ -148,6 +207,9 @@ def load_checkpoint(path: str | Path):
     0
     """
     path = Path(path)
-    with path.open("rb") as handle:
-        payload = pickle.load(handle)
+    if path.read_bytes()[: len(FRAME_MAGIC)] == FRAME_MAGIC:
+        payload = read_payload_file(path)
+    else:  # legacy raw-pickle checkpoint written before the CRC framing
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
     return restore(payload)

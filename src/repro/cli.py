@@ -171,25 +171,47 @@ def cmd_segment(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the asyncio segmentation service until interrupted."""
+    """Run the asyncio segmentation service until interrupted.
+
+    SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued
+    batches drain, every durable stream is checkpointed, and the process
+    exits 0.
+    """
     import asyncio
 
-    from repro.service import SegmentationService
+    from repro.service import DurabilityConfig, SegmentationService, SupervisorConfig
     from repro.utils.exceptions import ConfigurationError
 
     try:
-        service = SegmentationService(n_shards=args.shards, max_batch=args.max_batch)
+        durability = None
+        if args.spool_dir:
+            durability = DurabilityConfig(
+                spool_dir=args.spool_dir,
+                checkpoint_every_n=args.checkpoint_every,
+                checkpoint_every_seconds=args.checkpoint_interval,
+            )
+        supervision = SupervisorConfig(
+            max_queue_depth=args.max_queue, job_deadline=args.job_deadline
+        )
+        service = SegmentationService(
+            n_shards=args.shards,
+            max_batch=args.max_batch,
+            durability=durability,
+            supervision=supervision,
+        )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    spool_note = f", spool at {args.spool_dir}" if args.spool_dir else ""
     print(
         f"serving segmentation on http://{args.host}:{args.port} "
-        f"({args.shards} shard worker(s); ctrl-c to stop)",
+        f"({args.shards} shard worker(s){spool_note}; ctrl-c to stop)",
         file=sys.stderr,
     )
     try:
         asyncio.run(service.serve_forever(host=args.host, port=args.port))
-    except KeyboardInterrupt:
+        print("drained and checkpointed; bye", file=sys.stderr)
+    except KeyboardInterrupt:  # event loops without signal-handler support
         print("shutting down", file=sys.stderr)
     except OSError as error:  # e.g. port already bound
         print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
@@ -307,6 +329,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=100_000,
         help="maximum observations accepted per batch (larger requests get a 413)",
+    )
+    serve_parser.add_argument(
+        "--spool-dir",
+        metavar="PATH",
+        default=None,
+        help="enable durable checkpoints + write-ahead tails under PATH; crashed "
+        "workers then recover their streams bit-identically (docs/fault-tolerance.rst)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=2_048,
+        help="observations between periodic checkpoints of each durable stream",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        help="seconds between periodic checkpoints (whichever trigger fires first)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="per-shard job queue bound; a full queue sheds load with 503 + Retry-After",
+    )
+    serve_parser.add_argument(
+        "--job-deadline",
+        type=float,
+        default=None,
+        help="seconds a single batch may take before the worker is declared hung "
+        "and restarted (default: no deadline)",
     )
     serve_parser.set_defaults(handler=cmd_serve)
 

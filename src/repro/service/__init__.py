@@ -8,33 +8,66 @@ objects back as JSON — each stream hash-routed to a shard worker, and
 movable between workers mid-stream via the bit-identical
 checkpoint/restore path (elastic rebalancing).
 
+The service is fault tolerant: a :class:`Supervisor` restarts crashed or
+hung shard workers, a :class:`DurabilityManager` keeps per-stream spools
+(atomic checkpoints + a write-ahead tail of acked batches) so recovery is
+bit-identical to an uninterrupted run, and a :class:`FaultInjector` hook
+layer drives the chaos test suite.  The client retries transient failures
+with exponential backoff and resumes dropped WebSockets via ``?since=``
+replay.  See ``docs/fault-tolerance.rst``.
+
 The server is deliberately framework-free: request parsing, routing and
 the RFC 6455 WebSocket layer live in :mod:`repro.service.protocol`, so
 the only runtime dependencies are the stdlib and numpy.
 
 Quickstart::
 
-    python -m repro.cli serve --port 8765 --shards 4
+    python -m repro.cli serve --port 8765 --shards 4 --spool-dir ./spool
 
     curl -X POST localhost:8765/streams/sensor-1 \
          -d '{"detector": "class", "config": {"window_size": 2000}}'
     curl -X POST localhost:8765/streams/sensor-1/observations \
-         -d '{"values": [0.12, 0.31, 0.27]}'
+         -d '{"values": [0.12, 0.31, 0.27], "seq": 0}'
     curl 'localhost:8765/streams/sensor-1/events?since=0'
 
 See ``docs/service.rst`` for the full protocol reference.
 """
 
-from repro.service.client import ServiceClient, WebSocketSession
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceUnavailableError,
+    WebSocketSession,
+)
+from repro.service.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryReport,
+    StreamSpool,
+)
 from repro.service.errors import ServiceError
+from repro.service.faults import Fault, FaultInjected, FaultInjector, WorkerCrash
 from repro.service.server import SegmentationService
 from repro.service.streams import StreamRegistry, StreamState
+from repro.service.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
+    "DurabilityConfig",
+    "DurabilityManager",
+    "Fault",
+    "FaultInjected",
+    "FaultInjector",
+    "RecoveryReport",
+    "RetryPolicy",
     "SegmentationService",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailableError",
     "StreamRegistry",
+    "StreamSpool",
     "StreamState",
+    "Supervisor",
+    "SupervisorConfig",
     "WebSocketSession",
+    "WorkerCrash",
 ]

@@ -1,10 +1,26 @@
-"""A minimal asyncio client for the segmentation service (tests + load gen).
+"""A robust asyncio client for the segmentation service (tests + load gen).
 
 :class:`ServiceClient` speaks the same stdlib wire layer as the server: one
 keep-alive HTTP/1.1 connection per client (so a load test with hundreds of
 clients measures request handling, not TCP churn), JSON request/response
 bodies, and a :class:`WebSocketSession` upgrade helper with client-side
 frame masking.
+
+Robustness (the client half of the fault-tolerance contract):
+
+* every request runs under a :class:`RetryPolicy` — connection drops,
+  connect/read timeouts and retryable 503s (``overloaded`` shedding,
+  ``worker-crashed`` during supervisor recovery) are retried with
+  exponential backoff plus jitter, honouring a server ``Retry-After``;
+* a 5xx that survives its retries surfaces as a typed
+  :class:`ServiceUnavailableError` carrying the parsed body and the parsed
+  ``Retry-After`` header — callers never have to string-match status lines;
+* retried batch POSTs are safe when the caller supplies a ``seq`` number:
+  the service's idempotent ingestion replays the ack instead of
+  double-processing (see :mod:`repro.service.streams`);
+* a dropped WebSocket resumes without event loss or duplication:
+  :class:`WebSocketSession` counts delivered events and
+  :meth:`ServiceClient.resume_stream` reopens with ``?since=<cursor>``.
 
 Example
 -------
@@ -14,7 +30,7 @@ Example
     await client.connect()
     status, body = await client.request("POST", "/streams/s1", {"detector": "class"})
     status, body = await client.request(
-        "POST", "/streams/s1/observations", {"values": [0.1, 0.2]}
+        "POST", "/streams/s1/observations", {"values": [0.1, 0.2], "seq": 0}
     )
     await client.close()
 """
@@ -25,6 +41,8 @@ import asyncio
 import base64
 import json
 import os
+import random
+from dataclasses import dataclass
 from typing import Any
 
 from repro.service.protocol import (
@@ -36,6 +54,128 @@ from repro.service.protocol import (
     encode_frame,
     read_frame,
 )
+from repro.utils.exceptions import ConfigurationError
+
+#: HTTP statuses worth retrying: the service answers 503 for transient
+#: conditions (shed load, worker mid-recovery, draining) and never for
+#: permanent ones.
+RETRYABLE_STATUSES = frozenset({503})
+
+
+class ServiceUnavailableError(RuntimeError):
+    """A 5xx the client could not (or was configured not to) retry away.
+
+    Parameters
+    ----------
+    status:
+        The HTTP status code (e.g. 503).
+    body:
+        The parsed JSON error body (or None when the response had none).
+    retry_after:
+        Seconds parsed from the ``Retry-After`` header / body field, when
+        the server provided one.
+
+    Example
+    -------
+    >>> error = ServiceUnavailableError(503, {"error": {"code": "overloaded"}}, 0.05)
+    >>> (error.status, error.code, error.retry_after)
+    (503, 'overloaded', 0.05)
+    """
+
+    def __init__(self, status: int, body: Any = None, retry_after: float | None = None) -> None:
+        code = None
+        if isinstance(body, dict):
+            code = body.get("error", {}).get("code")
+        super().__init__(f"service unavailable: HTTP {status} ({code or 'no error body'})")
+        self.status = int(status)
+        self.body = body
+        self.code = code
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :meth:`ServiceClient.request` handles transient failures.
+
+    Parameters
+    ----------
+    retries:
+        Retry attempts *after* the first try (0 disables retrying).
+    backoff:
+        Base delay in seconds; attempt ``k`` waits ``backoff * 2**k``.
+    max_backoff:
+        Upper bound on any single computed delay (before Retry-After).
+    jitter:
+        Fractional random jitter added on top (0.2 → up to +20%), so a
+        crowd of backed-off clients does not retry in lockstep.
+    connect_timeout:
+        Seconds to wait for the TCP connect (None disables).
+    read_timeout:
+        Seconds to wait for a full response (None disables).
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate` on negative/invalid fields.
+
+    Example
+    -------
+    >>> RetryPolicy(retries=2, backoff=0.1).delay(1, retry_after=None) >= 0.2
+    True
+    """
+
+    retries: int = 3
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    jitter: float = 0.2
+    connect_timeout: float | None = 5.0
+    read_timeout: float | None = 30.0
+
+    def validate(self) -> "RetryPolicy":
+        """Check every field; return self so construction chains.
+
+        Returns
+        -------
+        RetryPolicy
+            This instance, unchanged.
+
+        Raises
+        ------
+        ConfigurationError
+            When any field is negative or out of range.
+        """
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ConfigurationError("backoff and max_backoff must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+        for name in ("connect_timeout", "read_timeout"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be positive or None, got {value}")
+        return self
+
+    def delay(self, attempt: int, retry_after: float | None) -> float:
+        """The sleep before retry ``attempt`` (0-based), with jitter.
+
+        Parameters
+        ----------
+        attempt:
+            Zero-based retry index.
+        retry_after:
+            Server-suggested minimum wait, when one was provided; the
+            computed exponential delay never undercuts it.
+
+        Returns
+        -------
+        float
+            Seconds to sleep.
+        """
+        base = min(self.max_backoff, self.backoff * (2**attempt))
+        if retry_after is not None:
+            base = max(base, retry_after)
+        return base * (1.0 + random.uniform(0.0, self.jitter))
 
 
 class ServiceClient:
@@ -45,26 +185,37 @@ class ServiceClient:
     ----------
     host, port:
         The service's listening address.
+    retry:
+        The :class:`RetryPolicy` for every request; defaults to 3 retries
+        with exponential backoff and 5s/30s connect/read timeouts.
 
     Raises
     ------
     ProtocolError
         On malformed response framing from the peer.
+    ServiceUnavailableError
+        When a request still answers 5xx after its retries.
 
     Example
     -------
     See the module docstring and ``tests/test_service_http.py``.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int, *, retry: RetryPolicy | None = None) -> None:
         self.host = host
         self.port = int(port)
+        self.retry = (retry or RetryPolicy()).validate()
+        self.n_retries = 0  # retried sends, for tests/diagnostics
+        self.last_headers: dict[str, str] = {}  # headers of the latest response
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
     async def connect(self) -> "ServiceClient":
-        """Open the TCP connection; returns self so calls chain."""
-        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        """Open the TCP connection (with connect timeout); returns self."""
+        opening = asyncio.open_connection(self.host, self.port)
+        if self.retry.connect_timeout is not None:
+            opening = asyncio.wait_for(opening, self.retry.connect_timeout)
+        self._reader, self._writer = await opening
         return self
 
     async def close(self) -> None:
@@ -75,16 +226,42 @@ class ServiceClient:
                 await self._writer.wait_closed()
             except ConnectionError:
                 pass
-            self._reader = self._writer = None
+        self._reader = self._writer = None
 
     async def request(
         self, method: str, path: str, payload: Any = None
     ) -> tuple[int, Any]:
         """Send one JSON request; return ``(status, parsed_body)``.
 
-        ``payload`` is JSON-serialised when given; the response body is
-        JSON-parsed when non-empty (None otherwise).
+        4xx responses are returned like any other (they are the caller's
+        protocol, not a transport failure).  Connection drops, timeouts and
+        retryable 503s are retried per the :class:`RetryPolicy`; a 5xx that
+        survives raises :class:`ServiceUnavailableError`.
         """
+        last_unavailable: ServiceUnavailableError | None = None
+        for attempt in range(self.retry.retries + 1):
+            if attempt:
+                self.n_retries += 1
+                retry_after = last_unavailable.retry_after if last_unavailable else None
+                await asyncio.sleep(self.retry.delay(attempt - 1, retry_after))
+            try:
+                status, body = await self._round_trip(method, path, payload)
+            except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError, TimeoutError):
+                await self.close()  # stale half-open socket; reconnect next try
+                last_unavailable = None
+                if attempt == self.retry.retries:
+                    raise
+                continue
+            if status < 500:
+                return status, body
+            retry_after = _parse_retry_after(self.last_headers, body)
+            last_unavailable = ServiceUnavailableError(status, body, retry_after)
+            if status not in RETRYABLE_STATUSES:
+                break
+        raise last_unavailable
+
+    async def _round_trip(self, method: str, path: str, payload: Any) -> tuple[int, Any]:
+        """One send + receive on the (re)connected socket."""
         if self._writer is None or self._reader is None:
             await self.connect()
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
@@ -97,25 +274,31 @@ class ServiceClient:
         )
         self._writer.write(head.encode("latin-1") + body)
         await self._writer.drain()
-        return await self._read_response()
+        receiving = self._read_response()
+        if self.retry.read_timeout is not None:
+            receiving = asyncio.wait_for(receiving, self.retry.read_timeout)
+        return await receiving
 
     async def _read_response(self) -> tuple[int, Any]:
-        """Parse one HTTP response off the wire."""
+        """Parse one HTTP response off the wire; headers land in
+        :attr:`last_headers` (lower-cased names)."""
         head = await self._reader.readuntil(b"\r\n\r\n")
-        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
         try:
             status = int(status_line.split(" ", 2)[1])
         except (IndexError, ValueError) as error:
             raise ProtocolError(f"malformed status line {status_line!r}") from error
-        headers: dict[str, str] = {}
-        for line in header_lines:
-            if line:
-                name, _, value = line.partition(":")
-                headers[name.strip().lower()] = value.strip()
+        headers = _parse_headers(head)
+        self.last_headers = headers
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            # the server will hang up after this response; don't reuse it
+            await self.close()
         return status, (json.loads(raw) if raw else None)
 
+    # ------------------------------------------------------------------ #
+    # WebSocket
     # ------------------------------------------------------------------ #
 
     async def open_websocket(self, path: str) -> "WebSocketSession":
@@ -146,6 +329,33 @@ class ServiceClient:
             )
         return WebSocketSession(reader, writer)
 
+    async def open_stream(self, name: str, since: int = 0) -> "WebSocketSession":
+        """Subscribe to a stream's events from cursor ``since``.
+
+        Returns
+        -------
+        WebSocketSession
+            A session whose :attr:`~WebSocketSession.cursor` tracks how many
+            events have been delivered — feed it to :meth:`resume_stream`
+            after a drop to continue without loss or duplication.
+        """
+        session = await self.open_websocket(f"/streams/{name}/ws?since={int(since)}")
+        session.stream = name
+        session.cursor = int(since)
+        return session
+
+    async def resume_stream(self, session: "WebSocketSession") -> "WebSocketSession":
+        """Reopen a dropped stream session from its delivered-event cursor.
+
+        The server's ``?since=`` replay re-sends exactly the events the old
+        session never delivered, so the concatenated event sequence across
+        the drop is identical to an uninterrupted subscription.
+        """
+        if session.stream is None:
+            raise ConfigurationError("session was not opened via open_stream(); cannot resume")
+        await session.close()
+        return await self.open_stream(session.stream, since=session.cursor)
+
 
 def _parse_headers(head: bytes) -> dict[str, str]:
     """Lower-cased header mapping of a raw response head."""
@@ -157,11 +367,29 @@ def _parse_headers(head: bytes) -> dict[str, str]:
     return headers
 
 
+def _parse_retry_after(headers: dict[str, str], body: Any) -> float | None:
+    """The server-suggested retry delay, from header or error body."""
+    raw = headers.get("retry-after")
+    if raw is not None:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    if isinstance(body, dict):
+        value = body.get("error", {}).get("retry_after")
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
 class WebSocketSession:
     """A client-side WebSocket: JSON frames in both directions.
 
     Client frames are masked as RFC 6455 requires; control frames (ping,
-    close) are handled transparently by :meth:`recv_json`.
+    close) are handled transparently by :meth:`recv_json`.  Sessions opened
+    through :meth:`ServiceClient.open_stream` also track :attr:`cursor` —
+    the count of *event* frames delivered (acks/errors excluded, matching
+    the server's event log indexing) — enabling safe ``?since=`` resume.
 
     Example
     -------
@@ -176,6 +404,8 @@ class WebSocketSession:
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._reader = reader
         self._writer = writer
+        self.stream: str | None = None
+        self.cursor = 0
 
     async def send_json(self, payload: Any) -> None:
         """Send one masked text frame carrying ``payload`` as JSON."""
@@ -197,7 +427,10 @@ class WebSocketSession:
                 await self._writer.drain()
                 continue
             if opcode == OP_TEXT:
-                return json.loads(payload)
+                message = json.loads(payload)
+                if isinstance(message, dict) and message.get("kind") not in ("ack", "error"):
+                    self.cursor += 1  # an event frame advances the replay cursor
+                return message
             # ignore binary/pong frames
 
     async def close(self) -> None:

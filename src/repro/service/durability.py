@@ -1,0 +1,416 @@
+"""Durable stream state: periodic checkpoints + a write-ahead batch tail log.
+
+Durability contract (pinned by ``tests/test_service_durability.py`` and the
+chaos suite): **no acked observation is ever lost**.  Two artefacts per
+stream live under a spool directory:
+
+* ``checkpoint-<n_seen>.ckpt`` — the detector's full
+  :meth:`save_state` payload, written atomically (tmp + fsync + rename)
+  with a CRC-32 integrity frame by
+  :func:`repro.api.checkpoint.write_payload_file`.  Checkpoints are taken
+  every ``checkpoint_every_n`` observations and/or every
+  ``checkpoint_every_seconds`` of wall clock; the newest
+  ``keep_checkpoints`` are retained so a corrupt newest file falls back to
+  its predecessor.
+* ``tail.log`` — an append-only, CRC-framed record per accepted batch,
+  fsynced *before* the batch mutates the detector (write-ahead).  Recovery
+  restores the newest valid checkpoint and replays the tail records beyond
+  it through the normal ingestion path — bit-identical to an uninterrupted
+  run thanks to the detectors' chunk-invariance and checkpoint guarantees.
+
+On each successful checkpoint the tail is compacted down to the records the
+*oldest retained* checkpoint still needs, so fallback recovery always has a
+complete replay window.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pickle
+import re
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.api import restore
+from repro.api.checkpoint import read_payload_file, write_payload_file
+from repro.api.protocol import iter_chunks
+from repro.utils.exceptions import ConfigurationError, CorruptCheckpointError
+
+logger = logging.getLogger(__name__)
+
+#: Spool checkpoint envelope marker.
+SPOOL_FORMAT = "repro.spool/1"
+#: Checkpoint file name pattern (``n_seen`` zero-padded for lexical order).
+CHECKPOINT_NAME = re.compile(r"^checkpoint-(\d{12})\.ckpt$")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tuning of the per-stream spool.
+
+    Parameters
+    ----------
+    spool_dir:
+        Root directory for per-stream spools (created if missing).
+    checkpoint_every_n:
+        Take a checkpoint once at least this many observations arrived
+        since the last one.
+    checkpoint_every_seconds:
+        Also checkpoint once this much wall clock passed since the last
+        one (None disables the clock trigger).
+    fsync:
+        Fsync tail appends and checkpoint writes (disable only for tests
+        where durability across host crashes is irrelevant).
+    keep_checkpoints:
+        Newest checkpoints retained per stream (>= 2 so a corrupt newest
+        file can fall back to its predecessor).
+    """
+
+    spool_dir: str | Path
+    checkpoint_every_n: int = 2_048
+    checkpoint_every_seconds: float | None = 30.0
+    fsync: bool = True
+    keep_checkpoints: int = 2
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on out-of-range settings."""
+        if self.checkpoint_every_n < 1:
+            raise ConfigurationError("checkpoint_every_n must be a positive integer")
+        if self.checkpoint_every_seconds is not None and self.checkpoint_every_seconds <= 0:
+            raise ConfigurationError("checkpoint_every_seconds must be positive or None")
+        if self.keep_checkpoints < 2:
+            raise ConfigurationError("keep_checkpoints must be >= 2 (corruption fallback)")
+
+
+class StreamSpool:
+    """The on-disk durability state of one stream."""
+
+    def __init__(self, root: Path, name: str, *, fsync: bool = True) -> None:
+        self.directory = root / name
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.tail_path = self.directory / "tail.log"
+        self.meta_path = self.directory / "meta.json"
+        self._tail_handle = None
+        #: Bookkeeping for the checkpoint cadence.
+        self.last_checkpoint_n = 0
+        self.last_checkpoint_time = time.monotonic()
+        self.last_checkpoint_wall = time.time()
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+
+    def write_meta(self, meta: dict[str, Any]) -> None:
+        """Persist the stream's spec (detector, config, chunking) as JSON."""
+        tmp = self.meta_path.with_name(self.meta_path.name + ".tmp")
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.meta_path)
+
+    # ------------------------------------------------------------------ #
+    # write-ahead tail log
+    # ------------------------------------------------------------------ #
+
+    def append_tail(self, start: int, values: np.ndarray, seq: int | None) -> None:
+        """Append one accepted batch *before* it is processed (write-ahead)."""
+        record = {"start": int(start), "values": np.asarray(values), "seq": seq}
+        body = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = (
+            len(body).to_bytes(4, "big") + zlib.crc32(body).to_bytes(4, "big") + body
+        )
+        if self._tail_handle is None:
+            self._tail_handle = self.tail_path.open("ab")
+        self._tail_handle.write(frame)
+        self._tail_handle.flush()
+        if self.fsync:
+            os.fsync(self._tail_handle.fileno())
+
+    def read_tail(self) -> list[dict[str, Any]]:
+        """All valid tail records in append order.
+
+        A truncated or corrupt record ends the scan (everything before it is
+        still returned): with fsync-before-ack, every *acked* batch lies in
+        the valid prefix by construction.
+        """
+        if not self.tail_path.exists():
+            return []
+        raw = self.tail_path.read_bytes()
+        records: list[dict[str, Any]] = []
+        offset = 0
+        while offset + 8 <= len(raw):
+            length = int.from_bytes(raw[offset : offset + 4], "big")
+            stored = int.from_bytes(raw[offset + 4 : offset + 8], "big")
+            body = raw[offset + 8 : offset + 8 + length]
+            if len(body) < length or zlib.crc32(body) != stored:
+                logger.warning(
+                    "tail log %s: corrupt/truncated record at byte %d; "
+                    "keeping the %d valid records before it",
+                    self.tail_path, offset, len(records),
+                )
+                break
+            records.append(pickle.loads(body))
+            offset += 8 + length
+        return records
+
+    def compact_tail(self, min_start: int) -> None:
+        """Atomically drop tail records that start before ``min_start``."""
+        kept = [record for record in self.read_tail() if record["start"] >= min_start]
+        if self._tail_handle is not None:
+            self._tail_handle.close()
+            self._tail_handle = None
+        tmp = self.tail_path.with_name(self.tail_path.name + ".tmp")
+        with tmp.open("wb") as handle:
+            for record in kept:
+                body = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(
+                    len(body).to_bytes(4, "big")
+                    + zlib.crc32(body).to_bytes(4, "big")
+                    + body
+                )
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.tail_path)
+
+    # ------------------------------------------------------------------ #
+    # checkpoints
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_paths(self) -> list[tuple[int, Path]]:
+        """``(n_seen, path)`` of every checkpoint file, oldest first."""
+        found = []
+        for path in self.directory.iterdir():
+            match = CHECKPOINT_NAME.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def write_checkpoint(self, n_seen: int, envelope: dict[str, Any]) -> Path:
+        """Atomically persist one checkpoint; returns its path."""
+        path = self.directory / f"checkpoint-{n_seen:012d}.ckpt"
+        write_payload_file(path, envelope, fsync=self.fsync)
+        self.last_checkpoint_n = n_seen
+        self.last_checkpoint_time = time.monotonic()
+        self.last_checkpoint_wall = time.time()
+        return path
+
+    def prune_checkpoints(self, keep: int) -> int:
+        """Delete all but the newest ``keep`` checkpoints; returns the oldest
+        retained ``n_seen`` (0 when no checkpoint exists)."""
+        paths = self.checkpoint_paths()
+        for _, path in paths[:-keep]:
+            path.unlink(missing_ok=True)
+        retained = paths[-keep:]
+        return retained[0][0] if retained else 0
+
+    def load_latest_checkpoint(self) -> tuple[int, dict[str, Any]]:
+        """The newest *valid* checkpoint envelope, falling back on corruption.
+
+        Raises
+        ------
+        CorruptCheckpointError
+            When no checkpoint file survives its integrity check.
+        """
+        paths = self.checkpoint_paths()
+        for n_seen, path in reversed(paths):
+            try:
+                envelope = read_payload_file(path)
+            except CorruptCheckpointError as error:
+                logger.error("checkpoint %s is corrupt (%s); trying predecessor", path, error)
+                continue
+            if envelope.get("format") != SPOOL_FORMAT:
+                logger.error("checkpoint %s has foreign format %r", path, envelope.get("format"))
+                continue
+            return n_seen, envelope
+        raise CorruptCheckpointError(
+            f"no valid checkpoint in {self.directory} ({len(paths)} file(s) tried)"
+        )
+
+    def close(self) -> None:
+        """Release the tail file handle (the spool stays on disk)."""
+        if self._tail_handle is not None:
+            self._tail_handle.close()
+            self._tail_handle = None
+
+
+@dataclass
+class RecoveryReport:
+    """What one stream's recovery did (returned by :meth:`DurabilityManager.restore`)."""
+
+    stream: str
+    checkpoint_n_seen: int
+    n_replayed_batches: int
+    n_replayed_observations: int
+    n_republished_events: int
+    fell_back: bool
+
+
+class DurabilityManager:
+    """All stream spools of one service instance.
+
+    The manager is deliberately synchronous: it is only ever called from the
+    owning shard worker (serialized per stream) or from the supervisor while
+    the shard's replacement worker is not yet started, so there is no
+    concurrent access to a given spool.
+    """
+
+    def __init__(self, config: DurabilityConfig, faults=None) -> None:
+        config.validate()
+        self.config = config
+        self.root = Path(config.spool_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
+        self._spools: dict[str, StreamSpool] = {}
+
+    def spool_for(self, name: str) -> StreamSpool:
+        """The (cached) spool of one stream."""
+        spool = self._spools.get(name)
+        if spool is None:
+            spool = self._spools[name] = StreamSpool(
+                self.root, name, fsync=self.config.fsync
+            )
+        return spool
+
+    # ------------------------------------------------------------------ #
+    # the write path (called from the shard worker)
+    # ------------------------------------------------------------------ #
+
+    def register(self, stream) -> None:
+        """Create the spool for a new stream: meta + a birth checkpoint."""
+        spool = self.spool_for(stream.name)
+        spool.write_meta(
+            {
+                "name": stream.name,
+                "detector": stream.detector,
+                "config": stream.config,
+                "chunk_size": stream.chunk_size,
+                "include_scores": stream.include_scores,
+                "created_at": stream.created_at,
+            }
+        )
+        self.checkpoint(stream)
+
+    def log_batch(self, stream, values: np.ndarray, seq: int | None) -> None:
+        """Write-ahead: persist an accepted batch before it is processed."""
+        self.spool_for(stream.name).append_tail(
+            int(stream.segmenter.n_seen), values, seq
+        )
+
+    def maybe_checkpoint(self, stream) -> bool:
+        """Checkpoint when the observation-count or wall-clock trigger fires."""
+        spool = self.spool_for(stream.name)
+        n_seen = int(stream.segmenter.n_seen)
+        due = n_seen - spool.last_checkpoint_n >= self.config.checkpoint_every_n
+        if not due and self.config.checkpoint_every_seconds is not None:
+            due = (
+                n_seen > spool.last_checkpoint_n
+                and time.monotonic() - spool.last_checkpoint_time
+                >= self.config.checkpoint_every_seconds
+            )
+        if not due:
+            return False
+        self.checkpoint(stream)
+        return True
+
+    def checkpoint(self, stream) -> Path | None:
+        """Unconditionally checkpoint a stream (no-op while it is frozen)."""
+        if stream.segmenter is None:
+            return None
+        spool = self.spool_for(stream.name)
+        n_seen = int(stream.segmenter.n_seen)
+        envelope = {
+            "format": SPOOL_FORMAT,
+            "n_seen": n_seen,
+            "state": stream.segmenter.save_state(),
+            "last_seq": stream.last_seq,
+        }
+        path = spool.write_checkpoint(n_seen, envelope)
+        if self.faults is not None:
+            self.faults.corrupt_checkpoint(path, stream.name)
+        oldest_retained = spool.prune_checkpoints(self.config.keep_checkpoints)
+        spool.compact_tail(oldest_retained)
+        return path
+
+    def discard(self, name: str) -> None:
+        """Drop a deleted stream's spool from disk."""
+        spool = self._spools.pop(name, None)
+        if spool is not None:
+            spool.close()
+        directory = self.root / name
+        if directory.exists():
+            for path in directory.iterdir():
+                path.unlink(missing_ok=True)
+            directory.rmdir()
+
+    def checkpoint_age(self, name: str) -> float | None:
+        """Seconds since the stream's last checkpoint (None if never)."""
+        spool = self._spools.get(name)
+        if spool is None:
+            return None
+        return time.monotonic() - spool.last_checkpoint_time
+
+    # ------------------------------------------------------------------ #
+    # the recovery path (called from the supervisor)
+    # ------------------------------------------------------------------ #
+
+    def recover(self, stream) -> RecoveryReport:
+        """Rebuild a crashed stream: newest valid checkpoint + tail replay.
+
+        The half-mutated in-memory detector is discarded.  Replay feeds the
+        tail records beyond the checkpoint through the stream's normal
+        chunked ingestion; events that were already published before the
+        crash are regenerated bit-identically but *not* re-published (the
+        ``n_acked`` frontier), so subscribers and the event log see exactly
+        the uninterrupted sequence.
+        """
+        spool = self.spool_for(stream.name)
+        checkpoints = spool.checkpoint_paths()
+        ckpt_n, envelope = spool.load_latest_checkpoint()
+        fell_back = bool(checkpoints) and ckpt_n != checkpoints[-1][0]
+        segmenter = restore(envelope["state"])
+        published_until = stream.n_acked
+        replayed = observations = republished = 0
+        for record in spool.read_tail():
+            start = record["start"]
+            if start < ckpt_n:
+                continue  # already inside the checkpoint
+            if start != int(segmenter.n_seen):
+                logger.error(
+                    "tail replay gap on stream %r: record starts at %d, detector at %d",
+                    stream.name, start, int(segmenter.n_seen),
+                )
+                break
+            values = record["values"]
+            chunk_size = stream.chunk_size or values.shape[0]
+            for chunk in iter_chunks(values, chunk_size):
+                segmenter.process(chunk)
+            replayed += 1
+            observations += int(values.shape[0])
+            if start >= published_until:
+                # this batch's results never reached subscribers: publish now
+                ack = stream.commit_batch(segmenter, int(values.shape[0]), 0.0, record["seq"])
+                republished += len(ack["events"])
+        stream.segmenter = segmenter
+        spool.last_checkpoint_time = time.monotonic()  # freshly consistent
+        report = RecoveryReport(
+            stream=stream.name,
+            checkpoint_n_seen=ckpt_n,
+            n_replayed_batches=replayed,
+            n_replayed_observations=observations,
+            n_republished_events=republished,
+            fell_back=fell_back,
+        )
+        logger.warning(
+            "recovered stream %r from checkpoint@%d (+%d batch(es), %d obs replayed, "
+            "%d event(s) republished%s)",
+            stream.name, ckpt_n, replayed, observations, republished,
+            ", after corrupt-checkpoint fallback" if fell_back else "",
+        )
+        return report

@@ -36,6 +36,7 @@ REASONS = {
     426: "Upgrade Required",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -53,6 +54,10 @@ class ServiceError(Exception):
         Human-readable one-line description.
     detail:
         Optional JSON-safe structured context attached to the body.
+    retry_after:
+        Optional seconds after which a retry is reasonable; rendered as a
+        ``Retry-After`` header (used by the 503 shedding/crash responses and
+        honoured by :class:`~repro.service.client.ServiceClient`).
 
     Raises
     ------
@@ -67,12 +72,20 @@ class ServiceError(Exception):
     repro.service.errors.ServiceError: [413 oversized-batch] batch exceeds limit
     """
 
-    def __init__(self, status: int, code: str, message: str, detail: Any = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: Any = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(f"[{status} {code}] {message}")
         self.status = int(status)
         self.code = str(code)
         self.message = str(message)
         self.detail = detail
+        self.retry_after = retry_after
 
     def body(self) -> dict[str, Any]:
         """The JSON-safe response body: ``{"error": {...}}``.
@@ -86,6 +99,9 @@ class ServiceError(Exception):
         payload: dict[str, Any] = {"code": self.code, "message": self.message}
         if self.detail is not None:
             payload["detail"] = self.detail
+        if self.retry_after is not None:
+            # also in the body so WebSocket error frames (no headers) carry it
+            payload["retry_after"] = self.retry_after
         return {"error": payload}
 
 

@@ -1,0 +1,210 @@
+"""Fault injection hooks for chaos-testing the segmentation service.
+
+The service calls a small set of well-defined hook points; a
+:class:`FaultInjector` armed with :class:`Fault` specs decides, per call,
+whether to misbehave.  With no injector (the default) every hook is a no-op,
+so production code paths carry no chaos logic of their own.
+
+Supported fault kinds:
+
+``kill-worker``
+    Raise :class:`WorkerCrash` before a job starts executing — the shard
+    worker task dies and the supervisor must restart it.
+``kill-mid-batch``
+    Raise :class:`WorkerCrash` between ingestion chunks of a ``process``
+    job, leaving the in-memory detector half-mutated — recovery must rebuild
+    it from the durable checkpoint + tail instead.
+``delay``
+    ``await asyncio.sleep(seconds)`` before a job executes, to push it past
+    the supervisor's per-job deadline (a simulated hang).
+``corrupt-checkpoint``
+    Flip bytes in a checkpoint file right after it is written, so recovery
+    must fall back to the previous checkpoint plus a longer tail replay.
+``drop-ws``
+    Abruptly sever a WebSocket connection (no close frame), so clients must
+    resume via the ``?since=`` replay cursor.
+
+Faults match on optional ``shard`` / ``stream`` selectors, fire on the
+``after``-th matching invocation, and repeat ``times`` times.  Specs can be
+armed programmatically or parsed from the ``REPRO_FAULTS`` environment
+variable (used by the chaos CI job and ``bench_service_recovery.py``)::
+
+    REPRO_FAULTS="kill-mid-batch:stream=s1:after=3,delay:shard=0:seconds=2"
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+from dataclasses import dataclass, field
+
+from repro.utils.exceptions import ConfigurationError
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable holding a comma-separated fault spec list.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The fault kinds the service's hook points understand.
+FAULT_KINDS = ("kill-worker", "kill-mid-batch", "delay", "corrupt-checkpoint", "drop-ws")
+
+
+class FaultInjected(RuntimeError):
+    """Base class for failures raised by the fault-injection layer."""
+
+
+class WorkerCrash(FaultInjected):
+    """An injected crash that must kill the shard worker task."""
+
+
+@dataclass
+class Fault:
+    """One armed fault: what to do, where, and when.
+
+    ``after`` is 1-based: ``after=3`` fires on the third matching hook
+    invocation.  ``times`` bounds how often the fault fires (0 = exhausted).
+    """
+
+    kind: str
+    shard: int | None = None
+    stream: str | None = None
+    after: int = 1
+    times: int = 1
+    seconds: float = 0.0
+    #: Matching invocations observed so far (internal counter).
+    seen: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.after < 1 or self.times < 0 or self.seconds < 0:
+            raise ConfigurationError("fault needs after >= 1, times >= 0, seconds >= 0")
+
+    def matches(self, shard: int | None, stream: str | None) -> bool:
+        """Whether this fault's selectors accept a hook invocation."""
+        if self.shard is not None and shard != self.shard:
+            return False
+        if self.stream is not None and stream != self.stream:
+            return False
+        return True
+
+    def should_fire(self, shard: int | None, stream: str | None) -> bool:
+        """Count a matching invocation; report whether the fault triggers now."""
+        if self.times <= 0 or not self.matches(shard, stream):
+            return False
+        self.seen += 1
+        if self.seen >= self.after:
+            self.times -= 1
+            self.seen = 0 if self.times else self.seen
+            return True
+        return False
+
+
+class FaultInjector:
+    """The armed fault set plus the hook points the service calls.
+
+    Example
+    -------
+    >>> injector = FaultInjector()
+    >>> injector.arm("kill-mid-batch", stream="s1", after=2)
+    Fault(kind='kill-mid-batch', shard=None, stream='s1', after=2, times=1, seconds=0.0)
+    >>> injector.mid_batch(0, "other")    # no match: nothing happens
+    """
+
+    def __init__(self, faults: list[Fault] | None = None) -> None:
+        self.faults: list[Fault] = list(faults or [])
+        #: Log of faults that actually fired: ``(kind, shard, stream)``.
+        self.fired: list[tuple[str, int | None, str | None]] = []
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "FaultInjector | None":
+        """Build an injector from ``REPRO_FAULTS`` (None when unset/empty)."""
+        spec = (environ if environ is not None else os.environ).get(FAULTS_ENV, "").strip()
+        if not spec:
+            return None
+        faults = [parse_fault(part) for part in spec.split(",") if part.strip()]
+        return cls(faults)
+
+    def arm(self, kind: str, **options) -> Fault:
+        """Arm one fault programmatically; returns the spec for inspection."""
+        fault = Fault(kind, **options)
+        self.faults.append(fault)
+        return fault
+
+    def _fire(self, kind: str, shard: int | None, stream: str | None) -> Fault | None:
+        for fault in self.faults:
+            if fault.kind == kind and fault.should_fire(shard, stream):
+                self.fired.append((kind, shard, stream))
+                logger.warning(
+                    "fault injected: %s (shard=%s stream=%s)", kind, shard, stream
+                )
+                return fault
+        return None
+
+    # ------------------------------------------------------------------ #
+    # hook points (called by workers / durability / server)
+    # ------------------------------------------------------------------ #
+
+    async def before_job(self, shard: int, job_kind: str, stream: str | None) -> None:
+        """Worker hook, awaited before a job executes: delays and kills."""
+        fault = self._fire("delay", shard, stream)
+        if fault is not None:
+            await asyncio.sleep(fault.seconds)
+        if self._fire("kill-worker", shard, stream):
+            raise WorkerCrash(f"injected kill-worker on shard {shard} ({job_kind})")
+
+    def mid_batch(self, shard: int, stream: str | None) -> None:
+        """Worker hook, called between ingestion chunks of a process job."""
+        if self._fire("kill-mid-batch", shard, stream):
+            raise WorkerCrash(f"injected kill-mid-batch on shard {shard}, stream {stream}")
+
+    def corrupt_checkpoint(self, path, stream: str | None) -> bool:
+        """Durability hook: flip bytes in a freshly written checkpoint file."""
+        if not self._fire("corrupt-checkpoint", None, stream):
+            return False
+        raw = bytearray(path.read_bytes())
+        # damage the pickled body (past the frame header) so the CRC check
+        # on load reports corruption rather than the magic check
+        start = max(10, len(raw) // 2 - 8)
+        for offset in range(start, min(start + 16, len(raw))):
+            raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        return True
+
+    def drop_websocket(self, stream: str | None) -> bool:
+        """Server hook: whether to sever the WebSocket connection now."""
+        return self._fire("drop-ws", None, stream) is not None
+
+
+def parse_fault(spec: str) -> Fault:
+    """Parse one ``kind[:key=value]*`` fault spec (the ``REPRO_FAULTS`` grammar).
+
+    Raises
+    ------
+    ConfigurationError
+        On an unknown kind, unknown option key, or a non-numeric value for
+        ``shard`` / ``after`` / ``times`` / ``seconds``.
+    """
+    kind, _, rest = spec.strip().partition(":")
+    options: dict = {}
+    for part in filter(None, rest.split(":")):
+        key, separator, value = part.partition("=")
+        if not separator:
+            raise ConfigurationError(f"malformed fault option {part!r} in {spec!r}")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key in ("shard", "after", "times"):
+                options[key] = int(value)
+            elif key == "seconds":
+                options[key] = float(value)
+            elif key == "stream":
+                options[key] = value
+            else:
+                raise ConfigurationError(f"unknown fault option {key!r} in {spec!r}")
+        except ValueError as error:
+            raise ConfigurationError(f"invalid fault option {part!r} in {spec!r}") from error
+    return Fault(kind, **options)

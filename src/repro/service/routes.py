@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import re
 import time
+from collections import Counter
 from typing import Any, Awaitable, Callable
 
 from repro.service.errors import ServiceError
 from repro.service.protocol import HTTPRequest
-from repro.service.streams import StreamRegistry, quantile
+from repro.service.streams import StreamRegistry, StreamState, quantile
 from repro.service.workers import WorkerPool
 
 Handler = Callable[..., Awaitable[tuple[int, Any]]]
@@ -76,9 +77,23 @@ class Router:
 class ServiceRoutes:
     """The service's handlers, bound to one registry + worker pool."""
 
-    def __init__(self, registry: StreamRegistry, pool: WorkerPool) -> None:
+    def __init__(
+        self,
+        registry: StreamRegistry,
+        pool: WorkerPool,
+        supervisor=None,
+        durability=None,
+        error_counts: Counter | None = None,
+    ) -> None:
         self.registry = registry
         self.pool = pool
+        self.supervisor = supervisor
+        self.durability = durability
+        #: Per-error-code counters surfaced by ``/metrics`` (shared with the
+        #: connection layer so protocol/worker failures land here too).
+        self.error_counts: Counter = error_counts if error_counts is not None else Counter()
+        #: Set during graceful shutdown: intake answers 503 ``shutting-down``.
+        self.draining = False
         self.started_at = time.time()
         self.router = Router()
         self.router.add("GET", "/healthz", self.healthz)
@@ -107,21 +122,38 @@ class ServiceRoutes:
         }
 
     async def metrics(self, request: HTTPRequest) -> tuple[int, Any]:
-        """Service metrics: per-stream counts and latency quantiles, shards."""
+        """Service metrics: per-stream counts and latency quantiles, shards,
+        per-error-code counters, worker restarts and checkpoint ages."""
         streams = {}
         all_latencies: list[float] = []
         total_events = 0
         total_observations = 0
+        checkpoint_age_by_shard: dict[int, float] = {}
         for stream in self.registry.list_streams():
             snapshot = stream.metrics.snapshot()
             snapshot["shard"] = stream.shard
             snapshot["frozen"] = stream.frozen
+            if self.durability is not None:
+                age = self.durability.checkpoint_age(stream.name)
+                snapshot["last_checkpoint_age_seconds"] = (
+                    round(age, 3) if age is not None else None
+                )
+                if age is not None:
+                    previous = checkpoint_age_by_shard.get(stream.shard)
+                    # worst-case staleness per shard: the oldest last-checkpoint
+                    checkpoint_age_by_shard[stream.shard] = max(previous or 0.0, age)
             streams[stream.name] = snapshot
             all_latencies.extend(stream.metrics.latencies)
             total_events += snapshot["n_events"]
             total_observations += snapshot["n_observations"]
+        workers = self.pool.snapshot()
+        for entry in workers:
+            age = checkpoint_age_by_shard.get(entry["shard"])
+            entry["last_checkpoint_age_seconds"] = round(age, 3) if age is not None else None
+            if self.supervisor is not None:
+                entry["restarts"] = self.supervisor.restarts[entry["shard"]]
         uptime = max(time.time() - self.started_at, 1e-9)
-        return 200, {
+        payload = {
             "uptime_seconds": round(uptime, 3),
             "n_streams": len(self.registry),
             "total_observations": total_observations,
@@ -129,9 +161,13 @@ class ServiceRoutes:
             "observations_per_second": round(total_observations / uptime, 3),
             "event_latency_p50_ms": _ms(quantile(all_latencies, 0.50)),
             "event_latency_p99_ms": _ms(quantile(all_latencies, 0.99)),
-            "workers": self.pool.snapshot(),
+            "errors": dict(self.error_counts),
+            "workers": workers,
             "streams": streams,
         }
+        if self.supervisor is not None:
+            payload.update(self.supervisor.snapshot())
+        return 200, payload
 
     # ------------------------------------------------------------------ #
     # stream lifecycle
@@ -143,8 +179,14 @@ class ServiceRoutes:
 
     async def create_stream(self, request: HTTPRequest, name: str) -> tuple[int, Any]:
         """Create a named stream from ``{"detector": ..., "config": {...}}``."""
+        if self.draining:
+            raise ServiceError(
+                503, "shutting-down", "service is draining; no new streams", retry_after=1.0
+            )
         spec = request.json("stream spec") if request.body else {}
         stream = self.registry.create_stream(name, spec)
+        if self.durability is not None:
+            self.durability.register(stream)
         return 201, stream.info()
 
     async def stream_info(self, request: HTTPRequest, name: str) -> tuple[int, Any]:
@@ -156,6 +198,8 @@ class ServiceRoutes:
         stream = self.registry.delete(name)
         for queue in list(stream.subscribers):
             queue.put_nowait(None)  # wake subscribers so their sockets close
+        if self.durability is not None:
+            self.durability.discard(name)
         return 200, {"deleted": name}
 
     # ------------------------------------------------------------------ #
@@ -165,17 +209,37 @@ class ServiceRoutes:
     async def push_observations(self, request: HTTPRequest, name: str) -> tuple[int, Any]:
         """Validate and ingest one observation batch; return fresh events."""
         stream = self.registry.get(name)
+        return 200, await self.ingest(stream, request.json("observations payload"))
+
+    async def ingest(self, stream: StreamState, document: Any) -> dict[str, Any]:
+        """The shared HTTP/WebSocket ingestion path: validate, dedup, process.
+
+        Returns the ack body (``name``, ``n_seen``, fresh ``events``, the
+        echoed ``seq`` when supplied).  A duplicate of the last acked
+        sequence number short-circuits here with the cached ack (and the
+        check is repeated authoritatively inside the serialized worker, so
+        two concurrent duplicates cannot both process).  Raises typed
+        errors for frozen streams, drained service, malformed payloads and
+        full shard queues.
+        """
+        if self.draining:
+            raise ServiceError(
+                503, "shutting-down", "service is draining; retry elsewhere", retry_after=1.0
+            )
         if stream.frozen:
             raise ServiceError(
-                409, "stream-frozen", f"stream {name!r} is frozen; resume it first"
+                409, "stream-frozen", f"stream {stream.name!r} is frozen; resume it first"
             )
-        values = self.registry.parse_observations(request.json("observations payload"))
-        events = await self.pool.process(stream, values)
-        return 200, {
-            "name": name,
-            "n_seen": int(stream.segmenter.n_seen),
-            "events": events,
-        }
+        document_seq = self.registry.parse_sequence(document)
+        values = self.registry.parse_observations(document)
+        if (
+            document_seq is not None
+            and stream.last_seq is not None
+            and document_seq == stream.last_seq
+            and stream.last_ack is not None
+        ):
+            return {**stream.last_ack, "replayed": True}
+        return await self.pool.process(stream, values, seq=document_seq)
 
     async def stream_events(self, request: HTTPRequest, name: str) -> tuple[int, Any]:
         """The stream's event log from the ``?since=`` cursor on."""

@@ -33,8 +33,12 @@ import asyncio
 import contextlib
 import json
 import logging
+import signal
+from collections import Counter
 
+from repro.service.durability import DurabilityConfig, DurabilityManager
 from repro.service.errors import ServiceError
+from repro.service.faults import FaultInjector
 from repro.service.protocol import (
     OP_CLOSE,
     OP_PING,
@@ -51,6 +55,7 @@ from repro.service.protocol import (
 )
 from repro.service.routes import ServiceRoutes
 from repro.service.streams import DEFAULT_MAX_BATCH, StreamRegistry
+from repro.service.supervisor import Supervisor, SupervisorConfig
 from repro.service.workers import WorkerPool
 
 logger = logging.getLogger(__name__)
@@ -68,22 +73,67 @@ class SegmentationService:
         Number of shard workers; streams are CRC-32 partitioned over them.
     max_batch:
         Maximum observations per batch (typed 413 beyond).
+    durability:
+        A :class:`~repro.service.durability.DurabilityConfig` (or a
+        ready-made manager) enabling per-stream spools: write-ahead batch
+        tails, periodic atomic checkpoints, and crash recovery that is
+        bit-identical to an uninterrupted run.  None (the default) keeps
+        the pre-fault-tolerance in-memory behaviour.
+    faults:
+        A :class:`~repro.service.faults.FaultInjector` for chaos testing;
+        defaults to one parsed from the ``REPRO_FAULTS`` environment
+        variable (None when unset).
+    supervision:
+        A :class:`~repro.service.supervisor.SupervisorConfig` tuning queue
+        bounds, per-job deadlines, and restart limits.
 
     Raises
     ------
     ConfigurationError
-        When ``n_shards`` or ``max_batch`` is invalid (via the registry).
+        When ``n_shards``, ``max_batch`` or any config object is invalid.
 
     Example
     -------
     See the module docstring; ``tests/test_service_integration.py`` drives a
-    full multi-stream session including a mid-stream rebalance.
+    full multi-stream session including a mid-stream rebalance, and
+    ``tests/test_service_faults.py`` drives crash/corruption recovery.
     """
 
-    def __init__(self, n_shards: int = 4, max_batch: int = DEFAULT_MAX_BATCH) -> None:
+    def __init__(
+        self,
+        n_shards: int = 4,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        *,
+        durability: DurabilityConfig | DurabilityManager | None = None,
+        faults: FaultInjector | None = None,
+        supervision: SupervisorConfig | None = None,
+    ) -> None:
         self.registry = StreamRegistry(n_shards, max_batch=max_batch)
-        self.pool = WorkerPool(n_shards)
-        self.routes = ServiceRoutes(self.registry, self.pool)
+        self.error_counts: Counter = Counter()
+        self.faults = faults if faults is not None else FaultInjector.from_env()
+        if isinstance(durability, DurabilityConfig):
+            durability = DurabilityManager(durability, faults=self.faults)
+        self.durability = durability
+        self.supervision = supervision or SupervisorConfig()
+        self.pool = WorkerPool(
+            n_shards,
+            max_queue_depth=self.supervision.max_queue_depth,
+            job_deadline=self.supervision.job_deadline,
+            retry_after=self.supervision.retry_after,
+            durability=self.durability,
+            faults=self.faults,
+            on_error=lambda code: self.error_counts.update([code]),
+        )
+        self.supervisor = Supervisor(
+            self.pool, self.registry, durability=self.durability, config=self.supervision
+        )
+        self.routes = ServiceRoutes(
+            self.registry,
+            self.pool,
+            supervisor=self.supervisor,
+            durability=self.durability,
+            error_counts=self.error_counts,
+        )
         self._server: asyncio.base_events.Server | None = None
 
     # ------------------------------------------------------------------ #
@@ -98,24 +148,62 @@ class SegmentationService:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        """Bind the listener and start the shard workers."""
-        self.pool.start()
+        """Bind the listener and start the supervised shard workers."""
+        self.supervisor.start()
         self._server = await asyncio.start_server(self._handle_connection, host, port)
 
     async def stop(self) -> None:
-        """Close the listener and stop the shard workers."""
+        """Close the listener and stop the shard workers (abrupt)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.pool.stop()
+        await self.supervisor.stop()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new intake, drain every shard queue,
+        checkpoint every stream's durable state, then stop the workers."""
+        self.routes.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.pool.drain()
+        if self.durability is not None:
+            for stream in self.registry.list_streams():
+                if stream.segmenter is not None:
+                    self.durability.checkpoint(stream)
+        await self.supervisor.stop()
 
     async def serve_forever(self, host: str = "127.0.0.1", port: int = 8765) -> None:
-        """Blocking entry point used by ``python -m repro.cli serve``."""
+        """Blocking entry point used by ``python -m repro.cli serve``.
+
+        On platforms with signal support, SIGINT/SIGTERM trigger the
+        graceful :meth:`shutdown` path (drain + checkpoint) instead of
+        tearing the event loop down mid-batch.
+        """
         await self.start(host, port)
-        assert self._server is not None
-        async with self._server:
-            await self._server.serve_forever()
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        registered: list[signal.Signals] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+                registered.append(signum)
+            except (NotImplementedError, RuntimeError):  # non-unix event loops
+                pass
+        try:
+            if registered:
+                await stop_requested.wait()
+                logger.info("signal received: draining, checkpointing, exiting")
+                await self.shutdown()
+            else:
+                assert self._server is not None
+                async with self._server:
+                    await self._server.serve_forever()
+        finally:
+            for signum in registered:
+                loop.remove_signal_handler(signum)
 
     # ------------------------------------------------------------------ #
     # connection handling
@@ -129,6 +217,7 @@ class SegmentationService:
                 try:
                     request = await read_request(reader)
                 except ServiceError as error:  # e.g. oversized declared body
+                    self.error_counts.update([error.code])
                     writer.write(render_response(error.status, error.body(), keep_alive=False))
                     await writer.drain()
                     break
@@ -143,6 +232,7 @@ class SegmentationService:
                 if not request.keep_alive:
                     break
         except ProtocolError as error:
+            self.error_counts.update(["protocol-error"])
             with contextlib.suppress(ConnectionError):
                 writer.write(
                     render_response(
@@ -166,9 +256,16 @@ class SegmentationService:
             status, payload = await handler(request, **params)
             return render_response(status, payload, keep_alive=request.keep_alive)
         except ServiceError as error:
-            return render_response(error.status, error.body(), keep_alive=request.keep_alive)
+            self.error_counts.update([error.code])
+            extra = None
+            if error.retry_after is not None:
+                extra = {"Retry-After": f"{error.retry_after:g}"}
+            return render_response(
+                error.status, error.body(), keep_alive=request.keep_alive, extra_headers=extra
+            )
         except Exception:  # unexpected bug: answer 500, keep the service up
             logger.exception("unhandled error serving %s %s", request.method, request.path)
+            self.error_counts.update(["internal-error"])
             return render_response(
                 500,
                 {"error": {"code": "internal-error", "message": "unhandled server error"}},
@@ -265,6 +362,10 @@ class SegmentationService:
                 opcode, payload = await read_frame(reader)
             except (ProtocolError, ConnectionError):
                 return
+            if self.faults is not None and self.faults.drop_websocket(stream.name):
+                # simulate a network drop: sever abruptly, no close frame
+                writer.transport.abort()
+                return
             if opcode == OP_CLOSE:
                 with contextlib.suppress(ConnectionError):
                     writer.write(encode_frame(OP_CLOSE, payload))
@@ -288,13 +389,17 @@ class SegmentationService:
                 document = json.loads(payload)
             except (json.JSONDecodeError, UnicodeDecodeError) as error:
                 raise ServiceError(400, "bad-json", "frame is not valid JSON", detail=str(error))
-            if stream.frozen:
-                raise ServiceError(409, "stream-frozen", f"stream {stream.name!r} is frozen")
-            values = self.registry.parse_observations(document)
-            await self.pool.process(stream, values)
-            return {"kind": "ack", "n_seen": int(stream.segmenter.n_seen)}
+            ack = await self.routes.ingest(stream, document)
+            frame = {"kind": "ack", "n_seen": ack["n_seen"]}
+            if "seq" in ack:
+                frame["seq"] = ack["seq"]
+            if ack.get("replayed"):
+                frame["replayed"] = True
+            return frame
         except ServiceError as error:
+            self.error_counts.update([error.code])
             return {"kind": "error", **error.body()["error"]}
         except Exception:  # unexpected bug: report, keep the session alive
             logger.exception("websocket ingest failed on stream %r", stream.name)
+            self.error_counts.update(["internal-error"])
             return {"kind": "error", "code": "internal-error", "message": "unhandled error"}

@@ -27,7 +27,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.api import create, event_from_dict
+from repro.api import ScoreEvent, create, event_from_dict
 from repro.service.errors import ServiceError, unknown_stream
 from repro.streamengine.sharded import shard_for_key
 from repro.utils.exceptions import ConfigurationError, ReproError
@@ -111,6 +111,13 @@ class StreamState:
     created_at: float = field(default_factory=time.time)
     #: Frozen checkpoint payload awaiting adoption by a worker (rebalance).
     checkpoint: dict[str, Any] | None = None
+    #: Last client-supplied sequence number acked, and the ack it got — a
+    #: duplicate of ``last_seq`` replays ``last_ack`` instead of processing.
+    last_seq: int | None = None
+    last_ack: dict[str, Any] | None = None
+    #: Observation count up to which results have been published/acked; the
+    #: recovery replay republishes only events beyond this frontier.
+    n_acked: int = 0
 
     def info(self) -> dict[str, Any]:
         """JSON-safe stream descriptor served by ``GET /streams/{name}``."""
@@ -133,6 +140,41 @@ class StreamState:
         for queue in list(self.subscribers):
             for payload in payloads:
                 queue.put_nowait(payload)
+
+    def commit_batch(
+        self, segmenter: Any, n_values: int, elapsed: float, seq: int | None
+    ) -> dict[str, Any]:
+        """Publish one processed batch's fresh events and build its ack.
+
+        The single bookkeeping path shared by the shard worker's normal
+        ingestion and the durability layer's crash-recovery replay: slices
+        the detector's event history at the ``n_emitted`` cursor, appends
+        the optional per-batch :class:`~repro.api.ScoreEvent`, records
+        metrics, fans the payloads out, advances the published/acked
+        frontier and — when a sequence number was supplied — caches the ack
+        for idempotent replay.
+        """
+        history = segmenter.events()
+        fresh = list(history[self.n_emitted :])
+        self.n_emitted = len(history)
+        if self.include_scores:
+            score = getattr(segmenter, "current_score", None)
+            if score is not None:
+                fresh.append(ScoreEvent(at=int(segmenter.n_seen), score=float(score)))
+        self.metrics.record(n_values, fresh, elapsed)
+        payloads = [event.to_dict() for event in fresh]
+        self.publish(payloads)
+        self.n_acked = int(segmenter.n_seen)
+        ack: dict[str, Any] = {
+            "name": self.name,
+            "n_seen": int(segmenter.n_seen),
+            "events": payloads,
+        }
+        if seq is not None:
+            ack["seq"] = seq
+            self.last_seq = seq
+            self.last_ack = ack
+        return ack
 
 
 class StreamRegistry:
@@ -236,15 +278,17 @@ class StreamRegistry:
         """Validate an observations payload into a float64 array.
 
         Accepts ``{"values": [...]}`` with a flat list (univariate) or a
-        list of equal-length rows (multivariate).  Rejects, with typed 4xx
-        errors: non-object payloads, missing/empty/ragged values, non-numeric
-        entries, NaN/inf entries, and batches beyond ``max_batch``.
+        list of equal-length rows (multivariate), plus an optional ``"seq"``
+        sequence number (validated by :meth:`parse_sequence`).  Rejects,
+        with typed 4xx errors: non-object payloads, missing/empty/ragged
+        values, non-numeric entries, NaN/inf entries, and batches beyond
+        ``max_batch``.
         """
         if not isinstance(payload, dict) or "values" not in payload:
             raise ServiceError(
                 400, "bad-request", "observations payload must be {'values': [...]}"
             )
-        unknown = sorted(set(payload) - {"values"})
+        unknown = sorted(set(payload) - {"values", "seq"})
         if unknown:
             raise ServiceError(400, "bad-request", f"unknown observation fields: {unknown}")
         values = payload["values"]
@@ -277,6 +321,26 @@ class StreamRegistry:
                 detail={"first_bad_index": bad},
             )
         return array
+
+    @staticmethod
+    def parse_sequence(payload: Any) -> int | None:
+        """The optional ``"seq"`` sequence number of an observations payload.
+
+        ``seq`` makes batch ingestion idempotent: clients number their
+        batches monotonically; a retry of the last acked batch replays the
+        cached ack instead of double-processing.  Returns None when absent;
+        raises a typed 400 on a non-integer or negative value.
+        """
+        if not isinstance(payload, dict):
+            return None
+        seq = payload.get("seq")
+        if seq is None:
+            return None
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise ServiceError(
+                400, "bad-sequence", f"'seq' must be a non-negative integer, got {seq!r}"
+            )
+        return seq
 
     # ------------------------------------------------------------------ #
     # event log access

@@ -1,4 +1,4 @@
-"""Asyncio shard workers: serialized detector execution + elastic rebalance.
+"""Asyncio shard workers: serialized detector execution + fault tolerance.
 
 Every stream is owned by exactly one :class:`ShardWorker` at a time (the
 CRC-32 assignment from :mod:`repro.service.streams`, until a rebalance moves
@@ -12,7 +12,11 @@ Job kinds:
 * ``process`` — run one observation batch through the detector (chunked via
   the stream's ``chunk_size``), collect the *new* typed events from the
   detector's history, stamp batch latency into the stream metrics and fan
-  the events out to subscribers.
+  the events out to subscribers.  With durability enabled the batch is
+  appended to the stream's write-ahead tail (fsynced) *before* any detector
+  mutation, and a periodic checkpoint may fire afterwards.  Client-supplied
+  sequence numbers make the job idempotent: a duplicate of the last acked
+  batch returns the cached ack instead of double-processing.
 * ``freeze``  — serialise the detector (``save_state()``) and park the
   payload on the stream; the stream stops accepting observations.
 * ``adopt``   — rebuild the detector from a frozen payload via the
@@ -20,23 +24,38 @@ Job kinds:
   pickle round-tripped first, i.e. genuinely *shipped*), attach it to the
   stream and resume — bit-identical to an uninterrupted run.
 
-A failing job never kills the worker: the exception is routed to the
-awaiting request handler's future and the loop continues with the next job.
+Failure containment: an *expected* job failure (a typed
+:class:`~repro.service.errors.ServiceError`, bad state, a detector raising)
+fails only that job's future — the traceback is logged, the error counter
+incremented, and the worker keeps draining.  An injected
+:class:`~repro.service.faults.WorkerCrash` or a per-job deadline timeout
+kills the worker task itself; the in-flight job's future gets a retryable
+503 ``worker-crashed`` and the :mod:`~repro.service.supervisor` restarts
+the shard, restoring its streams from their durable spools.
+
+Load shedding: each queue is bounded (``max_queue_depth``); a full queue
+rejects the submit with a 503 ``overloaded`` carrying ``Retry-After``, so
+clients back off instead of growing an unbounded backlog.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
-from repro.api import ScoreEvent, restore
+from repro.api import restore
 from repro.api.protocol import iter_chunks
+from repro.service.errors import ServiceError
+from repro.service.faults import WorkerCrash
 from repro.service.streams import StreamState
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -47,6 +66,8 @@ class _Job:
     stream: StreamState
     values: np.ndarray | None = None
     payload: dict | None = None
+    #: Client-supplied sequence number for idempotent ingestion (optional).
+    seq: int | None = None
     #: Enqueue timestamp — event latency is measured from here, so it
     #: includes time spent queued behind other streams on the same shard.
     created_at: float = field(default_factory=time.perf_counter)
@@ -58,29 +79,61 @@ class _Job:
 class ShardWorker:
     """One shard's executor: a FIFO queue drained by a single asyncio task."""
 
-    def __init__(self, shard: int) -> None:
+    def __init__(
+        self,
+        shard: int,
+        *,
+        max_queue_depth: int | None = None,
+        job_deadline: float | None = None,
+        retry_after: float = 0.05,
+        durability=None,
+        faults=None,
+        on_error: Callable[[str], None] | None = None,
+    ) -> None:
         self.shard = shard
-        self.queue: asyncio.Queue[_Job] = asyncio.Queue()
+        self.queue: asyncio.Queue[_Job] = asyncio.Queue(maxsize=max_queue_depth or 0)
+        self.max_queue_depth = max_queue_depth
+        self.job_deadline = job_deadline
+        self.retry_after = retry_after
+        self.durability = durability
+        self.faults = faults
+        self.on_error = on_error or (lambda code: None)
         self.n_jobs = 0
-        self._task: asyncio.Task | None = None
+        self.task: asyncio.Task | None = None
 
     def start(self) -> None:
         """Spawn the drain task (idempotent)."""
-        if self._task is None:
-            self._task = asyncio.create_task(self._run(), name=f"shard-worker-{self.shard}")
+        if self.task is None:
+            self.task = asyncio.create_task(self._run(), name=f"shard-worker-{self.shard}")
 
     async def stop(self) -> None:
         """Cancel the drain task and wait for it to finish."""
-        if self._task is not None:
-            self._task.cancel()
+        if self.task is not None:
+            self.task.cancel()
             try:
-                await self._task
+                await self.task
             except asyncio.CancelledError:
                 pass
-            self._task = None
+            except Exception:
+                pass  # task already died; the supervisor logged the cause
+            self.task = None
+
+    def submit_nowait(self, job: _Job) -> asyncio.Future:
+        """Enqueue a job, shedding load with a typed 503 when the queue is full."""
+        try:
+            self.queue.put_nowait(job)
+        except asyncio.QueueFull:
+            raise ServiceError(
+                503,
+                "overloaded",
+                f"shard {self.shard} queue is full ({self.queue.qsize()} jobs); retry later",
+                detail={"shard": self.shard, "max_queue_depth": self.max_queue_depth},
+                retry_after=self.retry_after,
+            ) from None
+        return job.future
 
     async def submit(self, job: _Job) -> Any:
-        """Enqueue a job and await its result (exceptions re-raised here)."""
+        """Enqueue a job (waiting for queue room) and await its result."""
         await self.queue.put(job)
         return await job.future
 
@@ -89,14 +142,48 @@ class ShardWorker:
             job = await self.queue.get()
             self.n_jobs += 1
             try:
-                result = self._execute(job)
-            except Exception as error:  # job fails; worker survives
-                if not job.future.cancelled():
+                if self.job_deadline is not None:
+                    result = await asyncio.wait_for(self._execute(job), self.job_deadline)
+                else:
+                    result = await self._execute(job)
+            except asyncio.CancelledError:
+                self.queue.task_done()
+                raise
+            except (WorkerCrash, asyncio.TimeoutError, TimeoutError) as error:
+                # the worker itself dies: fail the in-flight job with a
+                # retryable 503 and let the supervisor restart + recover
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceError(
+                            503,
+                            "worker-crashed",
+                            f"shard {self.shard} worker died mid-job; retry after recovery",
+                            detail={"shard": self.shard, "cause": str(error) or type(error).__name__},
+                            retry_after=self.retry_after,
+                        )
+                    )
+                self.queue.task_done()
+                if isinstance(error, WorkerCrash):
+                    raise
+                raise WorkerCrash(
+                    f"shard {self.shard} job exceeded the {self.job_deadline}s deadline"
+                ) from error
+            except ServiceError as error:  # expected client error: no traceback
+                if not job.future.done():
                     job.future.set_exception(error)
+                self.queue.task_done()
+            except Exception as error:  # job fails; worker survives
+                logger.exception(
+                    "shard %d job %r on stream %r failed",
+                    self.shard, job.kind, job.stream.name,
+                )
+                self.on_error("worker-job-error")
+                if not job.future.done():
+                    job.future.set_exception(error)
+                self.queue.task_done()
             else:
-                if not job.future.cancelled():
+                if not job.future.done():
                     job.future.set_result(result)
-            finally:
                 self.queue.task_done()
             # yield to the event loop between CPU-bound jobs so accepted
             # connections and other shards' handlers stay responsive
@@ -104,9 +191,11 @@ class ShardWorker:
 
     # ------------------------------------------------------------------ #
 
-    def _execute(self, job: _Job) -> Any:
+    async def _execute(self, job: _Job) -> Any:
+        if self.faults is not None:
+            await self.faults.before_job(self.shard, job.kind, job.stream.name)
         if job.kind == "process":
-            return self._process(job.stream, job.values, job.created_at)
+            return self._process(job.stream, job.values, job.seq, job.created_at)
         if job.kind == "freeze":
             return self._freeze(job.stream)
         if job.kind == "adopt":
@@ -114,25 +203,38 @@ class ShardWorker:
         raise RuntimeError(f"unknown shard job kind {job.kind!r}")
 
     def _process(
-        self, stream: StreamState, values: np.ndarray, enqueued_at: float
-    ) -> list[dict]:
-        """Ingest one batch; return the freshly emitted event payloads."""
+        self,
+        stream: StreamState,
+        values: np.ndarray,
+        seq: int | None,
+        enqueued_at: float,
+    ) -> dict:
+        """Ingest one batch; return its ack body (name, n_seen, fresh events)."""
+        # authoritative idempotency check, serialized with all mutation
+        if seq is not None and stream.last_seq is not None:
+            if seq == stream.last_seq and stream.last_ack is not None:
+                return {**stream.last_ack, "replayed": True}
+            if seq <= stream.last_seq:
+                raise ServiceError(
+                    409,
+                    "stale-sequence",
+                    f"batch seq {seq} is behind the last acked seq {stream.last_seq}",
+                    detail={"last_seq": stream.last_seq},
+                )
+        if self.durability is not None:
+            # write-ahead: the accepted batch is durable before any mutation
+            self.durability.log_batch(stream, values, seq)
         segmenter = stream.segmenter
         chunk_size = stream.chunk_size or values.shape[0]
-        for chunk in iter_chunks(values, chunk_size):
+        for index, chunk in enumerate(iter_chunks(values, chunk_size)):
+            if self.faults is not None and index > 0:
+                self.faults.mid_batch(self.shard, stream.name)
             segmenter.process(chunk)
-        history = segmenter.events()
-        fresh = list(history[stream.n_emitted :])
-        stream.n_emitted = len(history)
-        if stream.include_scores:
-            score = getattr(segmenter, "current_score", None)
-            if score is not None:
-                fresh.append(ScoreEvent(at=int(segmenter.n_seen), score=float(score)))
         elapsed = time.perf_counter() - enqueued_at
-        stream.metrics.record(values.shape[0], fresh, elapsed)
-        payloads = [event.to_dict() for event in fresh]
-        stream.publish(payloads)
-        return payloads
+        ack = stream.commit_batch(segmenter, int(values.shape[0]), elapsed, seq)
+        if self.durability is not None:
+            self.durability.maybe_checkpoint(stream)
+        return ack
 
     def _freeze(self, stream: StreamState) -> dict:
         """Serialise the detector state; park it on the stream for adoption."""
@@ -153,6 +255,8 @@ class ShardWorker:
         stream.checkpoint = None
         stream.shard = self.shard
         stream.frozen = False
+        if self.durability is not None:
+            self.durability.checkpoint(stream)  # re-anchor the spool post-move
         return {
             "name": stream.name,
             "frozen": False,
@@ -164,8 +268,26 @@ class ShardWorker:
 class WorkerPool:
     """The service's fixed set of shard workers, indexed by shard id."""
 
-    def __init__(self, n_shards: int) -> None:
-        self.workers = [ShardWorker(shard) for shard in range(n_shards)]
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        max_queue_depth: int | None = None,
+        job_deadline: float | None = None,
+        retry_after: float = 0.05,
+        durability=None,
+        faults=None,
+        on_error: Callable[[str], None] | None = None,
+    ) -> None:
+        self._settings = dict(
+            max_queue_depth=max_queue_depth,
+            job_deadline=job_deadline,
+            retry_after=retry_after,
+            durability=durability,
+            faults=faults,
+            on_error=on_error,
+        )
+        self.workers = [ShardWorker(shard, **self._settings) for shard in range(n_shards)]
 
     def start(self) -> None:
         """Start every worker's drain task."""
@@ -177,15 +299,34 @@ class WorkerPool:
         for worker in self.workers:
             await worker.stop()
 
+    def replace(self, shard: int) -> ShardWorker:
+        """Swap an *unstarted* replacement worker into a shard slot.
+
+        Used by the supervisor after a crash: jobs submitted from now on
+        queue on the replacement; the caller transfers pending jobs and
+        starts the task once stream recovery is done.
+        """
+        replacement = ShardWorker(shard, **self._settings)
+        replacement.n_jobs = self.workers[shard].n_jobs
+        self.workers[shard] = replacement
+        return replacement
+
     def worker_for(self, stream: StreamState) -> ShardWorker:
         """The worker currently owning a stream (by its ``shard`` field)."""
         return self.workers[stream.shard]
 
-    async def process(self, stream: StreamState, values: np.ndarray) -> list[dict]:
-        """Run one batch on the stream's current worker; return event payloads."""
-        return await self.worker_for(stream).submit(
-            _Job(kind="process", stream=stream, values=values)
+    async def process(
+        self, stream: StreamState, values: np.ndarray, seq: int | None = None
+    ) -> dict:
+        """Run one batch on the stream's current worker; return its ack body.
+
+        Sheds load with a 503 ``overloaded`` when the shard queue is full
+        (the job is never enqueued).
+        """
+        future = self.worker_for(stream).submit_nowait(
+            _Job(kind="process", stream=stream, values=values, seq=seq)
         )
+        return await future
 
     async def freeze(self, stream: StreamState) -> dict:
         """Barrier-freeze a stream on its current worker."""
@@ -196,6 +337,11 @@ class WorkerPool:
         return await self.workers[shard].submit(
             _Job(kind="adopt", stream=stream, payload=stream.checkpoint)
         )
+
+    async def drain(self) -> None:
+        """Wait until every shard queue is fully processed (shutdown barrier)."""
+        for worker in self.workers:
+            await worker.queue.join()
 
     def snapshot(self) -> list[dict]:
         """Per-worker queue depth and served-job counters for ``/metrics``."""

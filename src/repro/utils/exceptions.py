@@ -19,3 +19,7 @@ class ConfigurationError(ReproError, ValueError):
 
 class NotEnoughDataError(ReproError, RuntimeError):
     """Raised when an operation is requested before enough data has been observed."""
+
+
+class CorruptCheckpointError(ReproError, RuntimeError):
+    """Raised when a durable checkpoint or spool record fails its integrity check."""

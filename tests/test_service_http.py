@@ -393,3 +393,106 @@ class TestWebSocketErrors:
             await session.close()
 
         _run(_with_service(scenario))
+
+
+# --------------------------------------------------------------------------- #
+# client retry policy + typed 5xx surfacing
+# --------------------------------------------------------------------------- #
+
+
+class TestClientRetriesAndTypedUnavailable:
+    def test_503_surfaces_as_typed_error_with_parsed_retry_after(self):
+        """A 5xx never comes back as a bare ``(status, body)`` tuple: the
+        client raises :class:`ServiceUnavailableError` carrying the parsed
+        body and the ``Retry-After`` header."""
+        from repro.service import RetryPolicy, ServiceUnavailableError
+
+        async def scenario(client, service):
+            await client.request("POST", "/streams/s1", {"config": CONFIG})
+            service.routes.draining = True  # every ingest now answers 503
+            impatient = await ServiceClient(
+                "127.0.0.1", service.port, retry=RetryPolicy(retries=0)
+            ).connect()
+            try:
+                with pytest.raises(ServiceUnavailableError) as caught:
+                    await impatient.request(
+                        "POST", "/streams/s1/observations", {"values": [0.1]}
+                    )
+            finally:
+                await impatient.close()
+            error = caught.value
+            assert error.status == 503
+            assert error.code == "shutting-down"
+            assert error.retry_after == 1.0  # parsed from the Retry-After header
+            assert error.body["error"]["code"] == "shutting-down"
+            assert impatient.last_headers["retry-after"] == "1"
+            service.routes.draining = False
+            status, _ = await client.request(
+                "POST", "/streams/s1/observations", {"values": [0.1]}
+            )
+            assert status == 200  # the service itself was never unhealthy
+
+        _run(_with_service(scenario))
+
+    def test_retries_ride_out_a_transient_503(self):
+        from repro.service import RetryPolicy
+
+        async def scenario(client, service):
+            await client.request("POST", "/streams/s1", {"config": CONFIG})
+            service.routes.draining = True
+
+            async def recover():
+                await asyncio.sleep(0.1)
+                service.routes.draining = False
+
+            recovery = asyncio.create_task(recover())
+            patient = await ServiceClient(
+                "127.0.0.1", service.port,
+                retry=RetryPolicy(retries=5, backoff=0.05, jitter=0.0),
+            ).connect()
+            try:
+                status, body = await patient.request(
+                    "POST", "/streams/s1/observations", {"values": [0.1]}
+                )
+                assert status == 200
+                assert patient.n_retries >= 1
+            finally:
+                await recovery
+                await patient.close()
+
+        _run(_with_service(scenario))
+
+    def test_dropped_keep_alive_connection_is_retried_transparently(self):
+        async def scenario(client, service):
+            await client.request("POST", "/streams/s1", {"config": CONFIG})
+            # simulate the server (or a proxy) dropping the idle keep-alive
+            # socket between requests: the client reconnects and retries
+            client._writer.close()
+            status, body = await client.request("GET", "/streams/s1")
+            assert status == 200
+            assert body["name"] == "s1"
+
+        _run(_with_service(scenario))
+
+    def test_retry_policy_validation_and_backoff_math(self):
+        from repro.service import RetryPolicy
+        from repro.utils.exceptions import ConfigurationError
+
+        for bad in (
+            dict(retries=-1),
+            dict(backoff=-0.1),
+            dict(jitter=1.5),
+            dict(connect_timeout=0),
+            dict(read_timeout=-2),
+        ):
+            with pytest.raises(ConfigurationError):
+                RetryPolicy(**bad).validate()
+
+        policy = RetryPolicy(backoff=0.1, max_backoff=0.4, jitter=0.0)
+        assert policy.delay(0, retry_after=None) == pytest.approx(0.1)
+        assert policy.delay(1, retry_after=None) == pytest.approx(0.2)
+        assert policy.delay(5, retry_after=None) == pytest.approx(0.4)  # capped
+        # a server-provided Retry-After floors the computed delay
+        assert policy.delay(0, retry_after=0.3) == pytest.approx(0.3)
+        jittered = RetryPolicy(backoff=0.1, jitter=0.2).delay(0, retry_after=None)
+        assert 0.1 <= jittered <= 0.1 * 1.2 + 1e-9

@@ -1,0 +1,297 @@
+"""Fuzz-style protocol robustness: malformed wire input never kills anything.
+
+Every scenario feeds the service hostile or broken bytes — truncated HTTP
+requests, absurd Content-Length values, fragmented / reserved-bit /
+oversized WebSocket frames, one-byte-at-a-time partial reads — and asserts
+the same invariants afterwards: the failure is answered with a typed error
+(or the connection is simply closed), the accept loop still serves
+``/healthz``, and no shard worker was restarted.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import SegmentationService, ServiceClient
+from repro.service.protocol import OP_TEXT, encode_frame
+
+CONFIG = {"window_size": 200, "scoring_interval": 5}
+
+
+async def _raw(port: int, payload: bytes, *, read: bool = True) -> bytes:
+    """Send raw bytes on a fresh connection; return whatever comes back."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    response = b""
+    if read:
+        try:
+            response = await asyncio.wait_for(reader.read(64 * 1024), timeout=2)
+        except asyncio.TimeoutError:
+            pass
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    return response
+
+
+async def _assert_alive(service: SegmentationService) -> None:
+    """The service must still answer requests and have restarted nothing."""
+    client = await ServiceClient("127.0.0.1", service.port).connect()
+    try:
+        status, body = await client.request("GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+    finally:
+        await client.close()
+    assert service.supervisor.total_restarts == 0
+
+
+def _run(scenario):
+    async def wrapped():
+        service = SegmentationService(n_shards=2)
+        await service.start(port=0)
+        try:
+            result = await scenario(service)
+            await _assert_alive(service)
+            return result
+        finally:
+            await service.stop()
+
+    return asyncio.run(wrapped())
+
+
+class TestHTTPFuzz:
+    def test_truncated_request_head(self):
+        async def scenario(service):
+            # connection dies mid-request-line: nothing to answer, no crash
+            return await _raw(service.port, b"GET /heal")
+
+        _run(scenario)
+
+    def test_garbage_request_line(self):
+        async def scenario(service):
+            return await _raw(service.port, b"FLOOP\r\n\r\n")
+
+        response = _run(scenario)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert b"protocol-error" in response
+
+    def test_unsupported_http_version(self):
+        async def scenario(service):
+            return await _raw(service.port, b"GET /healthz SPDY/99\r\n\r\n")
+
+        response = _run(scenario)
+        assert b"protocol-error" in response
+
+    def test_non_numeric_content_length(self):
+        async def scenario(service):
+            return await _raw(
+                service.port,
+                b"POST /streams/x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            )
+
+        response = _run(scenario)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert b"protocol-error" in response
+
+    def test_negative_content_length(self):
+        async def scenario(service):
+            return await _raw(
+                service.port,
+                b"POST /streams/x HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            )
+
+        assert b"protocol-error" in _run(scenario)
+
+    def test_oversized_declared_body_gets_typed_413(self):
+        async def scenario(service):
+            return await _raw(
+                service.port,
+                b"POST /streams/x HTTP/1.1\r\nContent-Length: 9000000\r\n\r\n",
+            )
+
+        response = _run(scenario)
+        assert b"413" in response.split(b"\r\n", 1)[0]
+        assert b"oversized-body" in response
+
+    def test_body_shorter_than_declared(self):
+        async def scenario(service):
+            # declared 50 bytes, sent 4, then EOF: connection closed mid-body
+            return await _raw(
+                service.port,
+                b"POST /streams/x HTTP/1.1\r\nContent-Length: 50\r\n\r\nhi!!",
+            )
+
+        _run(scenario)
+
+    def test_malformed_header_line(self):
+        async def scenario(service):
+            return await _raw(
+                service.port, b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n"
+            )
+
+        assert b"protocol-error" in _run(scenario)
+
+    def test_one_byte_at_a_time_request_still_parses(self):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            for byte in b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n":
+                writer.write(bytes([byte]))
+                await writer.drain()
+            response = await asyncio.wait_for(reader.read(64 * 1024), timeout=5)
+            writer.close()
+            return response
+
+        response = _run(scenario)
+        assert response.split(b"\r\n", 1)[0] == b"HTTP/1.1 200 OK"
+
+    def test_pipelined_garbage_after_valid_request(self):
+        async def scenario(service):
+            return await _raw(
+                service.port,
+                b"GET /healthz HTTP/1.1\r\n\r\n" + b"\x00\xff" * 32,
+            )
+
+        response = _run(scenario)
+        assert b"200" in response.split(b"\r\n", 1)[0]
+
+
+class TestWebSocketFuzz:
+    async def _ws_session(self, service):
+        client = await ServiceClient("127.0.0.1", service.port).connect()
+        await client.request("POST", "/streams/fz", {"config": CONFIG})
+        session = await client.open_websocket("/streams/fz/ws")
+        return client, session
+
+    def test_fragmented_frame_closes_only_that_connection(self):
+        async def scenario(service):
+            client, session = await self._ws_session(service)
+            try:
+                fragmented = bytearray(encode_frame(OP_TEXT, b'{"values":[1]}', mask=True))
+                fragmented[0] &= 0x7F  # clear FIN: fragmentation is unsupported
+                session._writer.write(bytes(fragmented))
+                await session._writer.drain()
+                assert await session.recv_json() is None  # connection closed
+            finally:
+                await session.close()
+                await client.close()
+
+        _run(scenario)
+
+    def test_reserved_bits_close_only_that_connection(self):
+        async def scenario(service):
+            client, session = await self._ws_session(service)
+            try:
+                poisoned = bytearray(encode_frame(OP_TEXT, b"{}", mask=True))
+                poisoned[0] |= 0x40  # RSV1 without a negotiated extension
+                session._writer.write(bytes(poisoned))
+                await session._writer.drain()
+                assert await session.recv_json() is None
+            finally:
+                await session.close()
+                await client.close()
+
+        _run(scenario)
+
+    def test_oversized_frame_declaration_is_rejected(self):
+        async def scenario(service):
+            client, session = await self._ws_session(service)
+            try:
+                # 64-bit length header declaring 1 GiB; no payload follows
+                header = bytes([0x80 | OP_TEXT, 0x80 | 127])
+                header += (1 << 30).to_bytes(8, "big") + b"\x00\x00\x00\x00"
+                session._writer.write(header)
+                await session._writer.drain()
+                assert await session.recv_json() is None
+            finally:
+                await session.close()
+                await client.close()
+
+        _run(scenario)
+
+    def test_unknown_opcode_is_ignored_and_session_survives(self):
+        async def scenario(service):
+            client, session = await self._ws_session(service)
+            try:
+                session._writer.write(encode_frame(0x3, b"???", mask=True))
+                await session._writer.drain()
+                # the session is still fully functional afterwards
+                await session.send_json({"values": [0.1, 0.2]})
+                ack = await session.recv_json()
+                assert ack == {"kind": "ack", "n_seen": 2}
+            finally:
+                await session.close()
+                await client.close()
+
+        _run(scenario)
+
+    def test_invalid_json_text_frame_gets_typed_error_frame(self):
+        async def scenario(service):
+            client, session = await self._ws_session(service)
+            try:
+                session._writer.write(encode_frame(OP_TEXT, b"{nope", mask=True))
+                await session._writer.drain()
+                message = await session.recv_json()
+                assert message["kind"] == "error"
+                assert message["code"] == "bad-json"
+                # and the session keeps working
+                await session.send_json({"values": [0.5]})
+                assert (await session.recv_json())["kind"] == "ack"
+            finally:
+                await session.close()
+                await client.close()
+
+        _run(scenario)
+
+    def test_torn_frame_then_eof(self):
+        async def scenario(service):
+            client, session = await self._ws_session(service)
+            frame = encode_frame(OP_TEXT, b'{"values": [1, 2, 3]}', mask=True)
+            session._writer.write(frame[: len(frame) // 2])  # half a frame
+            await session._writer.drain()
+            session._writer.close()
+            await client.close()
+
+        _run(scenario)
+
+    def test_protocol_errors_are_counted(self):
+        async def scenario(service):
+            await _raw(service.port, b"FLOOP\r\n\r\n")
+            client = await ServiceClient("127.0.0.1", service.port).connect()
+            try:
+                status, metrics = await client.request("GET", "/metrics")
+                return metrics
+            finally:
+                await client.close()
+
+        metrics = _run(scenario)
+        assert metrics["errors"].get("protocol-error", 0) >= 1
+
+
+class TestInternalErrorContainment:
+    def test_unexpected_handler_bug_answers_500_and_counts(self):
+        """A route raising an arbitrary exception: typed 500, counter bumped,
+        traceback logged, service alive (the client surfaces it typed)."""
+        from repro.service import ServiceUnavailableError
+
+        async def scenario(service):
+            def explode(name, cursor):
+                raise RuntimeError("synthetic route bug")
+
+            service.registry.events_since = explode
+            client = await ServiceClient("127.0.0.1", service.port).connect()
+            try:
+                await client.request("POST", "/streams/ie", {"config": CONFIG})
+                with pytest.raises(ServiceUnavailableError) as caught:
+                    await client.request("GET", "/streams/ie/events?since=0")
+                status, metrics = await client.request("GET", "/metrics")
+                return caught.value, metrics
+            finally:
+                await client.close()
+
+        error, metrics = _run(scenario)
+        assert error.status == 500
+        assert error.code == "internal-error"
+        assert metrics["errors"].get("internal-error") == 1
