@@ -1,0 +1,166 @@
+"""Out-of-core storage throughput: ingest, range reads, replay vs in-RAM.
+
+The chunk store trades one sequential write of the stream for the ability
+to segment (and re-segment) datasets that never fit in memory.  This
+benchmark measures what that trade costs:
+
+* **ingest** — generator-fed :meth:`StreamStore.ingest` throughput
+  (rows/s and MB/s) for the CRC-framed, atomically-manifested segments,
+* **range reads** — random mid-stream windows through the memory-mapped
+  :meth:`StoredStream.read` path (MB/s),
+* **replay** — full-stream segmentation over the mmap chunk iterator
+  (``store.segment``) vs the identical detector over the in-RAM array
+  (``api.stream``), plus a checkpoint-anchored ``resegment`` from the
+  stream's midpoint — asserting both bit-identical change points and a
+  bounded out-of-core slowdown.
+
+Sizes are env-tunable so CI can smoke-run it (``REPRO_BENCH_STORAGE_POINTS``,
+``REPRO_BENCH_STORAGE_CHUNK``); the throughput floor assertions only apply
+at full size.  Set ``REPRO_BENCH_WRITE_RESULTS=1`` to (re)write the
+committed baseline ``benchmarks/results/bench_storage.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import api
+from repro.storage import StreamStore
+
+#: Overridable so CI can smoke-run the benchmark with tiny parameters.
+N_POINTS = int(os.environ.get("REPRO_BENCH_STORAGE_POINTS", 2_000_000))
+CHUNK = int(os.environ.get("REPRO_BENCH_STORAGE_CHUNK", 65_536))
+N_RANGE_READS = int(os.environ.get("REPRO_BENCH_STORAGE_READS", 64))
+RANGE_WINDOW = min(100_000, max(1_024, N_POINTS // 20))
+SMOKE_RUN = N_POINTS < 1_000_000
+
+#: page-hinkley keeps the detector cost low so storage dominates the numbers.
+DETECTOR = "page-hinkley"
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_storage.json"
+
+
+def _machine_name() -> str:
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _generate(n: int, block: int = 262_144):
+    """Chunk-wise workload: noise whose mean shifts every 8 blocks."""
+    rng = np.random.default_rng(11)
+    produced, level = 0, 0.0
+    while produced < n:
+        rows = min(block, n - produced)
+        if produced and produced % (block * 8) == 0:
+            level += 4.0
+        yield rng.normal(level, 1.0, rows)
+        produced += rows
+
+
+def _scenario() -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-storage-") as tmp:
+        store = StreamStore(Path(tmp) / "streams", fsync=False)
+
+        started = time.perf_counter()
+        stored = store.ingest("bench", _generate(N_POINTS))
+        ingest_seconds = time.perf_counter() - started
+        dataset_mb = stored.nbytes / 1e6
+
+        rng = np.random.default_rng(5)
+        starts = rng.integers(0, N_POINTS - RANGE_WINDOW, size=N_RANGE_READS)
+        started = time.perf_counter()
+        read_rows = 0
+        for start in starts:
+            read_rows += store.open("bench").read(start, start + RANGE_WINDOW).shape[0]
+        range_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        run = store.segment("bench", DETECTOR, chunk_size=CHUNK)
+        stored_seconds = time.perf_counter() - started
+
+        # the in-RAM reference: same detector over the materialised array
+        values = stored.read()
+        reference = api.create(DETECTOR)
+        started = time.perf_counter()
+        for _ in api.stream(reference, values, chunk_size=CHUNK):
+            pass
+        in_ram_seconds = time.perf_counter() - started
+        ref_points = [e.to_dict() for e in reference.events() if e.kind == "change_point"]
+        assert run.change_points == ref_points  # out-of-core == in-RAM, bit for bit
+
+        started = time.perf_counter()
+        audit = store.resegment("bench", from_t=N_POINTS // 2, chunk_size=CHUNK)
+        resegment_seconds = time.perf_counter() - started
+        assert audit.identical
+
+    return {
+        "n_points": N_POINTS,
+        "dataset_mb": round(dataset_mb, 1),
+        "ingest_seconds": round(ingest_seconds, 3),
+        "ingest_rows_per_second": round(N_POINTS / ingest_seconds, 1),
+        "ingest_mb_per_second": round(dataset_mb / ingest_seconds, 1),
+        "range_reads": N_RANGE_READS,
+        "range_window_rows": RANGE_WINDOW,
+        "range_read_mb_per_second": round(read_rows * 8 / 1e6 / range_seconds, 1),
+        "stored_stream_seconds": round(stored_seconds, 3),
+        "stored_rows_per_second": round(N_POINTS / stored_seconds, 1),
+        "in_ram_seconds": round(in_ram_seconds, 3),
+        "in_ram_rows_per_second": round(N_POINTS / in_ram_seconds, 1),
+        "out_of_core_overhead": round(stored_seconds / in_ram_seconds, 3),
+        "resegment_seconds": round(resegment_seconds, 3),
+        "resegment_replayed_rows": N_POINTS - audit.replayed_from,
+        "n_change_points": len(run.change_points),
+    }
+
+
+def test_storage_throughput(benchmark):
+    """Ingest + range-read + replay throughput; replay pinned bit-identical."""
+    summary = benchmark.pedantic(_scenario, rounds=1, iterations=1)
+    print()
+    print(
+        f"{summary['n_points']} rows ({summary['dataset_mb']:.0f} MB): "
+        f"ingest {summary['ingest_mb_per_second']:.0f} MB/s, "
+        f"range reads {summary['range_read_mb_per_second']:.0f} MB/s, "
+        f"stored segment {summary['stored_rows_per_second']:.0f} rows/s "
+        f"vs in-RAM {summary['in_ram_rows_per_second']:.0f} rows/s "
+        f"({summary['out_of_core_overhead']:.2f}x), "
+        f"resegment from midpoint {summary['resegment_seconds']:.2f}s"
+    )
+    benchmark.extra_info.update(summary)
+
+    assert summary["n_change_points"] >= 1
+    if not SMOKE_RUN:
+        # the mmap path must stay within 2x of the in-RAM run — the whole
+        # point of the subsystem is paying a bounded cost for unbounded data
+        assert summary["out_of_core_overhead"] < 2.0
+        # and a midpoint resegment replays roughly half the stream, so it
+        # must beat a full stored re-run
+        assert summary["resegment_seconds"] < summary["stored_stream_seconds"]
+
+    if os.environ.get("REPRO_BENCH_WRITE_RESULTS"):
+        payload = {
+            "benchmark": "bench_storage",
+            "config": {
+                "n_points": N_POINTS,
+                "chunk_size": CHUNK,
+                "n_range_reads": N_RANGE_READS,
+                "range_window_rows": RANGE_WINDOW,
+                "detector": DETECTOR,
+            },
+            "machine": _machine_name(),
+            "summary": summary,
+        }
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote storage baseline to {RESULTS_PATH}")

@@ -44,12 +44,18 @@ def stream(
         Any detector implementing the :class:`~repro.api.protocol.Segmenter`
         protocol (the registry only builds such detectors).
     values:
-        1-d array of observations, or a ``(n, channels)`` array for
-        multivariate detectors.
+        1-d array of observations, a ``(n, channels)`` array for
+        multivariate detectors, or a stored-stream handle (anything with an
+        ``iter_chunks(chunk_size)`` method, e.g.
+        :class:`repro.storage.StoredStream`) — stored streams are read
+        chunk-by-chunk through their memory-mapped segments, so datasets far
+        larger than RAM stream at constant resident memory.
     chunk_size:
         Observations handed to ``process`` per call (default 1024).  Events
         are yielded after the chunk containing them — detection results are
-        identical for every chunk size.
+        identical for every chunk size.  For stored streams, chunks are
+        additionally clipped at segment-file boundaries (also
+        behaviour-identical, by the same chunk-invariance contract).
     include_scores:
         Also yield one :class:`~repro.api.events.ScoreEvent` after every
         chunk once the detector exposes a current score.
@@ -76,17 +82,23 @@ def stream(
     >>> [event.kind for event in events]
     ['warmup']
     """
-    values = np.asarray(values, dtype=np.float64)
-    if values.ndim not in (1, 2):
-        raise ConfigurationError(f"stream expects a 1-d or 2-d array, got shape {values.shape}")
     if chunk_size is None:
         chunk_size = DEFAULT_STREAM_CHUNK_SIZE
     elif chunk_size < 1:
         raise ConfigurationError("chunk_size must be a positive integer")
+    if hasattr(values, "iter_chunks"):  # stored-stream handle: out-of-core path
+        chunks = values.iter_chunks(chunk_size)
+    else:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim not in (1, 2):
+            raise ConfigurationError(
+                f"stream expects a 1-d or 2-d array, got shape {values.shape}"
+            )
+        chunks = iter_chunks(values, chunk_size)
 
     n_emitted = len(segmenter.events())
-    for chunk in iter_chunks(values, chunk_size):
-        segmenter.process(chunk)
+    for chunk in chunks:
+        segmenter.process(np.asarray(chunk, dtype=np.float64))
         history = segmenter.events()
         yield from history[n_emitted:]
         n_emitted = len(history)

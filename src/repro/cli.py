@@ -1,13 +1,19 @@
 """Command-line interface for quick, scriptable use of the library.
 
-Four sub-commands cover the common workflows without writing Python:
+Five sub-commands cover the common workflows without writing Python:
 
-* ``segment``   — stream a CSV/NPZ file (or a generated demo stream) through
-  ClaSS and print the detected change points, as human-readable text or as
-  one JSON event per line; ``--checkpoint`` / ``--resume`` persist and
-  restore the full segmenter state between invocations.
+* ``segment``   — stream a CSV/NPZ/NPY file (or a generated demo stream)
+  through ClaSS and print the detected change points, as human-readable text
+  or as one JSON event per line; ``--checkpoint`` / ``--resume`` persist and
+  restore the full segmenter state between invocations.  ``.npy`` inputs are
+  memory-mapped, so files far larger than RAM work.
 * ``serve``     — run the asyncio segmentation service: named streams over
   HTTP/WebSocket, hash-sharded workers, live rebalancing (``docs/service.rst``).
+* ``store``     — the durable stream store (``docs/storage.rst``):
+  ``ingest`` a dataset into memory-mapped chunk segments, ``segment`` it with
+  full event logging + periodic detector snapshots, ``log`` replays the
+  recorded events, and ``resegment`` replays the input from a mid-stream T
+  (or through a different detector/config) and prints the old-vs-new audit.
 * ``evaluate``  — run ClaSS and selected competitors over a simulated
   collection and print the Covering summary and ranking.
 * ``datasets``  — list the available dataset collections (Table 1).
@@ -26,6 +32,10 @@ Examples
     python -m repro.cli segment recording.csv --scoring-interval 5 --output json
     python -m repro.cli segment part1.csv --checkpoint state.ckpt
     python -m repro.cli segment part2.csv --resume state.ckpt
+    python -m repro.cli store ingest sensor-7 recording.npy --root ./streams
+    python -m repro.cli store segment sensor-7 --root ./streams --detector class
+    python -m repro.cli store log sensor-7 --root ./streams --since 0
+    python -m repro.cli store resegment sensor-7 --root ./streams --from-t 50000
     python -m repro.cli evaluate --collection TSSB --n-series 4 --methods ClaSS,Window,DDM
     python -m repro.cli evaluate --collection TSSB --n-series 8 --workers 4
 """
@@ -73,7 +83,12 @@ def _demo_dataset():
 
 
 def _load_values(path: str):
-    """Load a dataset from CSV or NPZ, returning (values, change_points or None)."""
+    """Load a dataset from CSV/NPZ/NPY, returning (values, change_points or None).
+
+    ``.npy`` files are opened with ``np.load(..., mmap_mode="r")``, so inputs
+    far larger than RAM segment fine — the detector reads the array
+    chunk-wise and only the touched pages ever become resident.
+    """
     file_path = Path(path)
     if file_path.suffix == ".npz":
         dataset = load_dataset_npz(file_path)
@@ -81,6 +96,8 @@ def _load_values(path: str):
     if file_path.suffix == ".csv":
         dataset = load_dataset_csv(file_path)
         return dataset.values, dataset.change_points
+    if file_path.suffix == ".npy":
+        return np.load(file_path, mmap_mode="r"), None
     values = np.loadtxt(file_path, dtype=np.float64)
     return np.atleast_1d(values), None
 
@@ -170,6 +187,128 @@ def cmd_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace):
+    """The :class:`~repro.storage.StreamStore` rooted at ``--root``."""
+    from repro.storage import StreamStore
+
+    return StreamStore(args.root)
+
+
+def _parse_config(raw: str | None) -> dict | None:
+    """Parse a ``--config`` JSON object (None passes through)."""
+    if raw is None:
+        return None
+    config = json.loads(raw)
+    if not isinstance(config, dict):
+        raise ValueError("--config must be a JSON object")
+    return config
+
+
+def cmd_store_ingest(args: argparse.Namespace) -> int:
+    """Ingest a dataset file into the chunk store (constant memory)."""
+    try:
+        values, _ = _load_values(args.input)
+        stored = _open_store(args).ingest(args.name, values, append=args.append)
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    info = stored.info()
+    print(
+        f"ingested {info['n_rows']} rows into {args.name!r} "
+        f"({info['n_segments']} segment file(s), {info['bytes']} bytes)"
+    )
+    return 0
+
+
+def cmd_store_list(args: argparse.Namespace) -> int:
+    """List the store's streams with their sizes and recorded runs."""
+    store = _open_store(args)
+    names = store.list_streams()
+    if not names:
+        print("(no streams)")
+        return 0
+    for name in names:
+        info = store.stream_info(name)
+        run = info.get("run")
+        suffix = (
+            f"  run: {run['detector']}, {run['n_change_points']} change point(s)"
+            if run
+            else "  (never segmented)"
+        )
+        print(f"{name:30s} {info['n_rows']:>12d} rows  {info['n_segments']:>4d} seg{suffix}")
+    return 0
+
+
+def cmd_store_segment(args: argparse.Namespace) -> int:
+    """Segment a stored stream, recording events + periodic snapshots."""
+    try:
+        config = _parse_config(args.config)
+        run = _open_store(args).segment(
+            args.name,
+            args.detector,
+            config,
+            chunk_size=args.chunk_size,
+            checkpoint_every=args.checkpoint_every,
+            include_scores=args.include_scores,
+            finalize=args.finalize,
+        )
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output == "json":
+        print(json.dumps(run.to_dict()))
+    else:
+        print(
+            f"segmented {run.n_seen} observations with {run.detector}: "
+            f"{run.n_events} event(s), {run.n_checkpoints} snapshot(s)"
+        )
+        for entry in run.change_points:
+            print(f"change point at t={entry['change_point']} (reported at t={entry['at']})")
+    return 0
+
+
+def cmd_store_log(args: argparse.Namespace) -> int:
+    """Replay a stored stream's recorded events (cursor or time range)."""
+    store = _open_store(args)
+    try:
+        log = store.event_log(args.name)
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.from_t is not None or args.to_t is not None:
+            records = log.read_range(args.from_t or 0, args.to_t)
+        else:
+            records = list(log.iter_records(args.since))
+        for record in records:
+            print(json.dumps(record))
+    finally:
+        log.close()
+    return 0
+
+
+def cmd_store_resegment(args: argparse.Namespace) -> int:
+    """Replay from T (same or new config) and print the audit diff."""
+    try:
+        config = _parse_config(args.config)
+        audit = _open_store(args).resegment(
+            args.name,
+            args.from_t,
+            detector=args.detector,
+            config=config,
+            chunk_size=args.chunk_size,
+            tolerance=args.tolerance,
+        )
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output == "json":
+        print(json.dumps(audit.to_dict()))
+    else:
+        print(audit.summary())
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the asyncio segmentation service until interrupted.
 
@@ -198,6 +337,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             durability=durability,
             supervision=supervision,
+            history_window=args.history_window if args.history_window > 0 else None,
+            history_dir=args.history_dir,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -362,7 +503,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a single batch may take before the worker is declared hung "
         "and restarted (default: no deadline)",
     )
+    serve_parser.add_argument(
+        "--history-window",
+        type=int,
+        default=4_096,
+        help="newest events kept in memory per stream (0 = unbounded); older "
+        "events spill to the history directory, or are dropped without one "
+        "(stale ?since= cursors then get a 410)",
+    )
+    serve_parser.add_argument(
+        "--history-dir",
+        metavar="PATH",
+        default=None,
+        help="directory for per-stream event-history spill logs (defaults to "
+        "<spool-dir>/history when --spool-dir is set)",
+    )
     serve_parser.set_defaults(handler=cmd_serve)
+
+    store_parser = subparsers.add_parser(
+        "store", help="durable stream store: ingest / segment / log / resegment"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    def _store_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("name", help="stream name inside the store")
+        sub.add_argument(
+            "--root",
+            default="./streams",
+            help="store root directory (one sub-directory per stream)",
+        )
+
+    ingest_parser = store_sub.add_parser(
+        "ingest", help="write a CSV/NPZ/NPY/plain-text dataset into the chunk store"
+    )
+    _store_common(ingest_parser)
+    ingest_parser.add_argument("input", help="dataset file (.npy inputs are memory-mapped)")
+    ingest_parser.add_argument(
+        "--append", action="store_true", help="extend an existing stream instead of failing"
+    )
+    ingest_parser.set_defaults(handler=cmd_store_ingest)
+
+    list_parser = store_sub.add_parser("list", help="list the store's streams")
+    list_parser.add_argument("--root", default="./streams")
+    list_parser.set_defaults(handler=cmd_store_list)
+
+    ssegment_parser = store_sub.add_parser(
+        "segment", help="segment a stored stream, recording events + snapshots"
+    )
+    _store_common(ssegment_parser)
+    ssegment_parser.add_argument("--detector", default="class", help="registry key")
+    ssegment_parser.add_argument(
+        "--config", default=None, help="detector config as a JSON object"
+    )
+    ssegment_parser.add_argument("--chunk-size", type=int, default=None)
+    ssegment_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4_096,
+        help="observations between detector snapshots (the resegment anchors)",
+    )
+    ssegment_parser.add_argument(
+        "--include-scores", action="store_true", help="also log per-chunk score events"
+    )
+    ssegment_parser.add_argument(
+        "--finalize", action="store_true", help="finalize the detector after the last chunk"
+    )
+    ssegment_parser.add_argument("--output", choices=("text", "json"), default="text")
+    ssegment_parser.set_defaults(handler=cmd_store_segment)
+
+    log_parser = store_sub.add_parser(
+        "log", help="replay a stream's recorded events as JSON lines"
+    )
+    _store_common(log_parser)
+    log_parser.add_argument(
+        "--since", type=int, default=0, help="record cursor to replay from"
+    )
+    log_parser.add_argument(
+        "--from-t", type=int, default=None, help="stream time range start (inclusive)"
+    )
+    log_parser.add_argument(
+        "--to-t", type=int, default=None, help="stream time range end (exclusive)"
+    )
+    log_parser.set_defaults(handler=cmd_store_log)
+
+    resegment_parser = store_sub.add_parser(
+        "resegment", help="replay from T (same or new config) and print the audit"
+    )
+    _store_common(resegment_parser)
+    resegment_parser.add_argument(
+        "--from-t", type=int, default=0, help="replay anchor: newest snapshot <= T"
+    )
+    resegment_parser.add_argument(
+        "--detector", default=None, help="replay through a different detector"
+    )
+    resegment_parser.add_argument(
+        "--config", default=None, help="replay with a different config (JSON object)"
+    )
+    resegment_parser.add_argument("--chunk-size", type=int, default=None)
+    resegment_parser.add_argument(
+        "--tolerance",
+        type=int,
+        default=0,
+        help="pair old/new change points within this distance as 'moved'",
+    )
+    resegment_parser.add_argument("--output", choices=("text", "json"), default="text")
+    resegment_parser.set_defaults(handler=cmd_store_resegment)
 
     evaluate_parser = subparsers.add_parser("evaluate", help="run a miniature comparison")
     evaluate_parser.add_argument("--collection", default="TSSB", choices=sorted(COLLECTIONS))

@@ -35,6 +35,7 @@ import json
 import logging
 import signal
 from collections import Counter
+from pathlib import Path
 
 from repro.service.durability import DurabilityConfig, DurabilityManager
 from repro.service.errors import ServiceError
@@ -55,6 +56,7 @@ from repro.service.protocol import (
 )
 from repro.service.routes import ServiceRoutes
 from repro.service.streams import DEFAULT_MAX_BATCH, StreamRegistry
+from repro.storage.history import DEFAULT_HISTORY_WINDOW
 from repro.service.supervisor import Supervisor, SupervisorConfig
 from repro.service.workers import WorkerPool
 
@@ -86,6 +88,15 @@ class SegmentationService:
     supervision:
         A :class:`~repro.service.supervisor.SupervisorConfig` tuning queue
         bounds, per-job deadlines, and restart limits.
+    history_window:
+        Newest events kept in memory per stream (None = unbounded).  With
+        a spill directory, older events move to an on-disk event log and
+        ``?since=`` replay stays exact; without one, stale cursors get a
+        typed 410 ``history-truncated``.
+    history_dir:
+        Directory for per-stream event-history spill logs.  Defaults to
+        ``<durability root>/history`` when durability is enabled, else to
+        no spilling.
 
     Raises
     ------
@@ -107,13 +118,22 @@ class SegmentationService:
         durability: DurabilityConfig | DurabilityManager | None = None,
         faults: FaultInjector | None = None,
         supervision: SupervisorConfig | None = None,
+        history_window: int | None = DEFAULT_HISTORY_WINDOW,
+        history_dir: str | None = None,
     ) -> None:
-        self.registry = StreamRegistry(n_shards, max_batch=max_batch)
         self.error_counts: Counter = Counter()
         self.faults = faults if faults is not None else FaultInjector.from_env()
         if isinstance(durability, DurabilityConfig):
             durability = DurabilityManager(durability, faults=self.faults)
         self.durability = durability
+        if history_dir is None and durability is not None:
+            history_dir = str(Path(durability.root) / "history")
+        self.registry = StreamRegistry(
+            n_shards,
+            max_batch=max_batch,
+            history_window=history_window,
+            history_dir=history_dir,
+        )
         self.supervision = supervision or SupervisorConfig()
         self.pool = WorkerPool(
             n_shards,
@@ -305,6 +325,9 @@ class SegmentationService:
         try:
             stream = self.registry.get(name)
             cursor = int(request.query.get("since", "0"))
+            # validate the cursor (404/400/410 history-truncated) while an
+            # HTTP error response can still be rendered, pre-handshake
+            self.registry.events_since(name, cursor)
         except ServiceError as error:
             writer.write(render_response(error.status, error.body(), keep_alive=False))
             await writer.drain()
@@ -324,7 +347,13 @@ class SegmentationService:
         await writer.drain()
 
         queue: asyncio.Queue = asyncio.Queue()
-        for payload in stream.event_log[cursor:]:
+        # replay + subscribe with no await in between, so no event published
+        # during the handshake write can slip past the cursor
+        try:
+            replay, _ = self.registry.events_since(name, cursor)
+        except ServiceError:  # history evicted during the handshake (rare)
+            replay = []
+        for payload in replay:
             queue.put_nowait(payload)
         stream.subscribers.add(queue)
         sender = asyncio.create_task(self._ws_sender(queue, writer))

@@ -1,8 +1,12 @@
 """Named stream registry: detector lifecycle, shard routing, metrics.
 
-Each client-created stream owns one registry-built detector, a monotonically
-growing event log (the detector's own :meth:`events` history, exposed with a
-cursor), a set of live WebSocket subscribers, and latency/count metrics.
+Each client-created stream owns one registry-built detector, a cursor-
+addressed event history (a bounded memory window backed by an optional disk
+spill — :class:`repro.storage.history.StreamHistory`), a set of live
+WebSocket subscribers, and latency/count metrics.  Cursors older than the
+memory window are served from the spill log; when spilling is disabled they
+get a typed 410 ``history-truncated`` carrying the oldest cursor that still
+works.
 Streams are hash-routed to shard workers with the *same* process-stable
 CRC-32 partitioning the batch engine uses
 (:func:`repro.streamengine.sharded.shard_for_key`), so a stream name maps to
@@ -29,8 +33,9 @@ import numpy as np
 
 from repro.api import ScoreEvent, create, event_from_dict
 from repro.service.errors import ServiceError, unknown_stream
+from repro.storage.history import DEFAULT_HISTORY_WINDOW, StreamHistory
 from repro.streamengine.sharded import shard_for_key
-from repro.utils.exceptions import ConfigurationError, ReproError
+from repro.utils.exceptions import ConfigurationError, HistoryTruncatedError, ReproError
 
 #: Accepted stream names (URL-safe, bounded).
 STREAM_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
@@ -104,8 +109,8 @@ class StreamState:
     frozen: bool = False
     #: Events already fanned out (cursor into ``segmenter.events()``).
     n_emitted: int = 0
-    #: Extra service-side events (scores) appended next to detector history.
-    event_log: list[dict[str, Any]] = field(default_factory=list)
+    #: Cursor-addressed event history: bounded memory window + disk spill.
+    history: StreamHistory = field(default_factory=StreamHistory)
     metrics: StreamMetrics = field(default_factory=StreamMetrics)
     subscribers: set[asyncio.Queue] = field(default_factory=set)
     created_at: float = field(default_factory=time.time)
@@ -128,15 +133,15 @@ class StreamState:
             "shard": self.shard,
             "frozen": self.frozen,
             "n_seen": int(self.segmenter.n_seen) if self.segmenter is not None else 0,
-            "n_events": len(self.event_log),
+            "n_events": len(self.history),
             "change_points": [int(cp) for cp in self.segmenter.change_points]
             if self.segmenter is not None
             else [],
         }
 
     def publish(self, payloads: list[dict[str, Any]]) -> None:
-        """Append events to the log and fan them out to live subscribers."""
-        self.event_log.extend(payloads)
+        """Append events to the history and fan them out to live subscribers."""
+        self.history.append(payloads)
         for queue in list(self.subscribers):
             for payload in payloads:
                 queue.put_nowait(payload)
@@ -186,21 +191,51 @@ class StreamRegistry:
         Number of shard workers streams are partitioned over.
     max_batch:
         Maximum observations accepted per batch (typed 413 beyond).
+    history_window:
+        Newest events kept in memory per stream (None = unbounded, the
+        pre-storage behaviour).
+    history_dir:
+        Directory for per-stream event-log spills.  With a finite window
+        and no spill directory, evicted events are dropped and stale
+        ``?since=`` cursors get a typed 410 ``history-truncated``.
 
     Raises
     ------
     ConfigurationError
-        When ``n_shards`` or ``max_batch`` is not a positive integer.
+        When ``n_shards``, ``max_batch`` or ``history_window`` is not a
+        positive integer.
     """
 
-    def __init__(self, n_shards: int, max_batch: int = DEFAULT_MAX_BATCH) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        *,
+        history_window: int | None = DEFAULT_HISTORY_WINDOW,
+        history_dir: str | None = None,
+    ) -> None:
         if not isinstance(n_shards, int) or isinstance(n_shards, bool) or n_shards < 1:
             raise ConfigurationError("n_shards must be a positive integer")
         if not isinstance(max_batch, int) or max_batch < 1:
             raise ConfigurationError("max_batch must be a positive integer")
+        if history_window is not None and (
+            not isinstance(history_window, int)
+            or isinstance(history_window, bool)
+            or history_window < 1
+        ):
+            raise ConfigurationError("history_window must be a positive integer or None")
         self.n_shards = n_shards
         self.max_batch = max_batch
+        self.history_window = history_window
+        self.history_dir = history_dir
         self._streams: dict[str, StreamState] = {}
+
+    def _history_for(self, name: str) -> StreamHistory:
+        """Build a stream's history per the registry's bounding policy."""
+        spill_path = None
+        if self.history_dir is not None:
+            spill_path = f"{self.history_dir}/{name}.events.log"
+        return StreamHistory(window=self.history_window, spill_path=spill_path)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -246,6 +281,7 @@ class StreamRegistry:
             shard=shard_for_key(name, self.n_shards),
             chunk_size=chunk_size,
             include_scores=bool(spec.get("include_scores", False)),
+            history=self._history_for(name),
         )
         self._streams[name] = stream
         return stream
@@ -258,9 +294,13 @@ class StreamRegistry:
             raise unknown_stream(name) from None
 
     def delete(self, name: str) -> StreamState:
-        """Remove and return a stream (typed 404 when absent)."""
+        """Remove and return a stream (typed 404 when absent).
+
+        The stream's history spill files, if any, are deleted with it.
+        """
         stream = self.get(name)
         del self._streams[name]
+        stream.history.discard()
         return stream
 
     def list_streams(self) -> list[StreamState]:
@@ -347,11 +387,26 @@ class StreamRegistry:
     # ------------------------------------------------------------------ #
 
     def events_since(self, name: str, cursor: int) -> tuple[list[dict[str, Any]], int]:
-        """Event payloads of a stream from ``cursor`` on, plus the next cursor."""
+        """Event payloads of a stream from ``cursor`` on, plus the next cursor.
+
+        Cursors beyond the memory window are served from the stream's disk
+        spill; cursors predating everything retained raise a typed 410
+        ``history-truncated`` whose detail carries the ``earliest`` cursor
+        that can still be replayed.
+        """
         stream = self.get(name)
         if cursor < 0:
             raise ServiceError(400, "bad-request", "'since' must be a non-negative integer")
-        return stream.event_log[cursor:], len(stream.event_log)
+        try:
+            return stream.history.read_since(cursor)
+        except HistoryTruncatedError as error:
+            raise ServiceError(
+                410,
+                "history-truncated",
+                f"cursor {cursor} predates the retained event history of {name!r}; "
+                f"replay from {error.earliest} or enable a history spill directory",
+                detail={"earliest": error.earliest, "cursor": int(cursor)},
+            ) from error
 
     @staticmethod
     def typed_events(payloads: list[dict[str, Any]]) -> list:

@@ -1,0 +1,66 @@
+"""repro.storage — out-of-core stream store, event log, re-segment from T.
+
+The persistence tier beneath the API, CLI and service (ROADMAP item 3):
+
+* :mod:`repro.storage.chunkstore` — time-partitioned, memory-mapped
+  ``.npy`` segment files per stream; append-only writer with an atomic
+  manifest, zero-copy mmap reader, crash recovery.
+* :mod:`repro.storage.eventlog` — append-only CRC-framed record log of
+  typed events keyed by ``(seq, at)`` with a sparse time index; torn tails
+  are truncated on open, never silently read.
+* :mod:`repro.storage.checkpoints` — periodic detector snapshots in the
+  ``repro.api.checkpoint`` framing, the replay anchors for
+  "re-segment from T".
+* :mod:`repro.storage.store` — :class:`StreamStore`, tying the three
+  together: ``ingest`` → ``segment`` → ``resegment`` with a structured
+  old-vs-new :class:`ResegmentAudit`.
+* :mod:`repro.storage.history` — the service's bounded in-memory event
+  window with disk spill, keeping ``?since=`` replay exact after eviction.
+"""
+
+from repro.storage.checkpoints import CheckpointIndex
+from repro.storage.chunkstore import (
+    DEFAULT_SEGMENT_ROWS,
+    ChunkStoreRecovery,
+    ChunkStoreWriter,
+    StoredStream,
+    recover_chunk_store,
+)
+from repro.storage.eventlog import EventLog
+from repro.storage.history import DEFAULT_HISTORY_WINDOW, StreamHistory
+from repro.storage.store import (
+    DEFAULT_CHECKPOINT_EVERY,
+    ResegmentAudit,
+    SegmentRun,
+    StreamStore,
+    canonical_config,
+    diff_change_points,
+    replay_events,
+)
+from repro.utils.exceptions import (
+    CorruptRecordError,
+    HistoryTruncatedError,
+    StorageError,
+)
+
+__all__ = [
+    "CheckpointIndex",
+    "ChunkStoreRecovery",
+    "ChunkStoreWriter",
+    "CorruptRecordError",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_HISTORY_WINDOW",
+    "DEFAULT_SEGMENT_ROWS",
+    "EventLog",
+    "HistoryTruncatedError",
+    "ResegmentAudit",
+    "SegmentRun",
+    "StorageError",
+    "StoredStream",
+    "StreamHistory",
+    "StreamStore",
+    "canonical_config",
+    "diff_change_points",
+    "recover_chunk_store",
+    "replay_events",
+]

@@ -1,0 +1,131 @@
+"""Periodic detector-state snapshots for "re-segment from T".
+
+A :class:`CheckpointIndex` is a directory of CRC-framed checkpoint files
+(the same ``repro.api.checkpoint`` framing the CLI and the service spool
+use), one per snapshot, named by the observation count they were taken at::
+
+    checkpoints/
+        ckpt-000000000000.ckpt      # detector state after 0 observations
+        ckpt-000000004096.ckpt      # ... after 4096
+        ckpt-000000008192.ckpt
+
+``load_at_or_before(t)`` walks newest-first and returns the first envelope
+whose position is ``<= t`` — the replay anchor for
+:meth:`repro.storage.store.StreamStore.resegment`.  A corrupt file (torn
+write, bit rot) is skipped with a warning rather than failing the seek:
+losing one snapshot only means replaying a little more input.
+"""
+
+from __future__ import annotations
+
+import logging
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.api.checkpoint import (
+    detector_key_for,
+    read_payload_file,
+    write_payload_file,
+)
+from repro.utils.exceptions import ConfigurationError, CorruptCheckpointError
+
+logger = logging.getLogger(__name__)
+
+#: Envelope format marker for stored snapshots.
+INDEX_FORMAT = "repro.storeckpt/1"
+#: Snapshot file pattern — the number is the detector's ``n_seen``.
+CKPT_NAME = re.compile(r"^ckpt-(\d{12})\.ckpt$")
+
+
+class CheckpointIndex:
+    """Snapshots of detector state keyed by observation position.
+
+    Parameters
+    ----------
+    directory:
+        Directory the ``ckpt-*.ckpt`` files live in (created if missing).
+    fsync:
+        Fsync each written snapshot (snapshots are replay anchors; losing
+        one is survivable, so tests may disable this for speed).
+    """
+
+    def __init__(self, directory: str | Path, *, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+
+    def _path_for(self, n_seen: int) -> Path:
+        return self.directory / f"ckpt-{int(n_seen):012d}.ckpt"
+
+    def positions(self) -> list[int]:
+        """Observation positions with a stored snapshot, ascending."""
+        positions = []
+        for path in self.directory.iterdir():
+            match = CKPT_NAME.match(path.name)
+            if match:
+                positions.append(int(match.group(1)))
+        return sorted(positions)
+
+    def __len__(self) -> int:
+        return len(self.positions())
+
+    def add(
+        self,
+        segmenter,
+        *,
+        detector: str | None = None,
+        config: dict | None = None,
+    ) -> Path:
+        """Snapshot a live segmenter at its current ``n_seen``; return the path.
+
+        The envelope records the detector's registry key and (canonical)
+        config alongside the ``save_state()`` payload, so a later
+        ``resegment`` can tell whether the stored run and the requested
+        replay share a configuration.
+        """
+        n_seen = int(segmenter.n_seen)
+        envelope: dict[str, Any] = {
+            "format": INDEX_FORMAT,
+            "n_seen": n_seen,
+            "detector": detector if detector is not None else detector_key_for(segmenter),
+            "config": config,
+            "state": segmenter.save_state(),
+        }
+        return write_payload_file(self._path_for(n_seen), envelope, fsync=self.fsync)
+
+    def load_at_or_before(self, t: int) -> dict[str, Any] | None:
+        """Newest intact snapshot envelope at position ``<= t``, else ``None``.
+
+        Corrupt snapshot files are skipped (with a warning) — the caller
+        just replays from an earlier anchor, or from the stream start.
+        """
+        t = int(t)
+        if t < 0:
+            raise ConfigurationError("checkpoint position must be non-negative")
+        for n_seen in reversed(self.positions()):
+            if n_seen > t:
+                continue
+            path = self._path_for(n_seen)
+            try:
+                envelope = read_payload_file(path)
+            except (CorruptCheckpointError, OSError) as error:
+                logger.warning("skipping corrupt snapshot %s: %s", path, error)
+                continue
+            if isinstance(envelope, dict) and envelope.get("format") == INDEX_FORMAT:
+                return envelope
+            logger.warning("skipping snapshot %s with unexpected format", path)
+        return None
+
+    def prune(self, keep: int) -> int:
+        """Delete all but the newest ``keep`` snapshots; return how many went."""
+        if keep < 0:
+            raise ConfigurationError("keep must be non-negative")
+        doomed = self.positions()[:-keep] if keep else self.positions()
+        for n_seen in doomed:
+            self._path_for(n_seen).unlink(missing_ok=True)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Delete every snapshot (a fresh segmentation run starts clean)."""
+        return self.prune(0)

@@ -1,0 +1,153 @@
+"""Bounded event history: a memory window backed by a disk spill log.
+
+The service used to keep every event a stream ever emitted in a Python
+list — unbounded growth for long-lived streams.  :class:`StreamHistory`
+replaces that list with a fixed-size memory window (a deque of the newest
+``window`` events) plus an optional :class:`~repro.storage.eventlog.EventLog`
+spill: events evicted from the window are appended to the log *before*
+leaving memory, so a ``?since=`` cursor older than the window is served
+from disk and the replay contract survives bounding.
+
+Without a spill path the history degrades gracefully: evicted events are
+simply gone, and a cursor pointing before the window raises
+:class:`~repro.utils.exceptions.HistoryTruncatedError` carrying the oldest
+cursor that can still be served (the service maps it to a typed 410).
+
+Cursor semantics are unchanged from the unbounded list: a cursor is the
+count of events already seen, ``read_since(cursor)`` returns everything at
+or after it plus the new cursor (the total event count).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.storage.eventlog import EventLog
+from repro.utils.exceptions import HistoryTruncatedError
+
+#: Default memory window (events) for service streams.
+DEFAULT_HISTORY_WINDOW = 4_096
+
+
+class StreamHistory:
+    """Append-ordered event history with a bounded memory window.
+
+    Parameters
+    ----------
+    window:
+        Newest events kept in memory; ``None`` means unbounded (the
+        pre-storage behaviour, nothing ever spills).
+    spill_path:
+        Record file for evicted events.  ``None`` with a finite window
+        means evicted events are dropped and old cursors get a
+        :class:`~repro.utils.exceptions.HistoryTruncatedError`.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int | None = DEFAULT_HISTORY_WINDOW,
+        spill_path: str | Path | None = None,
+    ) -> None:
+        self.window = window
+        self._memory: deque[dict] = deque()
+        #: Cursor of the oldest event still in memory.
+        self._base = 0
+        #: Total events ever appended (== the next cursor).
+        self._total = 0
+        self._spill_path = Path(spill_path) if spill_path is not None else None
+        self._spill: EventLog | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def earliest(self) -> int:
+        """Oldest cursor that can still be served (0 when nothing was lost)."""
+        return 0 if self._spill_path is not None else self._base
+
+    @property
+    def n_spilled(self) -> int:
+        """Events currently living only on disk."""
+        return self._base if self._spill is not None else 0
+
+    def _ensure_spill(self) -> EventLog | None:
+        if self._spill is None and self._spill_path is not None:
+            # the spill is rebuildable history, not a write-ahead log: no fsync
+            self._spill = EventLog(self._spill_path, fsync=False)
+        return self._spill
+
+    def append(self, events: list[dict]) -> int:
+        """Append event payloads; spill overflow; return the new cursor."""
+        self._memory.extend(events)
+        self._total += len(events)
+        if self.window is not None:
+            while len(self._memory) > self.window:
+                evicted = self._memory.popleft()
+                spill = self._ensure_spill()
+                if spill is not None:
+                    # clamp: the spill's time index needs monotone keys, and
+                    # a client-visible publish must never fail on a quirky at
+                    at = max(spill.last_at, int(evicted.get("at", 0) or 0))
+                    spill.append(at, evicted)
+                self._base += 1
+        return self._total
+
+    def read_since(self, cursor: int) -> tuple[list[dict], int]:
+        """Events with position ``>= cursor`` plus the new cursor.
+
+        Serves the disk spill for cursors older than the memory window.
+
+        Raises
+        ------
+        HistoryTruncatedError
+            When ``cursor`` predates both the memory window and any spill —
+            those events are gone; the exception's ``earliest`` is the
+            oldest cursor that still works.
+        """
+        cursor = max(0, int(cursor))
+        if cursor >= self._base:
+            start = cursor - self._base
+            tail = list(self._memory)[start:] if start < len(self._memory) else []
+            return tail, self._total
+        spill = self._ensure_spill()
+        if spill is None:
+            raise HistoryTruncatedError(
+                f"cursor {cursor} predates the retained history window "
+                f"(earliest available: {self._base})",
+                earliest=self._base,
+            )
+        spilled = spill.read_since(cursor)
+        return spilled + list(self._memory), self._total
+
+    def snapshot(self) -> list[dict]:
+        """Every event still reachable (disk spill + memory), oldest first."""
+        events, _ = self.read_since(self.earliest)
+        return events
+
+    def info(self) -> dict[str, Any]:
+        """JSON-safe counters: totals, window occupancy, spill size."""
+        return {
+            "n_events": self._total,
+            "in_memory": len(self._memory),
+            "spilled": self.n_spilled,
+            "window": self.window,
+            "earliest": self.earliest,
+        }
+
+    def close(self) -> None:
+        """Close the spill log handle (the files stay for a later reopen)."""
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+
+    def discard(self) -> None:
+        """Close and delete the spill files (stream deletion)."""
+        self.close()
+        if self._spill_path is not None:
+            self._spill_path.unlink(missing_ok=True)
+            self._spill_path.with_name(self._spill_path.name + ".idx").unlink(missing_ok=True)

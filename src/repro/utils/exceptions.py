@@ -23,3 +23,24 @@ class NotEnoughDataError(ReproError, RuntimeError):
 
 class CorruptCheckpointError(ReproError, RuntimeError):
     """Raised when a durable checkpoint or spool record fails its integrity check."""
+
+
+class StorageError(ReproError, RuntimeError):
+    """Raised by the :mod:`repro.storage` tier: unknown streams, bad manifests,
+    attempts to re-segment a stream that has no recorded run."""
+
+
+class CorruptRecordError(StorageError):
+    """Raised when a stored chunk segment or event-log record fails its
+    CRC/length integrity check (torn write or on-disk corruption)."""
+
+
+class HistoryTruncatedError(StorageError, LookupError):
+    """Raised when an event-history cursor predates the retained window.
+
+    Carries ``earliest``, the oldest cursor that can still be served.
+    """
+
+    def __init__(self, message: str, earliest: int = 0) -> None:
+        super().__init__(message)
+        self.earliest = int(earliest)

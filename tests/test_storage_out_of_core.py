@@ -1,0 +1,106 @@
+"""Out-of-core acceptance test: segment a dataset ≥ 4× the enforced RSS ceiling.
+
+ISSUE 9 acceptance criterion: an end-to-end run must segment a *stored*
+dataset at least four times larger than the resident-memory ceiling the
+test enforces.  A subprocess (clean RSS accounting) measures its
+post-import ``ru_maxrss`` baseline, then
+
+1. ingests ``REPRO_OOC_POINTS`` float64 observations through the chunk
+   store from a generator (never holding the dataset in memory), and
+2. segments the stored stream through ``api.stream()`` with a registry
+   detector over the memory-mapped chunk iterator,
+
+asserting that each phase grows the peak RSS by at most
+``CEILING_BYTES`` — possible only because the writer buffers one segment
+at a time and the reader unmaps each segment as the iterator moves on.
+The in-RAM equivalent would need the full dataset resident, 4× the
+allowed growth.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+#: Enforced resident-set growth ceiling per phase (bytes).
+CEILING_BYTES = 16 * 1024 * 1024
+#: Default dataset size: 8.5M float64 = 68 MB ≥ 4× the 16 MB ceiling.
+DEFAULT_POINTS = 8_500_000
+
+_SCRIPT = r"""
+import json, resource, sys
+import numpy as np
+from repro import api
+from repro.storage import StreamStore
+
+def maxrss():
+    # ru_maxrss is KiB on Linux
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+root, n_points = sys.argv[1], int(sys.argv[2])
+baseline = maxrss()
+
+def generate(n, block=262_144):
+    rng = np.random.default_rng(7)
+    produced = 0
+    level = 0.0
+    while produced < n:
+        rows = min(block, n - produced)
+        if produced and produced % (block * 8) == 0:
+            level += 3.0  # periodic mean shifts to give the detector work
+        yield rng.normal(level, 1.0, rows)
+        produced += rows
+
+store = StreamStore(root, fsync=False)
+stored = store.ingest("big", generate(n_points))
+after_ingest = maxrss()
+
+segmenter = api.create("page-hinkley")
+n_events = sum(1 for _ in api.stream(segmenter, stored, chunk_size=65_536))
+after_stream = maxrss()
+
+print(json.dumps({
+    "baseline": baseline,
+    "ingest_growth": after_ingest - baseline,
+    "stream_growth": after_stream - after_ingest,
+    "n_rows": int(stored.n_rows),
+    "dataset_bytes": int(stored.nbytes),
+    "n_segments": len(stored.segments),
+    "n_seen": int(segmenter.n_seen),
+    "n_events": n_events,
+    "n_change_points": len(segmenter.change_points),
+}))
+"""
+
+
+def test_segments_dataset_four_times_larger_than_rss_ceiling(tmp_path):
+    n_points = int(os.environ.get("REPRO_OOC_POINTS", DEFAULT_POINTS))
+    repo_src = Path(__file__).resolve().parents[1] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{repo_src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, str(tmp_path / "store"), str(n_points)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=540,
+    )
+    assert result.returncode == 0, result.stderr
+    report = json.loads(result.stdout)
+
+    # the dataset really is ≥ 4× the resident-growth ceiling we enforce
+    assert report["n_rows"] == n_points
+    assert report["dataset_bytes"] >= 4 * CEILING_BYTES
+    assert report["n_segments"] > 1  # genuinely partitioned, not one blob
+
+    # constant-memory ingestion: the writer never buffered more than a
+    # segment's worth of rows (plus interpreter noise)
+    assert report["ingest_growth"] <= CEILING_BYTES, report
+    # mmap streaming: each segment is unmapped as the iterator moves past
+    # it, so peak RSS growth stays far below the 68 MB dataset
+    assert report["stream_growth"] <= CEILING_BYTES, report
+
+    # and the run actually segmented the stream, end to end
+    assert report["n_seen"] == n_points
+    assert report["n_change_points"] >= 1
