@@ -1,0 +1,157 @@
+"""Sanitizer overhead: dirty-data pre-pass cost on clean and dirty streams.
+
+The :class:`repro.core.quality.Sanitizer` runs as a vectorised pre-pass in
+front of chunked ingestion.  Its hot path — a clean chunk with no pending
+dirty run — is a single finiteness scan plus one scalar copy, so wrapping a
+detector in a repairing :class:`~repro.api.DataPolicy` must be nearly free
+when the data is in fact clean.  This benchmark pins that:
+
+* **clean overhead** — identical clean stream through the bare detector and
+  through the policy-wrapped detector (``hold-last``); best-of-N wall times
+  are compared and the overhead is asserted **< 5%** at full size (both runs
+  must also report bit-identical change points — the pass-through contract),
+* **dirty throughput** — the same stream with ~1% injected NaN runs under
+  ``hold-last``, for context on what repair itself costs.
+
+Sizes are env-tunable so CI can smoke-run it (``REPRO_BENCH_DIRTY_POINTS``,
+``REPRO_BENCH_DIRTY_CHUNK``); the overhead assertion only applies at full
+size.  Set ``REPRO_BENCH_WRITE_RESULTS=1`` to (re)write the committed
+baseline ``benchmarks/results/bench_dirty_ingest.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import api
+
+#: Overridable so CI can smoke-run the benchmark with tiny parameters.
+N_POINTS = int(os.environ.get("REPRO_BENCH_DIRTY_POINTS", 1_000_000))
+CHUNK = int(os.environ.get("REPRO_BENCH_DIRTY_CHUNK", 8_192))
+ROUNDS = int(os.environ.get("REPRO_BENCH_DIRTY_ROUNDS", 3))
+SMOKE_RUN = N_POINTS < 500_000
+
+#: page-hinkley keeps detector cost low, so the sanitizer's relative share
+#: is as large as it gets — the strictest setting for the 5% bound.
+DETECTOR = "page-hinkley"
+POLICY = {"nan_policy": "hold-last", "max_gap": 1_000}
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_dirty_ingest.json"
+
+
+def _machine_name() -> str:
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _clean_stream(n: int) -> np.ndarray:
+    """Noise whose mean shifts every n/8 rows (so change points exist)."""
+    rng = np.random.default_rng(11)
+    values = rng.normal(0.0, 1.0, n)
+    for block in range(1, 8):
+        values[block * (n // 8) :] += 4.0
+    return values
+
+
+def _inject_nan_runs(values: np.ndarray, fraction: float = 0.01) -> np.ndarray:
+    """Copy with ~``fraction`` of rows replaced by short seeded NaN runs."""
+    dirty = values.copy()
+    rng = np.random.default_rng(7)
+    n_runs = max(1, int(len(values) * fraction) // 20)
+    starts = rng.integers(1, len(values) - 25, size=n_runs)
+    for start in starts:
+        dirty[start : start + 20] = np.nan
+    return dirty
+
+
+def _ingest_seconds(values: np.ndarray, data_policy: dict | None) -> tuple[float, list]:
+    """Best-of-``ROUNDS`` wall time feeding ``values`` chunk-wise."""
+    best = float("inf")
+    change_points: list = []
+    for _ in range(ROUNDS):
+        segmenter = api.create(DETECTOR, data_policy=data_policy)
+        started = time.perf_counter()
+        for _ in api.stream(segmenter, values, chunk_size=CHUNK):
+            pass
+        best = min(best, time.perf_counter() - started)
+        change_points = [int(cp) for cp in segmenter.change_points]
+    return best, change_points
+
+
+def _scenario() -> dict:
+    clean = _clean_stream(N_POINTS)
+    plain_seconds, plain_cps = _ingest_seconds(clean, data_policy=None)
+    wrapped_seconds, wrapped_cps = _ingest_seconds(clean, data_policy=POLICY)
+    # the sanitizer must be a pure pass-through on clean data
+    assert wrapped_cps == plain_cps
+
+    dirty = _inject_nan_runs(clean)
+    dirty_seconds, _ = _ingest_seconds(dirty, data_policy=POLICY)
+
+    overhead = wrapped_seconds / plain_seconds - 1.0
+    return {
+        "n_points": N_POINTS,
+        "chunk_size": CHUNK,
+        "rounds": ROUNDS,
+        "plain_seconds": round(plain_seconds, 4),
+        "plain_rows_per_second": round(N_POINTS / plain_seconds, 1),
+        "sanitized_clean_seconds": round(wrapped_seconds, 4),
+        "sanitized_clean_rows_per_second": round(N_POINTS / wrapped_seconds, 1),
+        "clean_overhead_fraction": round(overhead, 4),
+        "dirty_seconds": round(dirty_seconds, 4),
+        "dirty_rows_per_second": round(N_POINTS / dirty_seconds, 1),
+        "n_change_points": len(plain_cps),
+    }
+
+
+def test_dirty_ingest_overhead(benchmark):
+    """Clean-data sanitizer overhead < 5%; dirty repair throughput reported."""
+    summary = benchmark.pedantic(_scenario, rounds=1, iterations=1)
+    print()
+    print(
+        f"{summary['n_points']} rows: plain {summary['plain_rows_per_second']:.0f} rows/s, "
+        f"sanitized clean {summary['sanitized_clean_rows_per_second']:.0f} rows/s "
+        f"({summary['clean_overhead_fraction'] * 100:+.2f}%), "
+        f"dirty+hold-last {summary['dirty_rows_per_second']:.0f} rows/s"
+    )
+    benchmark.extra_info.update(summary)
+
+    assert summary["n_change_points"] >= 1
+    if not SMOKE_RUN:
+        # the vectorised pre-pass must be nearly free when data is clean —
+        # that is the whole argument for defaulting policies on in prod
+        assert summary["clean_overhead_fraction"] < 0.05
+        # repairing ~1% dirty rows must not collapse throughput either
+        assert summary["dirty_seconds"] < plainly_bounded(summary)
+
+    if os.environ.get("REPRO_BENCH_WRITE_RESULTS"):
+        payload = {
+            "benchmark": "bench_dirty_ingest",
+            "config": {
+                "n_points": N_POINTS,
+                "chunk_size": CHUNK,
+                "rounds": ROUNDS,
+                "detector": DETECTOR,
+                "policy": POLICY,
+            },
+            "machine": _machine_name(),
+            "summary": summary,
+        }
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote dirty-ingest baseline to {RESULTS_PATH}")
+
+
+def plainly_bounded(summary: dict) -> float:
+    """Dirty-run budget: 2x the plain clean ingest time."""
+    return 2.0 * summary["plain_seconds"]

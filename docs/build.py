@@ -44,6 +44,7 @@ PAGES = [
     ("service", "Service protocol"),
     ("checkpoint-rebalance", "Checkpoint & rebalance"),
     ("fault-tolerance", "Fault tolerance"),
+    ("data-quality", "Dirty-data resilience"),
     ("storage", "Durable stream history"),
     ("reference", "API reference"),
 ]

@@ -51,12 +51,15 @@ from repro.api.config import (
 from repro.api.events import (
     EVENT_KINDS,
     ChangePointEvent,
+    DataQualityEvent,
+    GapEvent,
     ScoreEvent,
     SegmenterEvent,
     WarmupEvent,
     event_from_dict,
 )
 from repro.api.protocol import Segmenter, ensure_segmenter
+from repro.api.quality import SanitizingSegmenter
 from repro.api.registry import (
     DetectorSpec,
     available,
@@ -68,6 +71,7 @@ from repro.api.registry import (
     spec,
 )
 from repro.api.stream import stream
+from repro.core.quality import DataPolicy
 
 __all__ = [
     # protocol
@@ -78,9 +82,14 @@ __all__ = [
     "WarmupEvent",
     "ScoreEvent",
     "ChangePointEvent",
+    "GapEvent",
+    "DataQualityEvent",
     "EVENT_KINDS",
     "event_from_dict",
     "stream",
+    # data quality
+    "DataPolicy",
+    "SanitizingSegmenter",
     # configs
     "SegmenterConfig",
     "ClaSSConfig",

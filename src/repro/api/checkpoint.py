@@ -150,7 +150,10 @@ def restore(payload: dict):
     The detector class is resolved through the registry (``payload["detector"]``),
     constructed, and handed the payload via ``load_state`` — detectors that
     embed their config rebuild themselves from it, so the restored instance
-    is configured exactly like the checkpointed one.
+    is configured exactly like the checkpointed one.  Payloads written by a
+    :class:`repro.api.quality.SanitizingSegmenter` carry a top-level
+    ``"quality"`` envelope; the wrapper (policy, sanitizer carry-over state
+    and merged event log) is rebuilt around the restored detector.
 
     Returns the resumed detector; raises
     :class:`~repro.utils.exceptions.ConfigurationError` when the payload is
@@ -167,6 +170,14 @@ def restore(payload: dict):
     if not isinstance(payload, dict) or "detector" not in payload:
         raise ConfigurationError("checkpoint payload must be a mapping with a 'detector' entry")
     segmenter = create(payload["detector"])
+    quality = payload.get("quality")
+    if isinstance(quality, dict):
+        from repro.api.quality import SanitizingSegmenter
+        from repro.core.quality import DataPolicy
+
+        segmenter = SanitizingSegmenter(
+            segmenter, DataPolicy.from_dict(quality.get("policy", {}))
+        )
     segmenter.load_state(payload)
     return segmenter
 

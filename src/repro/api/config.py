@@ -29,6 +29,7 @@ from typing import Any, ClassVar
 
 from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS
 from repro.core.kernels import KERNEL_BACKENDS
+from repro.core.quality import DataPolicy, coerce_data_policy
 from repro.core.scoring import SCORE_FUNCTIONS
 from repro.core.significance import DEFAULT_SAMPLE_SIZE, DEFAULT_SIGNIFICANCE_LEVEL
 from repro.core.similarity import SIMILARITY_MEASURES
@@ -66,7 +67,12 @@ class SegmenterConfig:
     arguments of the detector they describe; ``detector`` is the registry key
     the config belongs to.  The base class carries the shared machinery:
     lossless ``to_dict``/``from_dict`` (and JSON) round-trips, field-checked
-    :meth:`replace`, :meth:`validate` and the :meth:`build` construction hook.
+    :meth:`replace`, :meth:`validate` and the :meth:`build` construction hook,
+    plus the shared keyword-only ``data_policy`` field — an optional
+    :class:`repro.core.quality.DataPolicy` (also accepted as a mapping)
+    that :func:`repro.api.create` turns into a sanitizing wrapper around
+    the built detector.  ``data_policy=None`` (default) keeps the seed
+    reject-everything behaviour and serialises to nothing.
 
     Example
     -------
@@ -79,16 +85,34 @@ class SegmenterConfig:
     #: Registry key of the detector this config describes.
     detector: ClassVar[str] = ""
 
+    #: Optional dirty-data policy shared by every detector config.  None (the
+    #: default) keeps the seed reject-everything behaviour; a non-reject
+    #: policy makes :func:`repro.api.create` wrap the detector in a
+    #: :class:`repro.api.quality.SanitizingSegmenter`.
+    data_policy: DataPolicy | None = field(default=None, kw_only=True)
+
+    def __post_init__(self) -> None:
+        # accept a mapping (HTTP specs, checkpoints) and validate eagerly
+        object.__setattr__(self, "data_policy", coerce_data_policy(self.data_policy))
+
     # ------------------------------------------------------------------ #
     # serialisation
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dictionary of every field (nested configs become dicts)."""
+        """JSON-safe dictionary of every field (nested configs become dicts).
+
+        ``data_policy`` is omitted while None so default-config documents
+        stay byte-identical to the seed serialisation.
+        """
         payload: dict[str, Any] = {}
         for config_field in dataclasses.fields(self):
             value = getattr(self, config_field.name)
-            if isinstance(value, SegmenterConfig):
+            if config_field.name == "data_policy":
+                if value is None:
+                    continue
+                value = value.to_dict()
+            elif isinstance(value, SegmenterConfig):
                 value = value.to_dict()
             elif isinstance(value, tuple):
                 value = list(value)
@@ -108,6 +132,8 @@ class SegmenterConfig:
         for name, value in payload.items():
             if name == "class_config" and isinstance(value, dict):
                 value = ClaSSConfig.from_dict(value)
+            elif name == "data_policy" and isinstance(value, dict):
+                value = DataPolicy.from_dict(value)
             elif isinstance(value, list):
                 value = tuple(value)
             kwargs[name] = value
@@ -134,8 +160,16 @@ class SegmenterConfig:
         return dataclasses.replace(self, **overrides)
 
     def as_kwargs(self) -> dict[str, Any]:
-        """Constructor keyword arguments of the underlying detector."""
-        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        """Constructor keyword arguments of the underlying detector.
+
+        ``data_policy`` is excluded: it is applied by the registry as a
+        wrapper around the built detector, not a constructor argument.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "data_policy"
+        }
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -201,6 +235,10 @@ class ClaSSConfig(SegmenterConfig):
         the fastest available, e.g. the JIT backend when installed).
     random_state:
         Seed of the permutation test's generator (``None`` = nondeterministic).
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -299,6 +337,10 @@ class MultivariateClaSSConfig(SegmenterConfig):
         channel); ``None`` weights every channel 1.
     class_config:
         The :class:`ClaSSConfig` every per-channel detector is built from.
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -325,10 +367,16 @@ class MultivariateClaSSConfig(SegmenterConfig):
     class_config: ClaSSConfig = field(default_factory=ClaSSConfig)
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.channel_weights is not None and not isinstance(self.channel_weights, tuple):
             object.__setattr__(self, "channel_weights", tuple(self.channel_weights))
 
     def validate(self) -> "MultivariateClaSSConfig":
+        if self.class_config.data_policy is not None:
+            raise ConfigurationError(
+                "data_policy belongs on the multivariate config itself, not the "
+                "nested class_config"
+            )
         if int(self.n_channels) < 1:
             raise ConfigurationError("n_channels must be at least 1")
         if self.fusion_tolerance < 0:
@@ -397,6 +445,10 @@ class ClaSPConfig(SegmenterConfig):
         Cross-validation kernel from ``CROSS_VAL_IMPLEMENTATIONS``.
     random_state:
         Seed of the permutation test's generator (``None`` = nondeterministic).
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -466,7 +518,9 @@ class CompetitorConfig(SegmenterConfig):
 
     ``competitor`` is the :data:`repro.competitors.COMPETITOR_REGISTRY` name
     the fields are forwarded to; :meth:`build` constructs the competitor
-    through that registry.
+    through that registry.  Like every config it inherits the optional
+    ``data_policy`` dirty-data field (never forwarded to the competitor —
+    the registry wraps the built detector instead).
 
     Example
     -------
@@ -501,6 +555,10 @@ class FLOSSConfig(CompetitorConfig):
         (non-negative; ``None`` derives it from the width).
     stride:
         Evaluate the arc curve every ``stride`` points.
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -549,6 +607,10 @@ class WindowConfig(CompetitorConfig):
         (non-negative; ``None`` derives it from the window).
     stride:
         Evaluate the discrepancy every ``stride`` points.
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -608,6 +670,10 @@ class BOCDConfig(CompetitorConfig):
         Prior shape of the variance.
     beta0:
         Prior scale of the variance.
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -657,6 +723,10 @@ class ChangeFinderConfig(CompetitorConfig):
         Report a change point when the second-stage score exceeds this.
     exclusion_zone:
         Points around a detection excluded from re-detection (non-negative).
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -712,6 +782,10 @@ class NEWMAConfig(CompetitorConfig):
         Points around a detection excluded from re-detection (non-negative).
     random_state:
         Seed of the random-feature generator (``None`` = nondeterministic).
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -765,6 +839,10 @@ class ADWINConfig(CompetitorConfig):
         Run the cut test every this many observations.
     min_window:
         Minimum window length before cuts are considered (minimum 4).
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -813,6 +891,10 @@ class DDMConfig(CompetitorConfig):
     predictor_order:
         Order of the autoregressive predictor whose mistakes form the
         binary error stream.
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -858,6 +940,10 @@ class HDDMConfig(CompetitorConfig):
         Order of the autoregressive predictor producing the error stream.
     value_range:
         Assumed range of the monitored values in the Hoeffding bound.
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -900,6 +986,10 @@ class HDDMWConfig(HDDMConfig):
     ``lambda_``:
         EWMA weight in ``(0, 1)`` of the most recent error (trailing
         underscore because the bare keyword is reserved).
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------
@@ -942,6 +1032,10 @@ class PageHinkleyConfig(CompetitorConfig):
         Observations required before the test may fire.
     two_sided:
         Track deviations in both directions (``False`` = increases only).
+    data_policy:
+        Optional dirty-data policy (:class:`repro.api.DataPolicy` or
+        ``None``); a non-reject policy makes :func:`repro.api.create` wrap
+        the detector in a sanitizing pre-pass.
 
     Raises
     ------

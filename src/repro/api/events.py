@@ -14,6 +14,12 @@ return-code path:
   position at which it was detected and, where the method provides them, the
   classification score and significance p-value.
 
+Two further event types report dirty-data handling when a non-default
+:class:`repro.core.quality.DataPolicy` is active: :class:`DataQualityEvent`
+(one maximal run of non-finite rows was imputed or skipped, with counters)
+and :class:`GapEvent` (a run exceeded the policy's ``max_gap`` and was
+dropped, optionally resetting warm-up).
+
 Events are frozen dataclasses with a stable ``kind`` discriminator and a
 lossless JSON mapping (:meth:`SegmenterEvent.to_dict` /
 :func:`event_from_dict`), so an event stream can be shipped across process
@@ -127,9 +133,56 @@ class ChangePointEvent(SegmenterEvent):
         return int(self.at - self.change_point)
 
 
+@dataclass(frozen=True)
+class GapEvent(SegmenterEvent):
+    """A dirty-data run exceeded the policy's ``max_gap`` and was dropped.
+
+    ``at`` is the sanitized-stream position at which the gap closed (the
+    detector's ``n_seen`` — dropped rows are not counted); ``gap`` is the
+    number of raw rows the run spanned; ``reset`` records whether the
+    policy's ``reset_on_gap`` re-entered detector warm-up.
+
+    Example
+    -------
+    >>> GapEvent(at=4_000, gap=120, reset=True).to_dict()
+    {'kind': 'gap', 'at': 4000, 'gap': 120, 'reset': True}
+    """
+
+    kind: ClassVar[str] = "gap"
+
+    gap: int = 0
+    reset: bool = False
+
+
+@dataclass(frozen=True)
+class DataQualityEvent(SegmenterEvent):
+    """One maximal dirty run was repaired or dropped by the data policy.
+
+    ``at`` is the sanitized-stream position right after the run was
+    realised; exactly one of ``imputed``/``skipped`` is non-zero and counts
+    the run's raw rows (``clipped`` is reserved for value-clipping policies
+    and stays 0 today).  ``n_nan``/``n_inf`` split the run's rows by the
+    non-finite kind that dirtied them.
+
+    Example
+    -------
+    >>> DataQualityEvent(at=250, imputed=3, n_nan=3).imputed
+    3
+    """
+
+    kind: ClassVar[str] = "data_quality"
+
+    imputed: int = 0
+    skipped: int = 0
+    clipped: int = 0
+    n_nan: int = 0
+    n_inf: int = 0
+
+
 #: Event classes by their ``kind`` discriminator (the JSON dispatch table).
 EVENT_KINDS: dict[str, type[SegmenterEvent]] = {
-    cls.kind: cls for cls in (WarmupEvent, ScoreEvent, ChangePointEvent)
+    cls.kind: cls
+    for cls in (WarmupEvent, ScoreEvent, ChangePointEvent, GapEvent, DataQualityEvent)
 }
 
 

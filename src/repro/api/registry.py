@@ -206,7 +206,9 @@ def create(key: str, config: SegmenterConfig | dict | None = None, **overrides):
     Returns
     -------
     The ready-to-stream detector (the spec's builder output); the effective
-    config is validated before the detector is constructed.
+    config is validated before the detector is constructed.  When the config
+    carries a sanitizing ``data_policy`` the detector is wrapped in a
+    :class:`repro.api.quality.SanitizingSegmenter` applying it.
 
     Raises
     ------
@@ -235,7 +237,13 @@ def create(key: str, config: SegmenterConfig | dict | None = None, **overrides):
             )
         effective = config.replace(**overrides) if overrides else config
     effective.validate()
-    return detector_spec.builder(effective)
+    segmenter = detector_spec.builder(effective)
+    policy = effective.data_policy
+    if policy is not None and policy.sanitizes:
+        from repro.api.quality import SanitizingSegmenter
+
+        segmenter = SanitizingSegmenter(segmenter, policy)
+    return segmenter
 
 
 def key_for_config(config: SegmenterConfig) -> str:

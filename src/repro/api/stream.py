@@ -35,6 +35,7 @@ def stream(
     chunk_size: int | None = None,
     include_scores: bool = False,
     finalize: bool = False,
+    data_policy=None,
 ) -> Iterator[SegmenterEvent]:
     """Feed ``values`` to ``segmenter`` chunk-wise; yield typed events in order.
 
@@ -62,6 +63,15 @@ def stream(
     finalize:
         Call ``finalize()`` after the last chunk and yield any events it
         produces (e.g. the batch-ClaSP adapter segments only on finalize).
+    data_policy:
+        Optional dirty-data policy (:class:`~repro.api.DataPolicy` or its
+        mapping form).  A sanitizing policy wraps ``segmenter`` in a
+        :class:`repro.api.quality.SanitizingSegmenter` for this stream, so
+        NaN/inf runs are repaired per the policy and reported as
+        :class:`~repro.api.events.DataQualityEvent` /
+        :class:`~repro.api.events.GapEvent` alongside the detector's own
+        events.  ``None`` (default) streams into ``segmenter`` unchanged —
+        detectors built with a policy-carrying config are already wrapped.
 
     Yields
     ------
@@ -86,6 +96,13 @@ def stream(
         chunk_size = DEFAULT_STREAM_CHUNK_SIZE
     elif chunk_size < 1:
         raise ConfigurationError("chunk_size must be a positive integer")
+    if data_policy is not None:
+        from repro.api.quality import SanitizingSegmenter
+        from repro.core.quality import coerce_data_policy
+
+        policy = coerce_data_policy(data_policy)
+        if policy is not None and policy.sanitizes:
+            segmenter = SanitizingSegmenter(segmenter, policy)
     if hasattr(values, "iter_chunks"):  # stored-stream handle: out-of-core path
         chunks = values.iter_chunks(chunk_size)
     else:

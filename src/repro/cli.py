@@ -60,6 +60,7 @@ from repro.api import (
 from repro.core.class_segmenter import capped_window_size
 from repro.core.cross_val import CROSS_VAL_IMPLEMENTATIONS
 from repro.core.kernels import KERNEL_BACKENDS
+from repro.core.quality import NAN_POLICIES
 from repro.datasets import COLLECTIONS, SegmentSpec, compose_stream, load_collection
 from repro.datasets.loaders import load_dataset_csv, load_dataset_npz
 from repro.evaluation import (
@@ -137,14 +138,24 @@ def cmd_segment(args: argparse.Namespace) -> int:
             file=info,
         )
     else:
-        config = ClaSSConfig(
-            window_size=capped_window_size(args.window_size, values.shape[0]),
-            subsequence_width=args.subsequence_width,
-            scoring_interval=args.scoring_interval,
-            significance_level=args.significance_level,
-            cross_val_implementation=args.cross_val,
-            kernel_backend=args.backend,
-        )
+        data_policy = None
+        if args.nan_policy != "reject" or args.max_gap is not None:
+            data_policy = {"nan_policy": args.nan_policy}
+            if args.max_gap is not None:
+                data_policy["max_gap"] = args.max_gap
+        try:
+            config = ClaSSConfig(
+                window_size=capped_window_size(args.window_size, values.shape[0]),
+                subsequence_width=args.subsequence_width,
+                scoring_interval=args.scoring_interval,
+                significance_level=args.significance_level,
+                cross_val_implementation=args.cross_val,
+                kernel_backend=args.backend,
+                data_policy=data_policy,
+            )
+        except Exception as error:  # e.g. --max-gap with the default reject policy
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         segmenter = create("class", config)
 
     # chunked ingestion (behaviour-identical to point-wise, much faster);
@@ -156,6 +167,12 @@ def cmd_segment(args: argparse.Namespace) -> int:
             print(json.dumps(event.to_dict()))
         elif isinstance(event, ChangePointEvent):
             print(f"change point at t={event.change_point} (reported at t={event.at})")
+        elif event.kind == "gap":
+            reset = " (warm-up reset)" if event.reset else ""
+            print(f"data gap of {event.gap} observations ending at t={event.at}{reset}")
+        elif event.kind == "data_quality":
+            repaired = event.imputed or event.skipped
+            print(f"repaired {repaired} dirty observation(s) ending at t={event.at}")
 
     if args.checkpoint:
         save_checkpoint(segmenter, args.checkpoint)
@@ -432,6 +449,22 @@ def build_parser() -> argparse.ArgumentParser:
         "'auto' uses the numba JIT kernels when numba is installed)",
     )
     segment_parser.add_argument(
+        "--nan-policy",
+        default="reject",
+        choices=NAN_POLICIES,
+        help="dirty-data handling: 'reject' (default) raises on NaN/inf; 'skip' drops "
+        "them; 'hold-last' repeats the last finite value; 'linear-interp' bridges "
+        "runs between finite neighbours (results are chunk-size invariant)",
+    )
+    segment_parser.add_argument(
+        "--max-gap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with a repairing --nan-policy: dirty runs longer than N are skipped "
+        "and reported as a typed gap event instead of being imputed",
+    )
+    segment_parser.add_argument(
         "--checkpoint",
         metavar="PATH",
         default=None,
@@ -455,7 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
     segment_parser.set_defaults(handler=cmd_segment)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="run the asyncio segmentation service (HTTP + WebSocket)"
+        "serve",
+        help="run the asyncio segmentation service (HTTP + WebSocket)",
+        description="Run the asyncio segmentation service.  Per-stream dirty-data "
+        "policies pass straight through: clients set a 'data_policy' field in the "
+        "stream spec (docs/data-quality.rst) and the service relaxes its finite-"
+        "observations rejection for repairing policies.",
     )
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8765)

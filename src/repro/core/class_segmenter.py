@@ -392,6 +392,23 @@ class ClaSS:
         """Protocol spelling of :meth:`finalise`."""
         return self.finalise()
 
+    def reset_warmup(self) -> None:
+        """Drop the learned model and re-enter warm-up (data-gap recovery).
+
+        Used by the dirty-data policy layer after a gap longer than
+        ``max_gap``: the sliding-window model is considered stale, so the
+        k-NN, the buffered prefix and — unless it was configured explicitly
+        — the learned subsequence width are discarded and relearned from the
+        observations that follow.  The stream position, the report history
+        and the original warm-up event are preserved, keeping the
+        :meth:`events` log append-only.
+        """
+        self._prefix = []
+        self._knn = None
+        self._width = self.subsequence_width
+        self._state.last_change_point_offset = 0
+        self._last_profile = None
+
     @property
     def warmup_end(self) -> int | None:
         """Stream position at which the k-NN went live (None while warming up)."""
@@ -515,7 +532,10 @@ class ClaSS:
         )
         self._ingest_many(prefix)
         self._prefix = []
-        self._warmup_end = self._n_seen
+        if self._warmup_end is None:
+            # a re-warm-up after reset_warmup keeps the original position so
+            # the events() history stays append-only for stream consumers
+            self._warmup_end = self._n_seen
 
     def _ingest_many(self, values: np.ndarray) -> None:
         """Feed a chunk to the k-NN and keep the last-CP offset aligned."""

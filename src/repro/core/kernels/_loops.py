@@ -78,7 +78,10 @@ def similarity_profile(
     for i in range(m):
         numerator = dot_products[i] - w * means[i] * query_mean
         denominator = w * stds[i] * query_std
-        corr = numerator / denominator
+        if denominator > 0.0:
+            corr = numerator / denominator
+        else:
+            corr = 0.0
         if corr < -1.0:
             corr = -1.0
         elif corr > 1.0:

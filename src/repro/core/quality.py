@@ -1,0 +1,482 @@
+"""Dirty-data resilience: typed data policies and the vectorised sanitizer.
+
+Real sensor feeds arrive with NaN gaps, inf spikes, dropouts and duplicated
+batches.  The seed behaviour — and the default of every entry point — is to
+**reject** such input with a typed error.  This module adds the opt-in
+alternative: a :class:`DataPolicy` value object describing, per dirty-data
+condition, what the engine should do instead, and a :class:`Sanitizer` that
+applies the NaN/inf part of that policy as a vectorised pre-pass over chunked
+ingestion (no per-point Python loop).
+
+Design rules, in priority order:
+
+* **Determinism.**  The sanitizer's output — the cleaned value stream and the
+  sequence of :class:`RunRecord` descriptions of each maximal dirty run — is
+  a pure function of the raw input and the policy.  Chunk boundaries never
+  matter: a dirty run that spans chunks is buffered (as a count, not values)
+  until its right edge is known, so batched and point-wise ingestion realise
+  byte-identical imputations and records.
+* **Checkpointability.**  :meth:`Sanitizer.state_dict` /
+  :meth:`Sanitizer.load_state_dict` capture the tiny carry-over state (last
+  finite row, pending-run counters), so checkpoint/resume mid-gap replays
+  bit-identically.
+* **reject stays default.**  A ``DataPolicy()`` with all defaults is inert;
+  the engine only changes behaviour when a non-default policy is configured.
+
+The typed events built from :class:`RunRecord` (``GapEvent``,
+``DataQualityEvent``) live in :mod:`repro.api.events`; the segmenter wrapper
+that feeds sanitized values to an inner detector lives in
+:mod:`repro.api.quality`.  This module stays importable from the config layer
+without touching :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+#: NaN/inf handling policies, in increasing order of repair effort.
+NAN_POLICIES = ("reject", "skip", "hold-last", "linear-interp")
+
+#: Duplicate/stale sequence-number policies of the service ingest path.
+DUPLICATE_POLICIES = ("reject", "drop")
+
+
+@dataclass(frozen=True)
+class DataPolicy:
+    """Typed per-condition dirty-data policy (JSON round-trip value object).
+
+    Parameters
+    ----------
+    nan_policy:
+        What to do with non-finite observations (NaN or inf), one of
+        :data:`NAN_POLICIES`.  ``"reject"`` (default) keeps the seed
+        behaviour of raising/400-ing; ``"skip"`` drops dirty rows;
+        ``"hold-last"`` repeats the last finite row; ``"linear-interp"``
+        linearly interpolates between the finite rows bracketing the run.
+    max_gap:
+        When set, a dirty run longer than this many rows is *not* imputed:
+        it is skipped wholesale and reported as a typed gap
+        (``GapEvent``).  Requires a non-reject ``nan_policy``.
+    reset_on_gap:
+        When True, a run longer than ``max_gap`` additionally resets the
+        detector's warm-up (the learned model is considered stale after a
+        long outage).  Requires ``max_gap``.
+    duplicate_policy:
+        Service-tier handling of a replayed/stale batch sequence number,
+        one of :data:`DUPLICATE_POLICIES`.  ``"reject"`` (default) keeps
+        the seed 409; ``"drop"`` acknowledges silently and counts the drop
+        in the stream's quality metrics.
+
+    Returns
+    -------
+    DataPolicy
+        A frozen, hashable policy value; :meth:`validate` returns ``self``.
+
+    Raises
+    ------
+    ConfigurationError
+        From :meth:`validate`, when a field names an unknown policy or the
+        field combination is inconsistent.
+
+    Example
+    -------
+    >>> policy = DataPolicy(nan_policy="hold-last", max_gap=50).validate()
+    >>> DataPolicy.from_dict(policy.to_dict()) == policy
+    True
+    """
+
+    nan_policy: str = "reject"
+    max_gap: int | None = None
+    reset_on_gap: bool = False
+    duplicate_policy: str = "reject"
+
+    def validate(self) -> "DataPolicy":
+        """Check field values and combinations; return ``self`` when valid.
+
+        Returns
+        -------
+        DataPolicy
+            ``self``, enabling ``DataPolicy(...).validate()`` chaining.
+
+        Raises
+        ------
+        ConfigurationError
+            Unknown ``nan_policy``/``duplicate_policy``, non-positive
+            ``max_gap``, ``max_gap`` with a reject ``nan_policy``, or
+            ``reset_on_gap`` without ``max_gap``.
+
+        Example
+        -------
+        >>> DataPolicy(nan_policy="hold-last").validate().nan_policy
+        'hold-last'
+        """
+        if self.nan_policy not in NAN_POLICIES:
+            raise ConfigurationError(
+                f"unknown nan_policy {self.nan_policy!r}; expected one of {NAN_POLICIES}"
+            )
+        if self.duplicate_policy not in DUPLICATE_POLICIES:
+            raise ConfigurationError(
+                f"unknown duplicate_policy {self.duplicate_policy!r}; "
+                f"expected one of {DUPLICATE_POLICIES}"
+            )
+        if self.max_gap is not None:
+            if not isinstance(self.max_gap, int) or isinstance(self.max_gap, bool):
+                raise ConfigurationError("max_gap must be a positive int or None")
+            if self.max_gap < 1:
+                raise ConfigurationError("max_gap must be a positive int or None")
+            if self.nan_policy == "reject":
+                raise ConfigurationError(
+                    "max_gap requires a non-reject nan_policy (gaps are only "
+                    "tracked when dirty rows are tolerated)"
+                )
+        if self.reset_on_gap and self.max_gap is None:
+            raise ConfigurationError("reset_on_gap requires max_gap to be set")
+        return self
+
+    @property
+    def sanitizes(self) -> bool:
+        """True when the NaN/inf policy changes ingestion (non-reject)."""
+        return self.nan_policy != "reject"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-safe mapping of every field.
+
+        Returns
+        -------
+        dict
+            ``{"nan_policy": ..., "max_gap": ..., "reset_on_gap": ...,
+            "duplicate_policy": ...}``, losslessly consumed by
+            :meth:`from_dict`.
+
+        Example
+        -------
+        >>> DataPolicy().to_dict()["nan_policy"]
+        'reject'
+        """
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DataPolicy":
+        """Rebuild a validated policy from its :meth:`to_dict` mapping.
+
+        Parameters
+        ----------
+        payload:
+            Mapping of field names to values; unknown keys are rejected.
+
+        Returns
+        -------
+        DataPolicy
+            The validated policy instance.
+
+        Raises
+        ------
+        ConfigurationError
+            When the payload is not a mapping, carries unknown keys, or the
+            resulting policy fails :meth:`validate`.
+
+        Example
+        -------
+        >>> DataPolicy.from_dict({"nan_policy": "skip"}).nan_policy
+        'skip'
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError("data_policy payload must be a mapping")
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - names)
+        if unknown:
+            raise ConfigurationError(f"unknown data_policy fields: {unknown}")
+        return cls(**payload).validate()
+
+    def to_json(self) -> str:
+        """JSON string form of :meth:`to_dict`.
+
+        Returns
+        -------
+        str
+            Compact JSON document; round-trips through :meth:`from_json`.
+
+        Example
+        -------
+        >>> DataPolicy.from_json(DataPolicy(nan_policy="skip").to_json()).nan_policy
+        'skip'
+        """
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, document: str) -> "DataPolicy":
+        """Parse a :meth:`to_json` document back into a validated policy.
+
+        Parameters
+        ----------
+        document:
+            JSON string as produced by :meth:`to_json`.
+
+        Returns
+        -------
+        DataPolicy
+            The validated policy instance.
+
+        Raises
+        ------
+        ConfigurationError
+            When the document is not valid JSON or fails :meth:`from_dict`.
+
+        Example
+        -------
+        >>> DataPolicy.from_json('{"nan_policy": "hold-last"}').nan_policy
+        'hold-last'
+        """
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"invalid data_policy JSON: {error}") from error
+        return cls.from_dict(payload)
+
+
+def coerce_data_policy(value: Any) -> DataPolicy | None:
+    """Normalise a user-supplied policy value to ``DataPolicy | None``.
+
+    Accepts None (no policy), an existing :class:`DataPolicy` (validated),
+    or a mapping (parsed through :meth:`DataPolicy.from_dict`) — the three
+    shapes configs, HTTP specs and checkpoints hand around.
+
+    Parameters
+    ----------
+    value:
+        None, a :class:`DataPolicy`, or a ``to_dict``-shaped mapping.
+
+    Returns
+    -------
+    DataPolicy or None
+        The validated policy, or None when ``value`` is None.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``value`` is any other type or fails validation.
+
+    Example
+    -------
+    >>> coerce_data_policy({"nan_policy": "skip"}).nan_policy
+    'skip'
+    """
+    if value is None:
+        return None
+    if isinstance(value, DataPolicy):
+        return value.validate()
+    if isinstance(value, dict):
+        return DataPolicy.from_dict(value)
+    raise ConfigurationError(
+        "data_policy must be a DataPolicy, a mapping of its fields, or None"
+    )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Description of one realised maximal dirty run (internal record).
+
+    ``kind`` is ``"imputed"`` (rows were filled), ``"skipped"`` (rows were
+    dropped) or ``"gap"`` (run exceeded ``max_gap``; rows dropped and the
+    event layer reports a gap).  ``n_nan``/``n_inf`` split the run's rows by
+    the dominant non-finite kind for debuggability.
+    """
+
+    kind: str
+    length: int
+    n_nan: int
+    n_inf: int
+    reset: bool = False
+
+
+@dataclass(frozen=True)
+class SanitizedPart:
+    """One step of sanitized output: values to feed, then a record to emit.
+
+    ``values`` is None for runs whose rows are dropped; ``record`` is None
+    for plain clean segments.  Consumers feed ``values`` to the detector
+    first and then realise ``record`` (so event positions land after the
+    values they describe).
+    """
+
+    values: np.ndarray | None
+    record: RunRecord | None
+
+
+class Sanitizer:
+    """Stateful vectorised NaN/inf pre-pass implementing a :class:`DataPolicy`.
+
+    Feed raw chunks through :meth:`feed`; each call returns the ordered
+    :class:`SanitizedPart` steps realised by that chunk.  A dirty run still
+    open at the end of a chunk is carried as a pending count and realised by
+    the chunk that closes it (or by :meth:`flush` at end of stream, where
+    ``linear-interp`` degrades to ``hold-last`` for want of a right anchor).
+
+    A leading dirty run (no finite row seen yet) is always skipped — there
+    is no anchor to impute from.  For 2-d input a row is dirty when *any*
+    channel is non-finite, and imputation replaces the whole row.
+    """
+
+    def __init__(self, policy: DataPolicy) -> None:
+        self.policy = policy.validate()
+        if not self.policy.sanitizes:
+            raise ConfigurationError(
+                "Sanitizer requires a non-reject nan_policy; reject is the "
+                "engine's built-in behaviour and needs no pre-pass"
+            )
+        self._last: np.ndarray | None = None  # last finite row, shape () or (c,)
+        self._pending = 0
+        self._pending_nan = 0
+        self._pending_inf = 0
+        self.n_raw = 0
+        self.n_clean = 0
+        self.n_imputed = 0
+        self.n_skipped = 0
+        self.n_gaps = 0
+        self.n_clipped = 0
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    def feed(self, values: np.ndarray) -> list[SanitizedPart]:
+        """Sanitize one raw chunk; return the realised output steps in order."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        if arr.ndim == 1:
+            finite = np.isfinite(arr)
+        else:
+            finite = np.isfinite(arr).all(axis=tuple(range(1, arr.ndim)))
+        n = int(arr.shape[0])
+        self.n_raw += n
+        if n == 0:
+            return []
+        if self._pending == 0 and bool(finite.all()):
+            # hot path: clean chunk, nothing pending — zero copies, one scan
+            self._last = np.array(arr[-1], copy=True)
+            self.n_clean += n
+            return [SanitizedPart(values=arr, record=None)]
+
+        parts: list[SanitizedPart] = []
+        # maximal runs of equal finiteness: boundaries where the mask flips
+        flips = np.flatnonzero(np.diff(finite.astype(np.int8)))
+        starts = np.concatenate(([0], flips + 1))
+        ends = np.concatenate((flips + 1, [n]))
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            segment = arr[start:end]
+            if finite[start]:
+                if self._pending:
+                    parts.extend(self._realise_pending(right=segment[0]))
+                parts.append(SanitizedPart(values=segment, record=None))
+                self._last = np.array(segment[-1], copy=True)
+                self.n_clean += end - start
+            else:
+                if segment.ndim == 1:
+                    nan_rows = int(np.isnan(segment).sum())
+                else:
+                    nan_rows = int(np.isnan(segment).any(axis=1).sum())
+                self._pending += end - start
+                self._pending_nan += nan_rows
+                self._pending_inf += (end - start) - nan_rows
+        return parts
+
+    def flush(self) -> list[SanitizedPart]:
+        """Realise a dirty run left open at end of stream (no right anchor)."""
+        if not self._pending:
+            return []
+        return self._realise_pending(right=None)
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative quality counters (raw/clean/imputed/skipped/gaps/clipped)."""
+        return {
+            "n_raw": self.n_raw,
+            "n_clean": self.n_clean,
+            "n_imputed": self.n_imputed,
+            "n_skipped": self.n_skipped,
+            "n_gaps": self.n_gaps,
+            "n_clipped": self.n_clipped,
+            "n_pending": self._pending,
+        }
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serialise the carry-over state (JSON-safe, tiny)."""
+        last = None if self._last is None else np.asarray(self._last).tolist()
+        return {
+            "last": last,
+            "pending": self._pending,
+            "pending_nan": self._pending_nan,
+            "pending_inf": self._pending_inf,
+            "counters": {
+                "n_raw": self.n_raw,
+                "n_clean": self.n_clean,
+                "n_imputed": self.n_imputed,
+                "n_skipped": self.n_skipped,
+                "n_gaps": self.n_gaps,
+                "n_clipped": self.n_clipped,
+            },
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` payload."""
+        last = state.get("last")
+        self._last = None if last is None else np.asarray(last, dtype=np.float64)
+        self._pending = int(state.get("pending", 0))
+        self._pending_nan = int(state.get("pending_nan", 0))
+        self._pending_inf = int(state.get("pending_inf", 0))
+        counters = state.get("counters", {})
+        self.n_raw = int(counters.get("n_raw", 0))
+        self.n_clean = int(counters.get("n_clean", 0))
+        self.n_imputed = int(counters.get("n_imputed", 0))
+        self.n_skipped = int(counters.get("n_skipped", 0))
+        self.n_gaps = int(counters.get("n_gaps", 0))
+        self.n_clipped = int(counters.get("n_clipped", 0))
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _realise_pending(self, right: np.ndarray | None) -> list[SanitizedPart]:
+        """Close the pending dirty run against its right anchor (or None)."""
+        length = self._pending
+        n_nan, n_inf = self._pending_nan, self._pending_inf
+        self._pending = self._pending_nan = self._pending_inf = 0
+        policy = self.policy
+
+        if policy.max_gap is not None and length > policy.max_gap:
+            self.n_skipped += length
+            self.n_gaps += 1
+            record = RunRecord(
+                kind="gap", length=length, n_nan=n_nan, n_inf=n_inf,
+                reset=policy.reset_on_gap,
+            )
+            return [SanitizedPart(values=None, record=record)]
+
+        if policy.nan_policy == "skip" or self._last is None:
+            # skip policy, or a leading run with nothing to impute from
+            self.n_skipped += length
+            record = RunRecord(kind="skipped", length=length, n_nan=n_nan, n_inf=n_inf)
+            return [SanitizedPart(values=None, record=record)]
+
+        last = np.asarray(self._last, dtype=np.float64)
+        if policy.nan_policy == "linear-interp" and right is not None:
+            # anchors excluded: positions 1..length of a (length+2)-point ramp
+            ramp = np.linspace(last, np.asarray(right, dtype=np.float64), length + 2, axis=0)
+            filled = ramp[1:-1]
+        else:
+            # hold-last, or linear-interp flushed without a right anchor
+            filled = np.broadcast_to(last, (length,) + last.shape).copy()
+        self.n_imputed += length
+        record = RunRecord(kind="imputed", length=length, n_nan=n_nan, n_inf=n_inf)
+        return [SanitizedPart(values=filled, record=record)]

@@ -64,12 +64,16 @@ def pearson_from_dot_products(
     Returns
     -------
     numpy.ndarray
-        Correlations clipped to ``[-1, 1]``.
+        Correlations clipped to ``[-1, 1]``.  Pairs with a zero denominator
+        (a constant subsequence whose std was not floored by the caller)
+        deterministically correlate 0.0 instead of dividing by zero.
     """
     w = float(window_size)
     numerator = dot_products - w * means * means[query_index]
     denominator = w * stds * stds[query_index]
-    corr = numerator / denominator
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = numerator / denominator
+    corr = np.where(denominator > 0.0, corr, 0.0)
     return np.clip(corr, -1.0, 1.0)
 
 

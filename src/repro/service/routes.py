@@ -133,6 +133,9 @@ class ServiceRoutes:
             snapshot = stream.metrics.snapshot()
             snapshot["shard"] = stream.shard
             snapshot["frozen"] = stream.frozen
+            counters = getattr(stream.segmenter, "quality_counters", None)
+            if callable(counters):  # policy-wrapped detector: dirty-data accounting
+                snapshot["quality"] = counters()
             if self.durability is not None:
                 age = self.durability.checkpoint_age(stream.name)
                 snapshot["last_checkpoint_age_seconds"] = (
@@ -231,7 +234,9 @@ class ServiceRoutes:
                 409, "stream-frozen", f"stream {stream.name!r} is frozen; resume it first"
             )
         document_seq = self.registry.parse_sequence(document)
-        values = self.registry.parse_observations(document)
+        values = self.registry.parse_observations(
+            document, allow_non_finite=stream.accepts_non_finite
+        )
         if (
             document_seq is not None
             and stream.last_seq is not None

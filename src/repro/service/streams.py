@@ -64,6 +64,8 @@ class StreamMetrics:
 
     n_observations: int = 0
     n_batches: int = 0
+    #: Stale/duplicate batches silently dropped under ``duplicate_policy="drop"``.
+    n_dropped_batches: int = 0
     event_counts: dict[str, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
 
@@ -83,6 +85,7 @@ class StreamMetrics:
         return {
             "n_observations": self.n_observations,
             "n_batches": self.n_batches,
+            "n_dropped_batches": self.n_dropped_batches,
             "event_counts": dict(self.event_counts),
             "n_events": sum(self.event_counts.values()),
             "event_latency_p50_ms": _ms(quantile(self.latencies, 0.50)),
@@ -106,6 +109,9 @@ class StreamState:
     shard: int
     chunk_size: int | None = None
     include_scores: bool = False
+    #: The stream's dirty-data policy (mapping form of
+    #: :class:`repro.api.DataPolicy`), or None for strict rejection.
+    data_policy: dict[str, Any] | None = None
     frozen: bool = False
     #: Events already fanned out (cursor into ``segmenter.events()``).
     n_emitted: int = 0
@@ -124,9 +130,25 @@ class StreamState:
     #: recovery replay republishes only events beyond this frontier.
     n_acked: int = 0
 
+    @property
+    def accepts_non_finite(self) -> bool:
+        """True when the stream's policy repairs NaN/inf instead of rejecting.
+
+        Such streams skip the registry's finite-observations rejection: the
+        detector-side sanitizer handles (and accounts for) the dirty values.
+        """
+        policy = self.data_policy or {}
+        return policy.get("nan_policy", "reject") != "reject"
+
+    @property
+    def duplicate_policy(self) -> str:
+        """How stale/duplicate sequence numbers are handled (reject|drop)."""
+        policy = self.data_policy or {}
+        return str(policy.get("duplicate_policy", "reject"))
+
     def info(self) -> dict[str, Any]:
         """JSON-safe stream descriptor served by ``GET /streams/{name}``."""
-        return {
+        descriptor = {
             "name": self.name,
             "detector": self.detector,
             "config": self.config,
@@ -138,6 +160,9 @@ class StreamState:
             if self.segmenter is not None
             else [],
         }
+        if self.data_policy is not None:
+            descriptor["data_policy"] = dict(self.data_policy)
+        return descriptor
 
     def publish(self, payloads: list[dict[str, Any]]) -> None:
         """Append events to the history and fan them out to live subscribers."""
@@ -246,8 +271,12 @@ class StreamRegistry:
 
         ``spec`` accepts ``detector`` (registry key, default ``"class"``),
         ``config`` (the detector's typed-config mapping), ``chunk_size``
-        (ingestion chunking) and ``include_scores`` (emit a
-        :class:`~repro.api.events.ScoreEvent` per processed batch).
+        (ingestion chunking), ``include_scores`` (emit a
+        :class:`~repro.api.events.ScoreEvent` per processed batch) and
+        ``data_policy`` (mapping form of :class:`repro.api.DataPolicy` —
+        per-stream dirty-data handling; under a repairing ``nan_policy``
+        the finite-observations rejection is relaxed and NaN/inf runs are
+        sanitized detector-side instead of 422'd).
         """
         if not isinstance(name, str) or not STREAM_NAME.match(name):
             raise ServiceError(
@@ -259,7 +288,9 @@ class StreamRegistry:
             raise ServiceError(409, "stream-exists", f"stream {name!r} already exists")
         if not isinstance(spec, dict):
             raise ServiceError(400, "bad-request", "stream spec must be a JSON object")
-        unknown = sorted(set(spec) - {"detector", "config", "chunk_size", "include_scores"})
+        unknown = sorted(
+            set(spec) - {"detector", "config", "chunk_size", "include_scores", "data_policy"}
+        )
         if unknown:
             raise ServiceError(400, "bad-request", f"unknown stream spec fields: {unknown}")
         detector = spec.get("detector", "class")
@@ -269,6 +300,17 @@ class StreamRegistry:
             raise ServiceError(400, "bad-request", "chunk_size must be a positive integer")
         if not isinstance(config, dict):
             raise ServiceError(400, "bad-config", "config must be a JSON object")
+        data_policy = spec.get("data_policy")
+        if data_policy is not None:
+            if not isinstance(data_policy, dict):
+                raise ServiceError(400, "bad-config", "data_policy must be a JSON object")
+            if "data_policy" in config:
+                raise ServiceError(
+                    400,
+                    "bad-config",
+                    "data_policy given both as a spec field and inside config",
+                )
+            config = {**config, "data_policy": data_policy}
         try:
             segmenter = create(detector, config)
         except ReproError as error:  # registry/typed-config validation failures
@@ -281,6 +323,7 @@ class StreamRegistry:
             shard=shard_for_key(name, self.n_shards),
             chunk_size=chunk_size,
             include_scores=bool(spec.get("include_scores", False)),
+            data_policy=config.get("data_policy"),
             history=self._history_for(name),
         )
         self._streams[name] = stream
@@ -314,7 +357,7 @@ class StreamRegistry:
     # payload validation
     # ------------------------------------------------------------------ #
 
-    def parse_observations(self, payload: Any) -> np.ndarray:
+    def parse_observations(self, payload: Any, *, allow_non_finite: bool = False) -> np.ndarray:
         """Validate an observations payload into a float64 array.
 
         Accepts ``{"values": [...]}`` with a flat list (univariate) or a
@@ -322,7 +365,11 @@ class StreamRegistry:
         sequence number (validated by :meth:`parse_sequence`).  Rejects,
         with typed 4xx errors: non-object payloads, missing/empty/ragged
         values, non-numeric entries, NaN/inf entries, and batches beyond
-        ``max_batch``.
+        ``max_batch``.  The finiteness mask is computed in one pass; the
+        422 ``non-finite-observations`` detail carries both the first bad
+        flat index and its value.  ``allow_non_finite=True`` (used for
+        streams whose :class:`repro.api.DataPolicy` repairs dirty values)
+        skips that rejection and lets NaN/inf through to the sanitizer.
         """
         if not isinstance(payload, dict) or "values" not in payload:
             raise ServiceError(
@@ -352,14 +399,19 @@ class StreamRegistry:
             raise ServiceError(
                 422, "bad-observations", f"'values' must be 1-d or 2-d, got shape {array.shape}"
             )
-        if not np.isfinite(array).all():
-            bad = int(np.flatnonzero(~np.isfinite(array).reshape(-1))[0])
-            raise ServiceError(
-                422,
-                "non-finite-observations",
-                "observations must be finite numbers (no NaN/inf)",
-                detail={"first_bad_index": bad},
-            )
+        if not allow_non_finite:
+            finite = np.isfinite(array).reshape(-1)
+            if not finite.all():
+                bad = int(np.flatnonzero(~finite)[0])
+                raise ServiceError(
+                    422,
+                    "non-finite-observations",
+                    "observations must be finite numbers (no NaN/inf)",
+                    detail={
+                        "first_bad_index": bad,
+                        "first_bad_value": repr(float(array.reshape(-1)[bad])),
+                    },
+                )
         return array
 
     @staticmethod

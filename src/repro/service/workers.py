@@ -215,6 +215,17 @@ class ShardWorker:
             if seq == stream.last_seq and stream.last_ack is not None:
                 return {**stream.last_ack, "replayed": True}
             if seq <= stream.last_seq:
+                if stream.duplicate_policy == "drop":
+                    # policy says stale batches are expected (e.g. at-least-once
+                    # upstreams): count + ack without touching detector state
+                    stream.metrics.n_dropped_batches += 1
+                    return {
+                        "name": stream.name,
+                        "n_seen": int(stream.segmenter.n_seen),
+                        "events": [],
+                        "seq": seq,
+                        "dropped": True,
+                    }
                 raise ServiceError(
                     409,
                     "stale-sequence",

@@ -26,7 +26,20 @@ class TestEventObjects:
             assert api.event_from_dict(event.to_dict()) == event
 
     def test_event_kinds_table_is_complete(self):
-        assert set(api.EVENT_KINDS) == {"warmup", "score", "change_point"}
+        assert set(api.EVENT_KINDS) == {
+            "warmup",
+            "score",
+            "change_point",
+            "gap",
+            "data_quality",
+        }
+
+    def test_quality_events_round_trip(self):
+        for event in (
+            api.GapEvent(at=900, gap=120, reset=True),
+            api.DataQualityEvent(at=450, imputed=4, n_nan=3, n_inf=1),
+        ):
+            assert api.event_from_dict(json.loads(json.dumps(event.to_dict()))) == event
 
     def test_unknown_kind_is_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown event kind"):

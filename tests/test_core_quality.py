@@ -1,0 +1,250 @@
+"""Unit tests for the dirty-data layer: DataPolicy, Sanitizer, pearson guard.
+
+The chunk-spanning chaos tests (bit-identity across chunk sizes, backends,
+checkpoint/resume and tiers) live in ``tests/test_quality_chaos.py``; this
+file pins the value-object contract, the sanitizer's run semantics on small
+hand-built inputs, and the degenerate-window (0-std) similarity guard.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.quality import (
+    DUPLICATE_POLICIES,
+    NAN_POLICIES,
+    DataPolicy,
+    Sanitizer,
+    coerce_data_policy,
+)
+from repro.core.similarity import pearson_from_dot_products
+from repro.utils.exceptions import ConfigurationError
+
+
+# --------------------------------------------------------------------------- #
+# DataPolicy value object
+# --------------------------------------------------------------------------- #
+
+
+class TestDataPolicy:
+    def test_default_policy_is_inert_reject(self):
+        policy = DataPolicy().validate()
+        assert policy.nan_policy == "reject"
+        assert policy.duplicate_policy == "reject"
+        assert policy.max_gap is None
+        assert policy.reset_on_gap is False
+        assert policy.sanitizes is False
+
+    @pytest.mark.parametrize("nan_policy", NAN_POLICIES)
+    @pytest.mark.parametrize("duplicate_policy", DUPLICATE_POLICIES)
+    def test_json_round_trip(self, nan_policy, duplicate_policy):
+        max_gap = 7 if nan_policy != "reject" else None
+        policy = DataPolicy(
+            nan_policy=nan_policy, max_gap=max_gap, duplicate_policy=duplicate_policy
+        ).validate()
+        assert DataPolicy.from_dict(policy.to_dict()) == policy
+        assert DataPolicy.from_json(policy.to_json()) == policy
+        json.loads(policy.to_json())  # genuinely JSON-safe
+
+    def test_unknown_nan_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="nan_policy"):
+            DataPolicy(nan_policy="zero-fill").validate()
+
+    def test_unknown_duplicate_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate_policy"):
+            DataPolicy(duplicate_policy="merge").validate()
+
+    @pytest.mark.parametrize("max_gap", [0, -3, 2.5, True])
+    def test_bad_max_gap_rejected(self, max_gap):
+        with pytest.raises(ConfigurationError, match="max_gap"):
+            DataPolicy(nan_policy="skip", max_gap=max_gap).validate()
+
+    def test_max_gap_requires_repairing_policy(self):
+        with pytest.raises(ConfigurationError, match="non-reject"):
+            DataPolicy(max_gap=10).validate()
+
+    def test_reset_on_gap_requires_max_gap(self):
+        with pytest.raises(ConfigurationError, match="reset_on_gap"):
+            DataPolicy(nan_policy="hold-last", reset_on_gap=True).validate()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown data_policy fields"):
+            DataPolicy.from_dict({"nan_policy": "skip", "typo": 1})
+
+    def test_from_json_rejects_invalid_document(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            DataPolicy.from_json("{not json")
+
+    def test_coerce_accepts_none_policy_and_mapping(self):
+        assert coerce_data_policy(None) is None
+        policy = DataPolicy(nan_policy="skip")
+        assert coerce_data_policy(policy) == policy
+        assert coerce_data_policy({"nan_policy": "skip"}) == policy
+        with pytest.raises(ConfigurationError):
+            coerce_data_policy("hold-last")
+
+
+# --------------------------------------------------------------------------- #
+# Sanitizer run semantics
+# --------------------------------------------------------------------------- #
+
+
+def _collect(parts):
+    """Concatenate a part list into (clean values, realised records)."""
+    chunks = [p.values for p in parts if p.values is not None and len(p.values)]
+    records = [p.record for p in parts if p.record is not None]
+    values = np.concatenate(chunks) if chunks else np.empty(0)
+    return values, records
+
+
+class TestSanitizer:
+    def test_reject_policy_refused(self):
+        with pytest.raises(ConfigurationError, match="non-reject"):
+            Sanitizer(DataPolicy())
+
+    def test_clean_chunk_hot_path_returns_input_untouched(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="hold-last"))
+        arr = np.arange(5.0)
+        parts = sanitizer.feed(arr)
+        assert len(parts) == 1
+        assert parts[0].record is None
+        np.testing.assert_array_equal(parts[0].values, arr)
+        assert sanitizer.counters()["n_clean"] == 5
+
+    def test_hold_last_repeats_last_finite_value(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="hold-last"))
+        values, records = _collect(
+            sanitizer.feed(np.array([1.0, 2.0, np.nan, np.inf, 5.0]))
+        )
+        np.testing.assert_array_equal(values, [1.0, 2.0, 2.0, 2.0, 5.0])
+        (record,) = records
+        assert (record.kind, record.length, record.n_nan, record.n_inf) == (
+            "imputed", 2, 1, 1,
+        )
+
+    def test_linear_interp_bridges_between_anchors(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="linear-interp"))
+        values, records = _collect(
+            sanitizer.feed(np.array([0.0, np.nan, np.nan, np.nan, 4.0]))
+        )
+        np.testing.assert_allclose(values, [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert records[0].kind == "imputed"
+
+    def test_linear_interp_without_right_anchor_degrades_to_hold_last(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="linear-interp"))
+        sanitizer.feed(np.array([3.0, np.nan, np.nan]))
+        values, records = _collect(sanitizer.flush())
+        np.testing.assert_array_equal(values, [3.0, 3.0])
+        assert records[0].kind == "imputed"
+
+    def test_skip_policy_drops_dirty_rows(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="skip"))
+        values, records = _collect(
+            sanitizer.feed(np.array([1.0, np.nan, np.nan, 2.0]))
+        )
+        np.testing.assert_array_equal(values, [1.0, 2.0])
+        assert records[0].kind == "skipped"
+        assert sanitizer.counters()["n_skipped"] == 2
+
+    def test_leading_dirty_run_is_skipped_even_under_hold_last(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="hold-last"))
+        values, records = _collect(sanitizer.feed(np.array([np.nan, np.nan, 7.0])))
+        np.testing.assert_array_equal(values, [7.0])
+        assert records[0].kind == "skipped"
+
+    def test_run_longer_than_max_gap_becomes_gap(self):
+        policy = DataPolicy(nan_policy="hold-last", max_gap=3, reset_on_gap=True)
+        sanitizer = Sanitizer(policy)
+        parts = sanitizer.feed(
+            np.concatenate(([1.0], [np.nan] * 5, [2.0]))
+        )
+        values, records = _collect(parts)
+        np.testing.assert_array_equal(values, [1.0, 2.0])
+        (record,) = records
+        assert record.kind == "gap"
+        assert record.length == 5
+        assert record.reset is True
+        assert sanitizer.counters()["n_gaps"] == 1
+
+    def test_run_within_max_gap_is_imputed(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="hold-last", max_gap=3))
+        values, records = _collect(
+            sanitizer.feed(np.array([1.0, np.nan, np.nan, 2.0]))
+        )
+        np.testing.assert_array_equal(values, [1.0, 1.0, 1.0, 2.0])
+        assert records[0].kind == "imputed"
+
+    def test_run_spanning_chunks_matches_single_chunk(self):
+        whole = np.concatenate((np.arange(4.0), [np.nan] * 3, [9.0, 10.0]))
+        one = Sanitizer(DataPolicy(nan_policy="linear-interp"))
+        chunked = Sanitizer(DataPolicy(nan_policy="linear-interp"))
+        values_one, records_one = _collect(one.feed(whole) + one.flush())
+        parts = []
+        for row in whole:  # point-wise: worst-case chunking
+            parts.extend(chunked.feed(np.array([row])))
+        parts.extend(chunked.flush())
+        values_pw, records_pw = _collect(parts)
+        np.testing.assert_array_equal(values_one, values_pw)
+        assert records_one == records_pw
+
+    def test_multichannel_row_dirty_when_any_channel_non_finite(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="hold-last"))
+        chunk = np.array([[1.0, 2.0], [np.nan, 5.0], [3.0, 4.0]])
+        values, records = _collect(sanitizer.feed(chunk))
+        np.testing.assert_array_equal(values, [[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        assert records[0].length == 1
+
+    def test_state_dict_round_trip_mid_run(self):
+        policy = DataPolicy(nan_policy="hold-last", max_gap=10)
+        first = Sanitizer(policy)
+        first.feed(np.array([1.0, 2.0, np.nan, np.nan]))  # run still open
+        resumed = Sanitizer(policy)
+        resumed.load_state_dict(json.loads(json.dumps(first.state_dict())))
+        tail = np.array([np.nan, 6.0])
+        values_a, records_a = _collect(first.feed(tail))
+        values_b, records_b = _collect(resumed.feed(tail))
+        np.testing.assert_array_equal(values_a, values_b)
+        assert records_a == records_b
+        assert first.counters() == resumed.counters()
+
+    def test_empty_chunk_is_a_no_op(self):
+        sanitizer = Sanitizer(DataPolicy(nan_policy="skip"))
+        assert sanitizer.feed(np.empty(0)) == []
+        assert sanitizer.counters()["n_raw"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# degenerate-window similarity guard (satellite: constant 0-std subsequences)
+# --------------------------------------------------------------------------- #
+
+
+class TestDegenerateWindowGuard:
+    def test_zero_std_pairs_give_zero_correlation_without_warnings(self):
+        dot_products = np.array([4.0, 0.0, 1.0])
+        means = np.zeros(3)
+        stds = np.array([0.0, 0.0, 1.0])  # constant subsequences: std == 0
+        with np.errstate(divide="raise", invalid="raise"):
+            corr = pearson_from_dot_products(
+                dot_products, means, stds, query_index=0, window_size=2
+            )
+        assert np.isfinite(corr).all()
+        np.testing.assert_array_equal(corr[:2], [0.0, 0.0])
+
+    def test_constant_then_step_signal_segments_without_warnings(self):
+        from repro import api
+
+        values = np.concatenate(
+            (
+                np.zeros(400),  # fully constant warm-up region
+                np.sin(np.arange(400) / 5.0) + 5.0,
+            )
+        )
+        segmenter = api.create("class", {"window_size": 200})
+        with np.errstate(divide="raise", invalid="raise"):
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                segmenter.process(values)
+        assert int(segmenter.n_seen) == 800
